@@ -1,0 +1,274 @@
+//! Availability analysis: the figure-style sweeps behind the paper's `F_p` claims.
+//!
+//! * [`fp_vs_p`] — crash probability of each construction as the per-server crash
+//!   probability `p` varies (exposes the crossovers the paper discusses: the grid
+//!   family degrades, the RT/M-Path/boostFPP family stays available for small `p`).
+//! * [`fp_vs_n`] — crash probability as the universe grows at fixed `p`, checking
+//!   the Condorcet behaviour (`F_p → 0` vs `F_p → 1`).
+//! * [`rt_fixed_point_sweep`] — the recurrence of Proposition 5.6, showing the sharp
+//!   threshold at `p_c`.
+//! * [`exact_vs_monte_carlo`] — the ablation of DESIGN.md: exact enumeration against
+//!   the Monte-Carlo estimator on small instances.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bqs_constructions::prelude::*;
+use bqs_core::availability::{
+    exact_crash_probability, monte_carlo_crash_probability, CrashEstimate,
+};
+use bqs_core::quorum::QuorumSystem;
+
+/// A single `(p, F_p)` measurement for one system.
+#[derive(Debug, Clone)]
+pub struct AvailabilityPoint {
+    /// Construction name.
+    pub system: String,
+    /// Universe size.
+    pub n: usize,
+    /// Per-server crash probability.
+    pub p: f64,
+    /// Monte-Carlo estimate of the crash probability.
+    pub fp: CrashEstimate,
+    /// Analytic upper bound, when the construction provides one.
+    pub fp_upper_bound: Option<f64>,
+    /// Analytic lower bound, when the construction provides one.
+    pub fp_lower_bound: Option<f64>,
+}
+
+/// Sweeps `F_p` over the given `p` values for the standard comparison set of
+/// constructions at grid side `side` and masking level `b` (clamped per system).
+#[must_use]
+pub fn fp_vs_p(side: usize, b: usize, ps: &[f64], trials: usize, seed: u64) -> Vec<AvailabilityPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = side * side;
+    let mut points = Vec::new();
+
+    let depth = ((n as f64).ln() / 4f64.ln()).round().max(1.0) as u32;
+    let copies = (n / (4 * b + 1)).max(7);
+    let q = (2u64..=64)
+        .filter(|&q| bqs_combinatorics::primes::prime_power(q).is_some())
+        .min_by_key(|&q| ((q * q + q + 1) as usize).abs_diff(copies))
+        .unwrap_or(2);
+
+    for &p in ps {
+        let mut push = |sys: &dyn AnalyzedConstruction, trials: usize| {
+            let fp = monte_carlo_crash_probability(sys, p, trials.max(1), &mut rng);
+            points.push(AvailabilityPoint {
+                system: sys.name(),
+                n: sys.universe_size(),
+                p,
+                fp,
+                fp_upper_bound: sys.crash_probability_upper_bound(p),
+                fp_lower_bound: sys.crash_probability_lower_bound(p),
+            });
+        };
+        if let Ok(sys) = ThresholdSystem::masking(n, b) {
+            push(&sys, trials);
+        }
+        if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
+            push(&sys, trials);
+        }
+        if let Ok(sys) = RtSystem::new(4, 3, depth) {
+            push(&sys, trials);
+        }
+        if let Ok(sys) = BoostFppSystem::new(q, b) {
+            push(&sys, trials);
+        }
+        if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
+            // Max-flow quorum discovery is costlier; cap the per-point effort.
+            push(&sys, trials.min(300));
+        }
+    }
+    points
+}
+
+/// Sweeps `F_p` at fixed `p` while the universe grows, for the Condorcet comparison
+/// between the M-Grid (`F_p → 1`) and RT / M-Path (`F_p → 0` for `p < p_c` resp.
+/// `p < 1/2`).
+#[must_use]
+pub fn fp_vs_n(sides: &[usize], b: usize, p: f64, trials: usize, seed: u64) -> Vec<AvailabilityPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::new();
+    for &side in sides {
+        let mut push = |sys: &dyn AnalyzedConstruction, trials: usize| {
+            let fp = monte_carlo_crash_probability(sys, p, trials.max(1), &mut rng);
+            points.push(AvailabilityPoint {
+                system: sys.name(),
+                n: sys.universe_size(),
+                p,
+                fp,
+                fp_upper_bound: sys.crash_probability_upper_bound(p),
+                fp_lower_bound: sys.crash_probability_lower_bound(p),
+            });
+        };
+        if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
+            push(&sys, trials);
+        }
+        let n = side * side;
+        let depth = ((n as f64).ln() / 4f64.ln()).round().max(1.0) as u32;
+        if let Ok(sys) = RtSystem::new(4, 3, depth) {
+            push(&sys, trials);
+        }
+        if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
+            push(&sys, trials.min(300));
+        }
+    }
+    points
+}
+
+/// One step of the RT fixed-point sweep of Proposition 5.6.
+#[derive(Debug, Clone, Copy)]
+pub struct RtSweepPoint {
+    /// Per-server crash probability.
+    pub p: f64,
+    /// Crash probability of the depth-`h` system.
+    pub fp: f64,
+    /// Whether `p` is below the critical probability.
+    pub below_critical: bool,
+}
+
+/// Evaluates the RT(k, ℓ) crash-probability recurrence at depth `depth` across `ps`.
+#[must_use]
+pub fn rt_fixed_point_sweep(k: usize, l: usize, depth: u32, ps: &[f64]) -> Vec<RtSweepPoint> {
+    let rt = RtSystem::new(k, l, depth).expect("valid RT parameters");
+    let pc = rt.critical_probability();
+    ps.iter()
+        .map(|&p| RtSweepPoint {
+            p,
+            fp: rt.crash_probability(p),
+            below_critical: p < pc,
+        })
+        .collect()
+}
+
+/// Result of the exact-versus-Monte-Carlo ablation on one small instance.
+#[derive(Debug, Clone)]
+pub struct ExactVsMc {
+    /// Construction name.
+    pub system: String,
+    /// Crash probability `p` used.
+    pub p: f64,
+    /// Exact crash probability by enumeration.
+    pub exact: f64,
+    /// Monte-Carlo estimate.
+    pub estimate: CrashEstimate,
+}
+
+/// Compares exact enumeration with the Monte-Carlo estimator on small instances.
+#[must_use]
+pub fn exact_vs_monte_carlo(trials: usize, seed: u64) -> Vec<ExactVsMc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let ps = [0.1, 0.25, 0.4];
+
+    let thresh = ThresholdSystem::minimal_masking(2).expect("valid");
+    let rt = RtSystem::new(3, 2, 2).expect("valid");
+    let grid = GridSystem::new(4, 1).expect("valid");
+    let mgrid = MGridSystem::new(4, 1).expect("valid");
+    let mpath = MPathSystem::new(4, 1).expect("valid");
+
+    let systems: Vec<&dyn QuorumSystem> = vec![&thresh, &rt, &grid, &mgrid, &mpath];
+    for sys in systems {
+        for &p in &ps {
+            let exact = exact_crash_probability(sys, p).expect("small universe");
+            let estimate = monte_carlo_crash_probability(sys, p, trials.max(1), &mut rng);
+            out.push(ExactVsMc {
+                system: sys.name(),
+                p,
+                exact,
+                estimate,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_vs_p_shows_the_papers_ordering() {
+        // At p = 1/8 on a 16x16 universe the RT and boostFPP systems should be far
+        // more available than the M-Grid.
+        let points = fp_vs_p(16, 3, &[0.125], 300, 7);
+        let get = |prefix: &str| {
+            points
+                .iter()
+                .find(|pt| pt.system.starts_with(prefix))
+                .unwrap_or_else(|| panic!("{prefix} missing"))
+        };
+        assert!(get("RT").fp.mean <= get("M-Grid").fp.mean + 0.05);
+        assert!(get("M-Path").fp.mean <= get("M-Grid").fp.mean + 0.05);
+        // Every Monte-Carlo estimate respects its analytic bounds (within CI).
+        for pt in &points {
+            if let Some(up) = pt.fp_upper_bound {
+                assert!(
+                    pt.fp.mean <= up + pt.fp.ci95_half_width() + 0.02,
+                    "{} p={}",
+                    pt.system,
+                    pt.p
+                );
+            }
+            if let Some(low) = pt.fp_lower_bound {
+                assert!(
+                    pt.fp.mean + pt.fp.ci95_half_width() + 0.02 >= low,
+                    "{} p={}",
+                    pt.system,
+                    pt.p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp_vs_n_condorcet_separation() {
+        // At p = 0.125, growing the grid makes the M-Grid less available and the RT
+        // more available.
+        let points = fp_vs_n(&[8, 16], 3, 0.125, 300, 11);
+        let series = |prefix: &str| -> Vec<f64> {
+            points
+                .iter()
+                .filter(|pt| pt.system.starts_with(prefix))
+                .map(|pt| pt.fp.mean)
+                .collect()
+        };
+        let mgrid = series("M-Grid");
+        let rt = series("RT");
+        assert_eq!(mgrid.len(), 2);
+        assert!(mgrid[1] >= mgrid[0] - 0.05, "M-Grid should degrade: {mgrid:?}");
+        assert!(rt[1] <= rt[0] + 0.05, "RT should improve: {rt:?}");
+    }
+
+    #[test]
+    fn rt_sweep_has_sharp_threshold() {
+        let ps: Vec<f64> = (1..=9).map(|i| i as f64 * 0.05).collect();
+        let sweep = rt_fixed_point_sweep(4, 3, 6, &ps);
+        for pt in &sweep {
+            if pt.p <= 0.15 {
+                assert!(pt.fp < 0.01, "p={} fp={}", pt.p, pt.fp);
+                assert!(pt.below_critical);
+            }
+            if pt.p >= 0.35 {
+                assert!(pt.fp > 0.9, "p={} fp={}", pt.p, pt.fp);
+                assert!(!pt.below_critical);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_monte_carlo_agree() {
+        for row in exact_vs_monte_carlo(3000, 13) {
+            assert!(
+                (row.exact - row.estimate.mean).abs()
+                    <= row.estimate.ci95_half_width().max(0.03),
+                "{} p={}: exact {} vs MC {}",
+                row.system,
+                row.p,
+                row.exact,
+                row.estimate.mean
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Load and availability analysis of Byzantine quorum systems.
+//!
+//! This crate turns the constructions of `bqs-constructions` and the measures of
+//! `bqs-core` into the *experiments* of the paper:
+//!
+//! * [`comparison`] — Table 2 (the construction-by-construction comparison);
+//! * [`scenario`] — the Section 8 worked example (`n = 1024`, `L ≈ 1/4`, `p = 1/8`);
+//! * [`load_analysis`] — load-versus-n sweeps, the Theorem 4.1 envelope, and the
+//!   LP-versus-closed-form ablation;
+//! * [`availability_analysis`] — `F_p` versus `p` and versus `n`, the RT fixed-point
+//!   sweep, and the exact-versus-Monte-Carlo ablation;
+//! * [`percolation_threshold`] — the finite-size percolation estimates behind the
+//!   M-Path availability argument (Appendix B);
+//! * [`report`] — the text-table rendering shared by the bench binaries.
+//!
+//! Each bench binary in `bqs-bench` is a thin wrapper that calls one of these
+//! functions and prints the rendered table; EXPERIMENTS.md records the outputs next
+//! to the values the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod availability_analysis;
+pub mod comparison;
+pub mod load_analysis;
+pub mod percolation_threshold;
+pub mod report;
+pub mod scenario;
+
+pub use ablation::{mpath_discovery_ablation, transversal_ablation};
+pub use availability_analysis::{exact_vs_monte_carlo, fp_vs_n, fp_vs_p, rt_fixed_point_sweep};
+pub use comparison::{build_table2, render_table2, Table2Row};
+pub use load_analysis::{load_vs_n, lower_bound_envelope, lp_vs_fair_load};
+pub use percolation_threshold::{crossing_curve, estimate_critical_probability};
+pub use report::TextTable;
+pub use scenario::{build_scenario, render_scenario, ScenarioRow};

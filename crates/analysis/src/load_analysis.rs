@@ -1,0 +1,213 @@
+//! Load analysis: the figure-style sweeps behind Sections 4–7's load claims.
+//!
+//! * [`load_vs_n`] — load of each construction as the universe grows at (roughly)
+//!   fixed masking level `b`, against the universal lower bound `√((2b+1)/n)` of
+//!   Corollary 4.2 (reproduces the "optimal load" claims of Propositions 5.2, 6.2
+//!   and 7.2 and the sub-optimality of Threshold/Grid/RT).
+//! * [`lower_bound_envelope`] — Theorem 4.1's bound as a function of the quorum
+//!   size, showing the `√((2b+1)n)` sweet spot of Corollary 4.2.
+//! * [`lp_vs_fair_load`] — the ablation of DESIGN.md: the exact LP load against the
+//!   closed-form fair load on small instances of every construction.
+
+use bqs_constructions::prelude::*;
+use bqs_core::bounds::{load_lower_bound, load_lower_bound_universal};
+use bqs_core::load::optimal_load;
+use bqs_core::quorum::QuorumSystem;
+
+/// One point of the load-versus-n sweep.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Construction name.
+    pub system: String,
+    /// Universe size.
+    pub n: usize,
+    /// Masking level of the instance.
+    pub b: usize,
+    /// Analytic load.
+    pub load: f64,
+    /// The universal lower bound `√((2b+1)/n)`.
+    pub lower_bound: f64,
+}
+
+/// Sweeps the load of every construction over grid sides `sides`, at masking level
+/// `b` (clamped per construction to its feasible range).
+#[must_use]
+pub fn load_vs_n(sides: &[usize], b: usize) -> Vec<LoadPoint> {
+    let mut points = Vec::new();
+    for &side in sides {
+        let n = side * side;
+        let mut push = |sys: &dyn AnalyzedConstruction| {
+            points.push(LoadPoint {
+                system: sys.name(),
+                n: sys.universe_size(),
+                b: sys.masking_b(),
+                load: sys.analytic_load(),
+                lower_bound: load_lower_bound_universal(sys.universe_size(), sys.masking_b()),
+            });
+        };
+        if let Ok(sys) = ThresholdSystem::masking(n, b) {
+            push(&sys);
+        }
+        if let Ok(sys) = GridSystem::new(side, b.min(side.saturating_sub(1) / 3)) {
+            push(&sys);
+        }
+        if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
+            push(&sys);
+        }
+        if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
+            push(&sys);
+        }
+        let depth = ((n as f64).ln() / 4f64.ln()).round().max(1.0) as u32;
+        if let Ok(sys) = RtSystem::new(4, 3, depth) {
+            push(&sys);
+        }
+        let copies = (n / (4 * b + 1)).max(7);
+        let q = (2u64..=64)
+            .filter(|&q| bqs_combinatorics::primes::prime_power(q).is_some())
+            .min_by_key(|&q| ((q * q + q + 1) as usize).abs_diff(copies))
+            .unwrap_or(2);
+        if let Ok(sys) = BoostFppSystem::new(q, b) {
+            push(&sys);
+        }
+    }
+    points
+}
+
+/// One point of the Theorem 4.1 envelope: the load lower bound as a function of the
+/// minimum quorum size.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopePoint {
+    /// Quorum size `c`.
+    pub quorum_size: usize,
+    /// `max{(2b+1)/c, c/n}`.
+    pub bound: f64,
+}
+
+/// Theorem 4.1's lower bound as `c` ranges over `1..=n`.
+#[must_use]
+pub fn lower_bound_envelope(n: usize, b: usize) -> Vec<EnvelopePoint> {
+    (1..=n)
+        .map(|c| EnvelopePoint {
+            quorum_size: c,
+            bound: load_lower_bound(n, b, c),
+        })
+        .collect()
+}
+
+/// Result of the LP-versus-closed-form load ablation on one instance.
+#[derive(Debug, Clone)]
+pub struct LoadAblation {
+    /// Construction name.
+    pub system: String,
+    /// Exact load from the linear program.
+    pub lp_load: f64,
+    /// Closed-form (fair-system) load.
+    pub analytic_load: f64,
+}
+
+/// Runs the LP load against the analytic load on small explicit instances of every
+/// construction that can be materialised.
+#[must_use]
+pub fn lp_vs_fair_load() -> Vec<LoadAblation> {
+    let mut out = Vec::new();
+    let mut push = |name: String, quorums: &[bqs_core::bitset::ServerSet], n: usize, analytic: f64| {
+        if let Ok((lp, _)) = optimal_load(quorums, n) {
+            out.push(LoadAblation {
+                system: name,
+                lp_load: lp,
+                analytic_load: analytic,
+            });
+        }
+    };
+
+    let t = ThresholdSystem::minimal_masking(1).expect("valid");
+    let te = t.to_explicit(10_000).expect("small");
+    push(t.name(), te.quorums(), t.universe_size(), t.analytic_load());
+
+    let g = GridSystem::new(5, 1).expect("valid");
+    let ge = g.to_explicit(10_000).expect("small");
+    push(g.name(), ge.quorums(), g.universe_size(), g.analytic_load());
+
+    let m = MGridSystem::new(5, 2).expect("valid");
+    let me = m.to_explicit(10_000).expect("small");
+    push(m.name(), me.quorums(), m.universe_size(), m.analytic_load());
+
+    let rt = RtSystem::new(4, 3, 2).expect("valid");
+    let rte = rt.to_explicit(10_000).expect("small");
+    push(rt.name(), rte.quorums(), rt.universe_size(), rt.analytic_load());
+
+    let fpp = FppSystem::new(3).expect("valid");
+    let fe = fpp.to_explicit().expect("small");
+    push(fpp.name(), fe.quorums(), fpp.universe_size(), fpp.analytic_load());
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_family_tracks_lower_bound() {
+        let points = load_vs_n(&[16, 24, 32], 5);
+        for p in &points {
+            assert!(p.load + 1e-9 >= p.lower_bound, "{}", p.system);
+            let ratio = p.load / p.lower_bound;
+            if p.system.starts_with("M-Grid")
+                || p.system.starts_with("M-Path")
+                || p.system.starts_with("boostFPP")
+            {
+                assert!(ratio < 2.6, "{}: ratio {ratio}", p.system);
+            }
+            if p.system.starts_with("Threshold") {
+                assert!(p.load >= 0.5, "{}", p.system);
+            }
+        }
+    }
+
+    #[test]
+    fn load_decreases_with_n_for_grid_family() {
+        let points = load_vs_n(&[16, 32], 3);
+        let loads: Vec<f64> = points
+            .iter()
+            .filter(|p| p.system.starts_with("M-Grid"))
+            .map(|p| p.load)
+            .collect();
+        assert_eq!(loads.len(), 2);
+        assert!(loads[1] < loads[0]);
+    }
+
+    #[test]
+    fn envelope_minimum_is_near_sqrt_2b1_n() {
+        let n = 400;
+        let b = 4;
+        let env = lower_bound_envelope(n, b);
+        let best = env
+            .iter()
+            .min_by(|a, x| a.bound.partial_cmp(&x.bound).unwrap())
+            .unwrap();
+        let expected = ((2 * b + 1) as f64 * n as f64).sqrt();
+        assert!(
+            (best.quorum_size as f64 - expected).abs() <= 3.0,
+            "best at c={} expected ~{expected}",
+            best.quorum_size
+        );
+        // The bound at the minimum is the universal bound.
+        assert!((best.bound - load_lower_bound_universal(n, b)).abs() < 0.01);
+    }
+
+    #[test]
+    fn lp_ablation_agrees_with_closed_forms() {
+        let rows = lp_vs_fair_load();
+        assert!(rows.len() >= 5);
+        for r in &rows {
+            assert!(
+                (r.lp_load - r.analytic_load).abs() < 1e-5,
+                "{}: LP {} vs analytic {}",
+                r.system,
+                r.lp_load,
+                r.analytic_load
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the operational costs a client of the library pays:
+//! sampling a quorum under the optimal strategy, finding a live quorum under
+//! failures, and checking pairwise masking intersections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bqs_constructions::prelude::*;
+use bqs_core::prelude::*;
+
+fn bench_sample_quorum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_quorum");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let threshold = ThresholdSystem::masking(1024, 255).unwrap();
+    let mgrid = MGridSystem::new(32, 15).unwrap();
+    let rt = RtSystem::new(4, 3, 5).unwrap();
+    let boost = BoostFppSystem::new(3, 19).unwrap();
+    let mpath = MPathSystem::new(32, 7).unwrap();
+
+    let systems: Vec<(&str, &dyn QuorumSystem)> = vec![
+        ("threshold_n1024", &threshold),
+        ("mgrid_n1024", &mgrid),
+        ("rt43_n1024", &rt),
+        ("boostfpp_n1001", &boost),
+        ("mpath_n1024", &mpath),
+    ];
+    for (name, sys) in systems {
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| sys.sample_quorum(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_find_live_quorum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_live_quorum_with_failures");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let mgrid = MGridSystem::new(32, 15).unwrap();
+    let rt = RtSystem::new(4, 3, 5).unwrap();
+    let boost = BoostFppSystem::new(3, 19).unwrap();
+    let mpath = MPathSystem::new(32, 7).unwrap();
+
+    let systems: Vec<(&str, &dyn QuorumSystem)> = vec![
+        ("mgrid_n1024", &mgrid),
+        ("rt43_n1024", &rt),
+        ("boostfpp_n1001", &boost),
+        ("mpath_n1024", &mpath),
+    ];
+    for (name, sys) in systems {
+        // 5% of servers crashed.
+        let alive = sample_alive_set(sys.universe_size(), 0.05, &mut rng);
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| sys.find_live_quorum(&alive))
+        });
+    }
+    group.finish();
+}
+
+fn bench_masking_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masking_verification");
+    // Explicit masking verification (pairwise intersections + transversal) on small
+    // instances — the cost of validating a hand-built quorum system.
+    let mgrid = MGridSystem::new(5, 2).unwrap().to_explicit(100_000).unwrap();
+    let rt = RtSystem::new(4, 3, 2).unwrap().to_explicit(100_000).unwrap();
+    group.bench_function("mgrid_5x5_b2", |bencher| {
+        bencher.iter(|| is_b_masking(mgrid.quorums(), 25, 2))
+    });
+    group.bench_function("rt43_depth2_b1", |bencher| {
+        bencher.iter(|| is_b_masking(rt.quorums(), 16, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sample_quorum,
+    bench_find_live_quorum,
+    bench_masking_check
+);
+criterion_main!(benches);

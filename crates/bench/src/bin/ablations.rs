@@ -1,0 +1,51 @@
+//! Runs the algorithmic ablations called out in DESIGN.md §4: greedy versus exact
+//! transversal search, and straight-line versus max-flow M-Path quorum discovery.
+//! (The LP-vs-closed-form load and exact-vs-Monte-Carlo availability ablations are
+//! part of the `load_lower_bound` and `fig_fp_vs_p` binaries respectively.)
+//!
+//! Run with: `cargo run --release -p bqs-bench --bin ablations [trials]`
+
+use bqs_analysis::ablation::{mpath_discovery_ablation, transversal_ablation};
+use bqs_analysis::TextTable;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    println!("== ablation: greedy transversal vs exact branch-and-bound MT(Q) ==\n");
+    let mut t1 = TextTable::new(["system", "greedy |T|", "exact MT", "tight?"]);
+    for r in transversal_ablation() {
+        t1.push_row([
+            r.system.clone(),
+            r.greedy.to_string(),
+            r.exact.to_string(),
+            (r.greedy == r.exact).to_string(),
+        ]);
+    }
+    println!("{}\n", t1.render());
+
+    println!("== ablation: straight-line vs max-flow M-Path quorum discovery ==");
+    println!("(M-Path on a 12x12 grid, b = 4, {trials} trials per p)\n");
+    let ps = [0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3];
+    let rows = mpath_discovery_ablation(12, 4, &ps, trials, 0xAB1);
+    let mut t2 = TextTable::new([
+        "p",
+        "straight-line success",
+        "max-flow success",
+    ]);
+    for r in &rows {
+        t2.push_row([
+            format!("{:.2}", r.p),
+            format!("{:.3}", r.straight_success_rate),
+            format!("{:.3}", r.maxflow_success_rate),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!();
+    println!("interpretation: the straight-line strategy of Proposition 7.2 is enough for the");
+    println!("failure-free load argument, but as crashes accumulate only the max-flow (Menger)");
+    println!("discovery keeps finding quorums — this is why M-Path availability analysis needs");
+    println!("percolation rather than counting fully-alive lines.");
+}

@@ -1,0 +1,66 @@
+//! Regenerates Figure 2 of the paper: an RT(4, 3) recursive threshold system of
+//! depth 2, with one quorum shaded.
+//!
+//! Run with: `cargo run -p bqs-bench --bin figure2_rt [k] [l] [depth]`
+
+use bqs_constructions::prelude::*;
+use bqs_core::quorum::QuorumSystem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let l: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let depth: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let sys = match RtSystem::new(k, l, depth) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid parameters: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let quorum = sys.sample_quorum(&mut rng);
+    let n = sys.universe_size();
+
+    println!(
+        "Figure 2: an RT({k}, {l}) system of depth h = {depth} ({l}-of-{k} at every internal node),"
+    );
+    println!("with one quorum shaded (leaves marked #)\n");
+
+    // Render the tree level by level: each internal node shows "l of k".
+    for level in 0..depth {
+        let nodes = k.pow(level);
+        let span = n / nodes;
+        let mut line = String::new();
+        for _node in 0..nodes {
+            let label = format!("[{l} of {k}]");
+            let width = span * 2;
+            let pad = width.saturating_sub(label.len());
+            line.push_str(&" ".repeat(pad / 2));
+            line.push_str(&label);
+            line.push_str(&" ".repeat(pad - pad / 2));
+        }
+        println!("{line}");
+    }
+    let mut leaves = String::new();
+    for i in 0..n {
+        leaves.push(if quorum.contains(i) { '#' } else { '.' });
+        leaves.push(' ');
+    }
+    println!("{leaves}\n");
+
+    println!("universe size    : {n}");
+    println!("quorum size      : c = l^h = {}", sys.min_quorum_size());
+    println!("intersections    : IS = (2l-k)^h = {}", sys.min_intersection());
+    println!("transversals     : MT = (k-l+1)^h = {}", sys.min_transversal());
+    println!("masks            : b = {}", sys.masking_b());
+    println!("resilience       : f = {}", sys.resilience());
+    println!("load             : {:.4} = n^-(1-log_k l) (Proposition 5.5)", sys.analytic_load());
+    println!(
+        "critical crash probability p_c = {:.4} (Proposition 5.6; 0.2324 for RT(4,3))",
+        sys.critical_probability()
+    );
+}

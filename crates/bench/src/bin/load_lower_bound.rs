@@ -1,0 +1,59 @@
+//! Regenerates the Theorem 4.1 / Corollary 4.2 load lower-bound analysis: the bound
+//! as a function of quorum size (showing the sqrt((2b+1)n) sweet spot) and the
+//! loads every construction achieves against the universal bound.
+//!
+//! Run with: `cargo run --release -p bqs-bench --bin load_lower_bound [n] [b]`
+
+use bqs_analysis::load_analysis::{lower_bound_envelope, lp_vs_fair_load};
+use bqs_analysis::TextTable;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let b: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    println!("Theorem 4.1: L(Q) >= max{{(2b+1)/c, c/n}} for any b-masking system");
+    println!("n = {n}, b = {b}; the minimum over c is the Corollary 4.2 bound sqrt((2b+1)/n)\n");
+
+    let env = lower_bound_envelope(n, b);
+    let universal = ((2 * b + 1) as f64 / n as f64).sqrt();
+    let mut table = TextTable::new(["quorum size c", "lower bound on L", "vs universal"]);
+    // Print a logarithmic selection of quorum sizes around the optimum.
+    let c_star = ((2 * b + 1) as f64 * n as f64).sqrt() as usize;
+    let picks: Vec<usize> = vec![
+        1,
+        c_star / 8,
+        c_star / 4,
+        c_star / 2,
+        (c_star as f64 / 1.4) as usize,
+        c_star,
+        (c_star as f64 * 1.4) as usize,
+        c_star * 2,
+        c_star * 4,
+        n / 2,
+        n,
+    ];
+    for c in picks.into_iter().filter(|&c| c >= 1 && c <= n) {
+        let bound = env[c - 1].bound;
+        table.push_row([
+            c.to_string(),
+            format!("{bound:.4}"),
+            format!("{:.2}x", bound / universal),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("\noptimal quorum size c* = sqrt((2b+1) n) = {c_star}; universal bound = {universal:.4}\n");
+
+    println!("ablation: exact LP load vs the closed-form fair load (Proposition 3.9) on");
+    println!("small explicit instances of each construction:\n");
+    let mut ab = TextTable::new(["system", "LP load", "analytic load", "difference"]);
+    for row in lp_vs_fair_load() {
+        ab.push_row([
+            row.system.clone(),
+            format!("{:.5}", row.lp_load),
+            format!("{:.5}", row.analytic_load),
+            format!("{:.1e}", (row.lp_load - row.analytic_load).abs()),
+        ]);
+    }
+    println!("{}", ab.render());
+}

@@ -1,0 +1,75 @@
+//! Regenerates the M-Path availability analysis of Section 7 / Appendix B: the
+//! percolation crossing curve of the triangulated grid (critical probability 1/2),
+//! the probability of k disjoint open crossings (Theorem B.3), and the M-Path crash
+//! probability for p up to (and beyond) 1/2 — the paper's headline availability
+//! result, Proposition 7.3.
+//!
+//! Run with: `cargo run --release -p bqs-bench --bin mpath_availability [side] [trials]`
+
+use bqs_analysis::percolation_threshold::{crossing_curve, estimate_critical_probability};
+use bqs_analysis::TextTable;
+use bqs_constructions::mpath::MPathSystem;
+use bqs_core::quorum::QuorumSystem;
+use bqs_graph::grid::Axis;
+use bqs_graph::percolation::PercolationEstimator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let trials: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    println!("== site percolation on the {side}x{side} triangulated grid ==\n");
+    let ps: Vec<f64> = (1..=9).map(|i| i as f64 * 0.1).collect();
+    let curve = crossing_curve(side, &ps, trials, 0xA11);
+    let mut t1 = TextTable::new(["p (closed prob.)", "P[open LR crossing]", "95% CI"]);
+    for pt in &curve {
+        t1.push_row([
+            format!("{:.1}", pt.p),
+            format!("{:.4}", pt.crossing_probability),
+            format!("±{:.4}", pt.ci95),
+        ]);
+    }
+    println!("{}\n", t1.render());
+    let pc = estimate_critical_probability(side, trials, 0xA12);
+    println!("estimated critical probability: {pc:.3} (theory: 1/2 for the triangular lattice [Kes80])\n");
+
+    println!("== disjoint crossings and the M-Path crash probability ==\n");
+    let b = MPathSystem::max_b(side).min(7);
+    let sys = MPathSystem::new(side, b).expect("valid");
+    let k = sys.paths_per_direction();
+    println!(
+        "system: {} needs {k} disjoint LR and {k} disjoint TB open crossings per quorum\n",
+        sys.name()
+    );
+    let est = PercolationEstimator::new(side);
+    let mut rng = StdRng::seed_from_u64(0xA13);
+    let mut t2 = TextTable::new([
+        "p",
+        "P[>= k disjoint LR crossings]",
+        "Fp(M-Path) Monte-Carlo",
+        "counting bound (Sec. 8 style)",
+    ]);
+    let flow_trials = trials.min(300);
+    for &p in &[0.05, 0.125, 0.2, 0.3, 0.4, 0.45, 0.55] {
+        let disjoint =
+            est.estimate_disjoint_crossings_probability(p, Axis::LeftRight, k, flow_trials, &mut rng);
+        let fp = est.estimate_mpath_crash_probability(p, k, flow_trials, &mut rng);
+        t2.push_row([
+            format!("{p:.3}"),
+            format!("{:.4}", disjoint.mean),
+            format!("{:.4} ± {:.4}", fp.mean, fp.ci95_half_width()),
+            sys.crash_probability_counting_bound(p)
+                .map(bqs_analysis::report::format_probability)
+                .unwrap_or_else(|| "- (needs p < 1/3)".to_string()),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!();
+    println!("shape to check against the paper (Proposition 7.3): Fp(M-Path) stays near 0 for");
+    println!("every p < 1/2 and collapses only past the percolation threshold — the only");
+    println!("construction in the paper with this property. The elementary counting bound is");
+    println!("meaningful for p < 1/3; the Monte-Carlo column shows the true behaviour");
+    println!("continues to p -> 1/2, exactly as the Menshikov-based proof asserts.");
+}

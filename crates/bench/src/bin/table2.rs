@@ -1,0 +1,26 @@
+//! Regenerates Table 2 of the paper: the construction-by-construction comparison of
+//! masking level, resilience, load and crash probability, with the paper's
+//! asymptotic claims printed alongside the measured values.
+//!
+//! Run with: `cargo run --release -p bqs-bench --bin table2 [side] [b]`
+
+use bqs_analysis::comparison::{build_table2, render_table2, REFERENCE_CRASH_P};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let b: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    println!("Table 2 reproduction: constructions over an (approximately) {0}x{0} universe", side);
+    println!("numeric Fp columns evaluated at p = {REFERENCE_CRASH_P}\n");
+    let rows = build_table2(side, b);
+    println!("{}", render_table2(&rows));
+    println!();
+    println!("notes:");
+    println!(" * 'L / lower-bound' is the ratio of the achieved load to sqrt((2b+1)/n)");
+    println!("   (Corollary 4.2); values near 1 are optimal, as the paper claims for");
+    println!("   M-Grid, boostFPP and M-Path ('+' rows of Table 2).");
+    println!(" * '-> 1' rows (Grid, M-Grid) have no useful Fp upper bound: their crash");
+    println!("   probability tends to 1 as n grows, which is why only a lower bound is shown.");
+    println!(" * '*' rows are Fp-optimal for their resilience (Proposition 4.3).");
+}

@@ -1,0 +1,163 @@
+//! Primality and prime-power testing.
+//!
+//! Finite projective planes of order `q` (Section 6 of the paper) are known to exist
+//! whenever `q = p^r` for a prime `p`. This module provides the deterministic tests
+//! used to validate user-supplied plane orders before construction.
+
+/// Returns `true` iff `n` is prime.
+///
+/// Deterministic trial division; the plane orders used in practice are tiny
+/// (`q ≤ a few hundred`), so this is more than fast enough and trivially correct.
+///
+/// # Examples
+///
+/// ```
+/// use bqs_combinatorics::primes::is_prime;
+/// assert!(is_prime(2));
+/// assert!(is_prime(97));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(91)); // 7 * 13
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n < 4 {
+        return true;
+    }
+    if n % 2 == 0 {
+        return false;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// If `n = p^r` for a prime `p` and `r >= 1`, returns `Some((p, r))`; otherwise `None`.
+///
+/// # Examples
+///
+/// ```
+/// use bqs_combinatorics::primes::prime_power;
+/// assert_eq!(prime_power(7), Some((7, 1)));
+/// assert_eq!(prime_power(8), Some((2, 3)));
+/// assert_eq!(prime_power(9), Some((3, 2)));
+/// assert_eq!(prime_power(12), None);
+/// assert_eq!(prime_power(1), None);
+/// ```
+#[must_use]
+pub fn prime_power(n: u64) -> Option<(u64, u32)> {
+    if n < 2 {
+        return None;
+    }
+    // Find the smallest prime factor, then check n is a pure power of it.
+    let mut p = 0u64;
+    if n % 2 == 0 {
+        p = 2;
+    } else {
+        let mut d = 3u64;
+        while d * d <= n {
+            if n % d == 0 {
+                p = d;
+                break;
+            }
+            d += 2;
+        }
+        if p == 0 {
+            // n itself is prime.
+            return Some((n, 1));
+        }
+    }
+    let mut m = n;
+    let mut r = 0u32;
+    while m % p == 0 {
+        m /= p;
+        r += 1;
+    }
+    if m == 1 {
+        Some((p, r))
+    } else {
+        None
+    }
+}
+
+/// Returns the largest prime power `q <= n`, if any (`n >= 2`).
+///
+/// Useful for picking a feasible projective-plane order near a desired size.
+#[must_use]
+pub fn largest_prime_power_at_most(n: u64) -> Option<u64> {
+    (2..=n).rev().find(|&q| prime_power(q).is_some())
+}
+
+/// Returns the smallest prime power `q >= n` (`n >= 2`), searching upward.
+#[must_use]
+pub fn smallest_prime_power_at_least(n: u64) -> u64 {
+    let mut q = n.max(2);
+    loop {
+        if prime_power(q).is_some() {
+            return q;
+        }
+        q += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn prime_powers_up_to_32() {
+        let pps: Vec<u64> = (0..=32).filter(|&n| prime_power(n).is_some()).collect();
+        assert_eq!(
+            pps,
+            vec![2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32]
+        );
+    }
+
+    #[test]
+    fn prime_power_decomposition() {
+        assert_eq!(prime_power(1024), Some((2, 10)));
+        assert_eq!(prime_power(3u64.pow(7)), Some((3, 7)));
+        assert_eq!(prime_power(5 * 7), None);
+        assert_eq!(prime_power(2 * 3 * 5), None);
+        assert_eq!(prime_power(121), Some((11, 2)));
+    }
+
+    #[test]
+    fn nearest_prime_powers() {
+        assert_eq!(largest_prime_power_at_most(10), Some(9));
+        assert_eq!(largest_prime_power_at_most(2), Some(2));
+        assert_eq!(largest_prime_power_at_most(1), None);
+        assert_eq!(smallest_prime_power_at_least(10), 11);
+        assert_eq!(smallest_prime_power_at_least(24), 25);
+        assert_eq!(smallest_prime_power_at_least(2), 2);
+    }
+
+    #[test]
+    fn prime_power_consistent_with_is_prime() {
+        for n in 2..500u64 {
+            if is_prime(n) {
+                assert_eq!(prime_power(n), Some((n, 1)), "n={n}");
+            }
+            if let Some((p, r)) = prime_power(n) {
+                assert!(is_prime(p));
+                assert_eq!(p.pow(r), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Finite projective planes PG(2, q).
+//!
+//! A finite projective plane of order `q` has `q² + q + 1` points and the same number
+//! of lines; every line contains `q + 1` points, every point lies on `q + 1` lines,
+//! and any two distinct lines meet in exactly one point. The lines therefore form a
+//! *regular* quorum system with quorums of size `q + 1` and pairwise intersections of
+//! size exactly 1 — the FPP component of the boostFPP construction (Section 6 of the
+//! paper), whose load `(q+1)/n ≈ 1/√n` is optimal for regular quorum systems [NW98].
+//!
+//! We build the classical construction over GF(q): points are the 1-dimensional
+//! subspaces of GF(q)³ and lines the 2-dimensional subspaces, with incidence given by
+//! orthogonality of homogeneous coordinates.
+
+use crate::gf::{GfElem, GfField};
+
+/// A finite projective plane of order `q`, stored as an explicit point/line incidence
+/// structure.
+#[derive(Debug, Clone)]
+pub struct ProjectivePlane {
+    q: u64,
+    /// Normalised homogeneous coordinates of each point.
+    points: Vec<[GfElem; 3]>,
+    /// Each line is the sorted list of indices of the points incident to it.
+    lines: Vec<Vec<usize>>,
+}
+
+/// Errors from projective-plane construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaneError {
+    /// The order is not a prime power, so the classical construction does not apply.
+    InvalidOrder(u64),
+}
+
+impl std::fmt::Display for PlaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaneError::InvalidOrder(q) => {
+                write!(f, "projective plane order {q} is not a prime power")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaneError {}
+
+impl ProjectivePlane {
+    /// Constructs PG(2, q) for a prime power `q ≥ 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaneError::InvalidOrder`] when `q` is not a prime power.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bqs_combinatorics::projective::ProjectivePlane;
+    /// let fano = ProjectivePlane::new(2).unwrap();
+    /// assert_eq!(fano.num_points(), 7);
+    /// assert_eq!(fano.num_lines(), 7);
+    /// ```
+    pub fn new(q: u64) -> Result<Self, PlaneError> {
+        let field = GfField::new(q).map_err(|_| PlaneError::InvalidOrder(q))?;
+        let points = enumerate_projective_points(&field);
+        let lines = enumerate_lines(&field, &points);
+        Ok(ProjectivePlane { q, points, lines })
+    }
+
+    /// The order `q` of the plane.
+    #[must_use]
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// Number of points, `q² + q + 1`.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of lines, `q² + q + 1`.
+    #[must_use]
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The point indices on line `i` (sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_lines()`.
+    #[must_use]
+    pub fn line(&self, i: usize) -> &[usize] {
+        &self.lines[i]
+    }
+
+    /// Iterates over all lines as slices of point indices.
+    pub fn lines(&self) -> impl Iterator<Item = &[usize]> {
+        self.lines.iter().map(Vec::as_slice)
+    }
+
+    /// The normalised homogeneous coordinates of point `i`.
+    #[must_use]
+    pub fn point_coordinates(&self, i: usize) -> [GfElem; 3] {
+        self.points[i]
+    }
+
+    /// Checks the defining axioms of a projective plane on this incidence structure:
+    /// every line has `q+1` points, every point is on `q+1` lines, and any two
+    /// distinct lines meet in exactly one point. Used by tests and examples; the
+    /// constructor always produces a valid plane.
+    #[must_use]
+    pub fn verify_axioms(&self) -> bool {
+        let q = self.q as usize;
+        let expected = q * q + q + 1;
+        if self.points.len() != expected || self.lines.len() != expected {
+            return false;
+        }
+        if self.lines.iter().any(|l| l.len() != q + 1) {
+            return false;
+        }
+        let mut degree = vec![0usize; self.points.len()];
+        for line in &self.lines {
+            for &p in line {
+                degree[p] += 1;
+            }
+        }
+        if degree.iter().any(|&d| d != q + 1) {
+            return false;
+        }
+        for i in 0..self.lines.len() {
+            for j in (i + 1)..self.lines.len() {
+                let inter = intersection_size(&self.lines[i], &self.lines[j]);
+                if inter != 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn intersection_size(a: &[usize], b: &[usize]) -> usize {
+    // Both sorted.
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Enumerates canonical representatives of the projective points of PG(2, q):
+/// `(1, y, z)`, `(0, 1, z)`, `(0, 0, 1)`.
+fn enumerate_projective_points(field: &GfField) -> Vec<[GfElem; 3]> {
+    let mut pts = Vec::new();
+    let one = field.one();
+    let zero = field.zero();
+    for y in field.elements() {
+        for z in field.elements() {
+            pts.push([one, y, z]);
+        }
+    }
+    for z in field.elements() {
+        pts.push([zero, one, z]);
+    }
+    pts.push([zero, zero, one]);
+    pts
+}
+
+/// Lines of PG(2, q) are also indexed by projective triples `[a, b, c]`; point
+/// `[x, y, z]` is on line `[a, b, c]` iff `ax + by + cz = 0`.
+fn enumerate_lines(field: &GfField, points: &[[GfElem; 3]]) -> Vec<Vec<usize>> {
+    let line_coords = enumerate_projective_points(field);
+    let mut lines = Vec::with_capacity(line_coords.len());
+    for lc in &line_coords {
+        let mut line = Vec::new();
+        for (idx, pt) in points.iter().enumerate() {
+            let dot = field.add(
+                field.add(field.mul(lc[0], pt[0]), field.mul(lc[1], pt[1])),
+                field.mul(lc[2], pt[2]),
+            );
+            if dot == field.zero() {
+                line.push(idx);
+            }
+        }
+        line.sort_unstable();
+        lines.push(line);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fano_plane() {
+        let plane = ProjectivePlane::new(2).unwrap();
+        assert_eq!(plane.num_points(), 7);
+        assert_eq!(plane.num_lines(), 7);
+        assert!(plane.lines().all(|l| l.len() == 3));
+        assert!(plane.verify_axioms());
+    }
+
+    #[test]
+    fn order_three_plane() {
+        let plane = ProjectivePlane::new(3).unwrap();
+        assert_eq!(plane.num_points(), 13);
+        assert_eq!(plane.num_lines(), 13);
+        assert!(plane.verify_axioms());
+    }
+
+    #[test]
+    fn prime_power_order_plane() {
+        // q = 4 = 2^2 exercises the extension-field path.
+        let plane = ProjectivePlane::new(4).unwrap();
+        assert_eq!(plane.num_points(), 21);
+        assert!(plane.verify_axioms());
+    }
+
+    #[test]
+    fn order_five_plane() {
+        let plane = ProjectivePlane::new(5).unwrap();
+        assert_eq!(plane.num_points(), 31);
+        assert!(plane.verify_axioms());
+    }
+
+    #[test]
+    fn order_eight_and_nine_planes() {
+        for q in [8u64, 9] {
+            let plane = ProjectivePlane::new(q).unwrap();
+            assert_eq!(plane.num_points() as u64, q * q + q + 1);
+            assert!(plane.verify_axioms(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        assert!(ProjectivePlane::new(6).is_err());
+        assert!(ProjectivePlane::new(10).is_err());
+        assert!(ProjectivePlane::new(0).is_err());
+        assert!(ProjectivePlane::new(1).is_err());
+    }
+
+    #[test]
+    fn any_two_points_on_exactly_one_line() {
+        // The dual axiom; check it directly for q = 3.
+        let plane = ProjectivePlane::new(3).unwrap();
+        let n = plane.num_points();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let count = plane
+                    .lines()
+                    .filter(|l| l.contains(&a) && l.contains(&b))
+                    .count();
+                assert_eq!(count, 1, "points {a},{b}");
+            }
+        }
+    }
+}

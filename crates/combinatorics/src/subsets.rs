@@ -1,0 +1,185 @@
+//! Subset iteration utilities.
+//!
+//! Exact computations on explicit quorum systems — minimal transversals, exact crash
+//! probability, exhaustive masking checks — enumerate k-subsets or all subsets of a
+//! small universe. These iterators are allocation-light and deterministic.
+
+/// Iterator over all `k`-element subsets of `{0, 1, ..., n-1}`, in lexicographic
+/// order, yielded as sorted index vectors.
+///
+/// # Examples
+///
+/// ```
+/// use bqs_combinatorics::subsets::KSubsets;
+/// let subsets: Vec<Vec<usize>> = KSubsets::new(4, 2).collect();
+/// assert_eq!(subsets.len(), 6);
+/// assert_eq!(subsets[0], vec![0, 1]);
+/// assert_eq!(subsets[5], vec![2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KSubsets {
+    n: usize,
+    k: usize,
+    current: Option<Vec<usize>>,
+}
+
+impl KSubsets {
+    /// Creates the iterator. If `k > n` the iterator is empty; if `k == 0` it yields
+    /// exactly the empty set.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        let current = if k > n {
+            None
+        } else {
+            Some((0..k).collect())
+        };
+        KSubsets { n, k, current }
+    }
+}
+
+impl Iterator for KSubsets {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let current = self.current.clone()?;
+        // Advance to the next combination in lexicographic order.
+        let mut next = current.clone();
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.current = None;
+                break;
+            }
+            i -= 1;
+            if next[i] < self.n - (self.k - i) {
+                next[i] += 1;
+                for j in (i + 1)..self.k {
+                    next[j] = next[j - 1] + 1;
+                }
+                self.current = Some(next);
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Iterator over all subsets of `{0, ..., n-1}` as bitmasks (`u64`), in increasing
+/// mask order. Requires `n <= 63`.
+///
+/// # Examples
+///
+/// ```
+/// use bqs_combinatorics::subsets::PowerSet;
+/// let masks: Vec<u64> = PowerSet::new(2).collect();
+/// assert_eq!(masks, vec![0b00, 0b01, 0b10, 0b11]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerSet {
+    next: u64,
+    limit: u64,
+    done: bool,
+}
+
+impl PowerSet {
+    /// Creates a power-set iterator over an `n`-element ground set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 63`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 63, "PowerSet supports at most 63 elements, got {n}");
+        PowerSet {
+            next: 0,
+            limit: (1u64 << n) - 1,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for PowerSet {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let v = self.next;
+        if v == self.limit {
+            self.done = true;
+        } else {
+            self.next += 1;
+        }
+        Some(v)
+    }
+}
+
+/// Returns the number of `k`-subsets that [`KSubsets::new(n, k)`] will yield.
+#[must_use]
+pub fn count_k_subsets(n: usize, k: usize) -> u128 {
+    crate::binomial::binomial(n as u64, k as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_subsets_counts_match_binomial() {
+        for n in 0..8usize {
+            for k in 0..=n + 1 {
+                let count = KSubsets::new(n, k).count() as u128;
+                assert_eq!(count, count_k_subsets(n, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_subsets_lexicographic_and_sorted() {
+        let all: Vec<Vec<usize>> = KSubsets::new(5, 3).collect();
+        for w in all.windows(2) {
+            assert!(w[0] < w[1], "not lexicographically increasing: {w:?}");
+        }
+        for s in &all {
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, s);
+            assert!(s.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn k_zero_yields_empty_set() {
+        let all: Vec<Vec<usize>> = KSubsets::new(4, 0).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn k_greater_than_n_is_empty() {
+        assert_eq!(KSubsets::new(3, 4).count(), 0);
+    }
+
+    #[test]
+    fn power_set_size() {
+        assert_eq!(PowerSet::new(0).count(), 1);
+        assert_eq!(PowerSet::new(5).count(), 32);
+        assert_eq!(PowerSet::new(10).count(), 1024);
+    }
+
+    #[test]
+    fn power_set_enumerates_distinct_masks() {
+        let masks: Vec<u64> = PowerSet::new(6).collect();
+        let mut dedup = masks.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(masks.len(), dedup.len());
+        assert!(masks.iter().all(|&m| m < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 63")]
+    fn power_set_rejects_large_universe() {
+        let _ = PowerSet::new(64);
+    }
+}

@@ -1,0 +1,295 @@
+//! The boostFPP construction (Section 6 of the paper).
+//!
+//! `boostFPP(q, b) = FPP(q) ∘ Thresh(3b+1 of 4b+1)`: a finite projective plane of
+//! order `q` composed over the minimal b-masking threshold system. By Theorem 4.7 and
+//! Proposition 6.1 the composed system has
+//!
+//! * `n = (4b+1)(q² + q + 1)` servers,
+//! * quorums of size `c = (3b+1)(q+1)`,
+//! * intersections of size exactly `2b + 1` (so it is b-masking),
+//! * minimal transversals of size `(b+1)(q+1)` — resilience far above `b`,
+//! * load `≈ 3/(4q)`, which is **optimal** for b-masking systems of this size
+//!   (Proposition 6.2),
+//! * crash probability `F_p ≤ (q+1) e^{−b(1−4p)²/2}` for `p < 1/4`
+//!   (Proposition 6.3) — and `F_p → 1` when `p > 1/4`.
+//!
+//! This is the paper's "boosting" technique at work: any regular quorum system can be
+//! made Byzantine-tolerant by composing it over a masking threshold; the FPP is the
+//! load-optimal choice of outer system.
+
+use rand::RngCore;
+
+use bqs_core::bitset::ServerSet;
+use bqs_core::composition::ComposedSystem;
+use bqs_core::error::QuorumError;
+use bqs_core::quorum::QuorumSystem;
+
+use crate::fpp::FppSystem;
+use crate::threshold::ThresholdSystem;
+use crate::AnalyzedConstruction;
+
+/// The boostFPP(q, b) b-masking quorum system.
+#[derive(Debug, Clone)]
+pub struct BoostFppSystem {
+    q: u64,
+    b: usize,
+    composed: ComposedSystem<FppSystem, ThresholdSystem>,
+}
+
+impl BoostFppSystem {
+    /// Builds boostFPP(q, b) for a prime-power plane order `q` and masking level `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidParameters`] when `q` is not a prime power.
+    pub fn new(q: u64, b: usize) -> Result<Self, QuorumError> {
+        let fpp = FppSystem::new(q)?;
+        let thresh = ThresholdSystem::minimal_masking(b)?;
+        Ok(BoostFppSystem {
+            q,
+            b,
+            composed: ComposedSystem::new(fpp, thresh),
+        })
+    }
+
+    /// The plane order `q`.
+    #[must_use]
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// The masking parameter `b`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The outer FPP component.
+    #[must_use]
+    pub fn fpp(&self) -> &FppSystem {
+        self.composed.outer()
+    }
+
+    /// The inner threshold component `Thresh(3b+1 of 4b+1)`.
+    #[must_use]
+    pub fn threshold(&self) -> &ThresholdSystem {
+        self.composed.inner()
+    }
+
+    /// Minimal intersection size, exactly `2b + 1` (Proposition 6.1).
+    #[must_use]
+    pub fn min_intersection(&self) -> usize {
+        2 * self.b + 1
+    }
+
+    /// Minimal transversal size `(b+1)(q+1)` (Proposition 6.1).
+    #[must_use]
+    pub fn min_transversal(&self) -> usize {
+        (self.b + 1) * (self.q as usize + 1)
+    }
+
+    /// The Chernoff-based upper bound of Proposition 6.3:
+    /// `F_p ≤ (q+1) e^{−b(1−4p)²/2}` for `p < 1/4`; `None` when `p ≥ 1/4` (where in
+    /// fact `F_p → 1`).
+    #[must_use]
+    pub fn crash_probability_prop_6_3_bound(&self, p: f64) -> Option<f64> {
+        if p >= 0.25 {
+            return None;
+        }
+        let inner = bqs_combinatorics::binomial::thresh_crash_upper_bound(self.b as u64, p);
+        Some(((self.q as f64 + 1.0) * inner).min(1.0))
+    }
+
+    /// A sharper numeric bound with the same structure as Proposition 6.3's proof:
+    /// plug the *exact* inner threshold crash probability `r(p)` into the FPP
+    /// union-style estimate `F_p(FPP at r) ≤ 1 − (1 − r)^{q+1}`.
+    #[must_use]
+    pub fn crash_probability_numeric_bound(&self, p: f64) -> f64 {
+        let r = self.threshold().crash_probability(p);
+        1.0 - (1.0 - r).powi(self.q as i32 + 1)
+    }
+}
+
+impl QuorumSystem for BoostFppSystem {
+    fn universe_size(&self) -> usize {
+        self.composed.universe_size()
+    }
+
+    fn name(&self) -> String {
+        format!("boostFPP(q={}, b={})", self.q, self.b)
+    }
+
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> ServerSet {
+        self.composed.sample_quorum(rng)
+    }
+
+    fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
+        self.composed.find_live_quorum(alive)
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.composed.min_quorum_size()
+    }
+}
+
+impl AnalyzedConstruction for BoostFppSystem {
+    fn masking_b(&self) -> usize {
+        self.b
+    }
+
+    fn resilience(&self) -> usize {
+        self.min_transversal() - 1
+    }
+
+    fn analytic_load(&self) -> f64 {
+        // Theorem 4.7: loads multiply; both components are fair.
+        self.fpp().analytic_load() * self.threshold().analytic_load()
+    }
+
+    fn crash_probability_upper_bound(&self, p: f64) -> Option<f64> {
+        if p >= 0.25 {
+            None
+        } else {
+            Some(self.crash_probability_numeric_bound(p))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proposition_6_1_parameters() {
+        let sys = BoostFppSystem::new(3, 2).unwrap();
+        // n = (4b+1)(q^2+q+1) = 9 * 13 = 117.
+        assert_eq!(sys.universe_size(), 117);
+        // c = (3b+1)(q+1) = 7 * 4 = 28.
+        assert_eq!(sys.min_quorum_size(), 28);
+        assert_eq!(sys.min_intersection(), 5);
+        assert_eq!(sys.min_transversal(), 12);
+        assert_eq!(sys.masking_b(), 2);
+        assert_eq!(AnalyzedConstruction::resilience(&sys), 11);
+    }
+
+    #[test]
+    fn proposition_6_2_load_is_roughly_three_over_four_q() {
+        for (q, b) in [(3u64, 2usize), (4, 3), (5, 5), (7, 4)] {
+            let sys = BoostFppSystem::new(q, b).unwrap();
+            let load = sys.analytic_load();
+            let target = 3.0 / (4.0 * q as f64);
+            assert!(
+                (load - target).abs() < 0.35 * target,
+                "q={q} b={b} load={load} target={target}"
+            );
+            // Optimality: within a constant of the universal lower bound sqrt(2b/n).
+            let lower = bqs_core::bounds::load_lower_bound_universal(sys.universe_size(), b);
+            assert!(load >= lower - 1e-9);
+            assert!(load <= 1.7 * lower, "q={q} b={b} load={load} lower={lower}");
+        }
+    }
+
+    #[test]
+    fn sampled_quorums_intersect_in_2b_plus_1() {
+        let sys = BoostFppSystem::new(2, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..40 {
+            let q1 = sys.sample_quorum(&mut rng);
+            let q2 = sys.sample_quorum(&mut rng);
+            assert_eq!(q1.len(), sys.min_quorum_size());
+            assert!(q1.intersection_size(&q2) >= 2 * sys.b() + 1);
+        }
+    }
+
+    #[test]
+    fn masking_verified_on_small_explicit_instance() {
+        // boostFPP(2, 1): FPP(2) over 4-of-5 threshold, n = 35. Too many quorums to
+        // enumerate cheaply in full, so verify the masking property structurally on a
+        // sample plus the composed-parameter formulas.
+        let sys = BoostFppSystem::new(2, 1).unwrap();
+        assert_eq!(sys.universe_size(), 35);
+        assert_eq!(sys.min_intersection(), 3);
+        assert!(sys.min_transversal() >= sys.b() + 1);
+    }
+
+    #[test]
+    fn availability_and_live_quorums() {
+        let sys = BoostFppSystem::new(2, 1).unwrap();
+        let n = sys.universe_size();
+        assert!(sys.is_available(&ServerSet::full(n)));
+        // Crash one server per copy (5 servers per copy, threshold 4-of-5): every
+        // copy still available, so the system is.
+        let mut alive = ServerSet::full(n);
+        for copy in 0..7 {
+            alive.remove(copy * 5);
+        }
+        let q = sys.find_live_quorum(&alive).unwrap();
+        assert!(q.is_subset_of(&alive));
+        // Crash two servers in every copy: every copy dies, so no quorum survives.
+        let mut dead = ServerSet::full(n);
+        for copy in 0..7 {
+            dead.remove(copy * 5);
+            dead.remove(copy * 5 + 1);
+        }
+        assert!(!sys.is_available(&dead));
+    }
+
+    #[test]
+    fn proposition_6_3_bound_behaviour() {
+        let sys = BoostFppSystem::new(3, 50).unwrap();
+        // For p < 1/4 the bound decays geometrically in b.
+        let small_b = BoostFppSystem::new(3, 5).unwrap();
+        let p = 0.1;
+        assert!(
+            sys.crash_probability_prop_6_3_bound(p).unwrap()
+                < small_b.crash_probability_prop_6_3_bound(p).unwrap()
+        );
+        // Not applicable at p >= 1/4.
+        assert!(sys.crash_probability_prop_6_3_bound(0.3).is_none());
+        // The numeric bound is tighter than (or equal to) the Chernoff form.
+        let chernoff = sys.crash_probability_prop_6_3_bound(p).unwrap();
+        let numeric = sys.crash_probability_numeric_bound(p);
+        assert!(numeric <= chernoff + 1e-9, "numeric={numeric} chernoff={chernoff}");
+    }
+
+    #[test]
+    fn monte_carlo_crash_probability_respects_bounds() {
+        let sys = BoostFppSystem::new(2, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = 0.1;
+        let est = monte_carlo_crash_probability(&sys, p, 2000, &mut rng);
+        let bound = sys.crash_probability_numeric_bound(p);
+        assert!(
+            est.mean <= bound + est.ci95_half_width() + 0.01,
+            "mc={} bound={bound}",
+            est.mean
+        );
+        // Lower bound of Proposition 4.3: p^{MT}.
+        let lower = bqs_core::bounds::crash_probability_lower_bound_resilience(
+            p,
+            sys.min_transversal(),
+        );
+        assert!(est.mean + est.ci95_half_width() >= lower);
+    }
+
+    #[test]
+    fn section8_boostfpp_instance() {
+        // Section 8: q = 3, b = 19 -> n = 1001, f = 79, load ~ 1/4, Fp <= 0.372 at p=1/8.
+        let sys = BoostFppSystem::new(3, 19).unwrap();
+        assert_eq!(sys.universe_size(), 1001);
+        assert_eq!(AnalyzedConstruction::resilience(&sys), 79);
+        let load = sys.analytic_load();
+        assert!((load - 0.25).abs() < 0.05, "load={load}");
+        let fp = sys.crash_probability_numeric_bound(0.125);
+        assert!(fp <= 0.372 + 1e-9, "fp={fp}");
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        assert!(BoostFppSystem::new(6, 2).is_err());
+        assert!(BoostFppSystem::new(10, 1).is_err());
+    }
+}

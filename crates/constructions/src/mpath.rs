@@ -1,0 +1,416 @@
+//! The M-Path construction (Section 7 of the paper).
+//!
+//! Servers are the vertices of a triangulated `√n × √n` grid (the triangular
+//! lattice); a quorum is the union of `√(2b+1)` vertex-disjoint left-right paths and
+//! `√(2b+1)` vertex-disjoint top-bottom paths (Figure 3 of the paper shows a 9×9
+//! instance with `b = 4`). Any quorum's LR paths cross any other quorum's TB paths in
+//! at least `2b+1` vertices, so the system is b-masking (Proposition 7.1); the
+//! straight-line access strategy gives load `≤ 2√((2b+1)/n)` — optimal
+//! (Proposition 7.2); and, uniquely among the paper's constructions, the crash
+//! probability vanishes exponentially for *every* `p < 1/2` by a percolation argument
+//! (Proposition 7.3) — `F_p ≤ exp(−Ω(√n − √b))`.
+//!
+//! Operationally, quorum discovery under failures uses max-flow (Menger) on the
+//! node-split grid from the `bqs-graph` crate; the load-optimal sampling strategy
+//! uses straight rows and columns only, exactly as in the proof of Proposition 7.2.
+
+use rand::RngCore;
+
+use bqs_core::bitset::ServerSet;
+use bqs_core::error::QuorumError;
+use bqs_core::quorum::QuorumSystem;
+use bqs_graph::disjoint_paths::{find_disjoint_paths, find_straight_disjoint_paths};
+use bqs_graph::grid::{Axis, TriangulatedGrid};
+use bqs_graph::maxflow::max_vertex_disjoint_paths;
+
+use crate::AnalyzedConstruction;
+
+/// The M-Path(b) quorum system over a triangulated `side × side` grid.
+#[derive(Debug, Clone)]
+pub struct MPathSystem {
+    grid: TriangulatedGrid,
+    b: usize,
+    /// Paths per direction, `⌈√(2b+1)⌉`.
+    paths: usize,
+}
+
+impl MPathSystem {
+    /// Creates M-Path(b) on a `side × side` triangulated grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidParameters`] unless `⌈√(2b+1)⌉ ≤ side` and the
+    /// resilience `side − ⌈√(2b+1)⌉` is at least `b` (Proposition 7.1's condition
+    /// `b ≤ √n − √2·n^{1/4}` up to rounding).
+    pub fn new(side: usize, b: usize) -> Result<Self, QuorumError> {
+        if side == 0 {
+            return Err(QuorumError::InvalidParameters(
+                "grid side must be positive".into(),
+            ));
+        }
+        let paths = integer_sqrt_ceil(2 * b + 1);
+        if paths > side {
+            return Err(QuorumError::InvalidParameters(format!(
+                "M-Path(b={b}) needs ceil(sqrt(2b+1)) = {paths} <= side = {side}"
+            )));
+        }
+        if side - paths < b {
+            return Err(QuorumError::InvalidParameters(format!(
+                "M-Path(b={b}) resilience {} is below b (side={side})",
+                side - paths
+            )));
+        }
+        Ok(MPathSystem {
+            grid: TriangulatedGrid::new(side),
+            b,
+            paths,
+        })
+    }
+
+    /// Creates M-Path(b) for a universe of `n` servers (`n` a perfect square).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MPathSystem::new`] plus the perfect-square requirement.
+    pub fn for_universe(n: usize, b: usize) -> Result<Self, QuorumError> {
+        let side = (n as f64).sqrt().round() as usize;
+        if side * side != n || side == 0 {
+            return Err(QuorumError::InvalidParameters(format!(
+                "universe size {n} is not a perfect square"
+            )));
+        }
+        MPathSystem::new(side, b)
+    }
+
+    /// The largest `b` accepted on a `side × side` grid.
+    #[must_use]
+    pub fn max_b(side: usize) -> usize {
+        (0..=side)
+            .rev()
+            .find(|&b| MPathSystem::new(side, b).is_ok())
+            .unwrap_or(0)
+    }
+
+    /// The masking parameter `b`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The grid side `√n`.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.grid.side()
+    }
+
+    /// Disjoint paths required per direction, `⌈√(2b+1)⌉`.
+    #[must_use]
+    pub fn paths_per_direction(&self) -> usize {
+        self.paths
+    }
+
+    /// The underlying triangulated grid.
+    #[must_use]
+    pub fn grid(&self) -> &TriangulatedGrid {
+        &self.grid
+    }
+
+    /// Minimal transversal size `MT = √n − √(2b+1) + 1` (Proposition 7.1).
+    #[must_use]
+    pub fn min_transversal(&self) -> usize {
+        self.grid.side() - self.paths + 1
+    }
+
+    /// Checks whether `candidate` contains an M-Path quorum: at least
+    /// `⌈√(2b+1)⌉` vertex-disjoint LR crossings and as many TB crossings.
+    #[must_use]
+    pub fn contains_quorum(&self, candidate: &ServerSet) -> bool {
+        let alive = self.to_mask(candidate);
+        max_vertex_disjoint_paths(&self.grid, &alive, Axis::LeftRight) >= self.paths
+            && max_vertex_disjoint_paths(&self.grid, &alive, Axis::TopBottom) >= self.paths
+    }
+
+    fn to_mask(&self, set: &ServerSet) -> Vec<bool> {
+        (0..self.grid.num_vertices()).map(|v| set.contains(v)).collect()
+    }
+
+    /// The percolation-flavoured crash-probability upper bound used in the worked
+    /// example of Section 8: combine the counting bound on the crossing probability
+    /// (remark after Theorem B.1, valid for `p' < 1/3`) with the ACCFR interior-event
+    /// inequality (Theorem B.3) at an intermediate `p < p' < 1/3`, and take the union
+    /// bound over the two directions. Returns `None` when `p` is too close to `1/3`
+    /// for this elementary estimate to be meaningful (the asymptotic result of
+    /// Proposition 7.3 still holds for all `p < 1/2`, but needs the full
+    /// Menshikov-type theorem rather than a computable constant).
+    #[must_use]
+    pub fn crash_probability_counting_bound(&self, p: f64) -> Option<f64> {
+        if p >= 1.0 / 3.0 {
+            return None;
+        }
+        let side = self.grid.side();
+        let k_minus_1 = self.paths.saturating_sub(1);
+        // Optimise the intermediate probability p' over a grid in (p, 1/3): larger p'
+        // weakens the crossing bound but strengthens the ACCFR factor. The paper's
+        // worked example uses p' = 1/7 for p = 1/8; the grid search recovers a value
+        // at least that good.
+        let mut best: Option<f64> = None;
+        for step in 1..100 {
+            let p_prime = p + (1.0 / 3.0 - p) * (step as f64 / 100.0);
+            let crossing_at_p_prime =
+                bqs_graph::percolation::crossing_probability_lower_bound(side, p_prime);
+            if crossing_at_p_prime <= 0.0 {
+                continue;
+            }
+            let interior = bqs_graph::percolation::interior_event_lower_bound(
+                crossing_at_p_prime,
+                p,
+                p_prime,
+                k_minus_1,
+            );
+            let bound = (2.0 * (1.0 - interior)).min(1.0);
+            best = Some(best.map_or(bound, |b: f64| b.min(bound)));
+        }
+        best
+    }
+}
+
+/// `⌈√x⌉` for small integers.
+fn integer_sqrt_ceil(x: usize) -> usize {
+    let mut r = (x as f64).sqrt() as usize;
+    while r * r < x {
+        r += 1;
+    }
+    while r > 0 && (r - 1) * (r - 1) >= x {
+        r -= 1;
+    }
+    r
+}
+
+impl QuorumSystem for MPathSystem {
+    fn universe_size(&self) -> usize {
+        self.grid.num_vertices()
+    }
+
+    fn name(&self) -> String {
+        format!("M-Path(n={}, b={})", self.grid.num_vertices(), self.b)
+    }
+
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> ServerSet {
+        // Proposition 7.2's strategy: straight rows and columns chosen uniformly.
+        let side = self.grid.side();
+        let rows = rand::seq::index::sample(rng, side, self.paths);
+        let cols = rand::seq::index::sample(rng, side, self.paths);
+        let mut out = ServerSet::new(self.universe_size());
+        for r in rows.iter() {
+            for v in self.grid.straight_path(Axis::LeftRight, r) {
+                out.insert(v);
+            }
+        }
+        for c in cols.iter() {
+            for v in self.grid.straight_path(Axis::TopBottom, c) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
+        let mask = self.to_mask(alive);
+        // Fast path: enough fully-alive straight lines.
+        let straight_lr =
+            find_straight_disjoint_paths(&self.grid, &mask, Axis::LeftRight, self.paths);
+        let straight_tb =
+            find_straight_disjoint_paths(&self.grid, &mask, Axis::TopBottom, self.paths);
+        let lr = if straight_lr.len() == self.paths {
+            straight_lr
+        } else {
+            find_disjoint_paths(&self.grid, &mask, Axis::LeftRight, self.paths)
+        };
+        if lr.len() < self.paths {
+            return None;
+        }
+        let tb = if straight_tb.len() == self.paths {
+            straight_tb
+        } else {
+            find_disjoint_paths(&self.grid, &mask, Axis::TopBottom, self.paths)
+        };
+        if tb.len() < self.paths {
+            return None;
+        }
+        let mut out = ServerSet::new(self.universe_size());
+        for p in lr.iter().chain(tb.iter()) {
+            for &v in p {
+                out.insert(v);
+            }
+        }
+        Some(out)
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        // Straight-line quorums: `paths` rows and `paths` columns overlapping in
+        // paths² cells; shortest possible quorums use shortest crossings, which on
+        // the triangulated grid are exactly the straight lines.
+        2 * self.paths * self.grid.side() - self.paths * self.paths
+    }
+}
+
+impl AnalyzedConstruction for MPathSystem {
+    fn masking_b(&self) -> usize {
+        self.b
+    }
+
+    fn resilience(&self) -> usize {
+        self.min_transversal() - 1
+    }
+
+    fn analytic_load(&self) -> f64 {
+        // Proposition 7.2: L <= 2 sqrt(2b+1) / sqrt(n); the straight-line strategy
+        // achieves c(Q)/n with c = 2*paths*side - paths^2.
+        self.min_quorum_size() as f64 / self.universe_size() as f64
+    }
+
+    fn crash_probability_upper_bound(&self, p: f64) -> Option<f64> {
+        self.crash_probability_counting_bound(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::bounds::load_lower_bound_universal;
+    use bqs_core::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(MPathSystem::new(9, 4).is_ok());
+        assert!(MPathSystem::new(0, 1).is_err());
+        assert!(MPathSystem::new(3, 5).is_err());
+        // Resilience constraint: side=4, b=3 -> paths=3, side-paths=1 < 3.
+        assert!(MPathSystem::new(4, 3).is_err());
+        assert!(MPathSystem::for_universe(81, 4).is_ok());
+        assert!(MPathSystem::for_universe(80, 4).is_err());
+    }
+
+    #[test]
+    fn figure_3_instance() {
+        // Figure 3: 9x9 grid, b = 4 -> 3 LR + 3 TB paths.
+        let m = MPathSystem::new(9, 4).unwrap();
+        assert_eq!(m.paths_per_direction(), 3);
+        assert_eq!(m.universe_size(), 81);
+        assert_eq!(m.min_quorum_size(), 2 * 3 * 9 - 9);
+        assert_eq!(m.min_transversal(), 7);
+        assert_eq!(AnalyzedConstruction::resilience(&m), 6);
+    }
+
+    #[test]
+    fn sampled_quorums_are_quorums_and_intersect_enough() {
+        let m = MPathSystem::new(7, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let q1 = m.sample_quorum(&mut rng);
+            let q2 = m.sample_quorum(&mut rng);
+            assert!(m.contains_quorum(&q1));
+            assert!(q1.intersection_size(&q2) >= 2 * m.b() + 1);
+        }
+    }
+
+    #[test]
+    fn load_is_optimal_up_to_factor_two() {
+        for (side, b) in [(7usize, 3usize), (9, 4), (16, 7)] {
+            let m = MPathSystem::new(side, b).unwrap();
+            let n = m.universe_size();
+            let load = m.analytic_load();
+            let lower = load_lower_bound_universal(n, b);
+            assert!(load >= lower - 1e-9, "side={side} b={b}");
+            assert!(
+                load <= 2.0 * ((2 * b + 1) as f64 / n as f64).sqrt() + 1e-9,
+                "Proposition 7.2 upper bound violated: side={side} b={b} load={load}"
+            );
+        }
+    }
+
+    #[test]
+    fn availability_with_scattered_failures() {
+        let m = MPathSystem::new(6, 2).unwrap();
+        let n = m.universe_size();
+        assert!(m.is_available(&ServerSet::full(n)));
+        // A few scattered crashes: the grid still percolates.
+        let mut alive = ServerSet::full(n);
+        alive.remove(7);
+        alive.remove(14);
+        alive.remove(21);
+        let q = m.find_live_quorum(&alive).unwrap();
+        assert!(q.is_subset_of(&alive));
+        assert!(m.contains_quorum(&q));
+        // Killing a full column severs all LR crossings.
+        let mut dead = ServerSet::full(n);
+        for r in 0..6 {
+            dead.remove(r * 6 + 3);
+        }
+        assert!(!m.is_available(&dead));
+    }
+
+    #[test]
+    fn live_quorum_uses_non_straight_paths_when_needed() {
+        // Kill one cell in every row but keep the grid percolating: straight rows are
+        // all broken but max-flow still finds disjoint crossings.
+        let m = MPathSystem::new(6, 1).unwrap(); // needs 2 LR + 2 TB paths
+        let n = m.universe_size();
+        let mut alive = ServerSet::full(n);
+        for r in 0..6 {
+            alive.remove(r * 6 + (r % 2) * 3); // stagger the failures
+        }
+        let q = m.find_live_quorum(&alive);
+        assert!(q.is_some(), "non-straight disjoint crossings should exist");
+        let q = q.unwrap();
+        assert!(q.is_subset_of(&alive));
+        assert!(m.contains_quorum(&q));
+    }
+
+    #[test]
+    fn counting_bound_behaviour() {
+        let m = MPathSystem::new(32, 7).unwrap();
+        // Small p: bound should be far below 1 and decreasing in p.
+        let b_low = m.crash_probability_counting_bound(0.01).unwrap();
+        let b_mid = m.crash_probability_counting_bound(0.1).unwrap();
+        assert!(b_low <= b_mid + 1e-12);
+        assert!(b_low < 0.05, "b_low={b_low}");
+        // Not applicable near or above 1/3.
+        assert!(m.crash_probability_counting_bound(0.34).is_none());
+    }
+
+    #[test]
+    fn section8_mpath_instance() {
+        // Section 8: n = 1024, 4 LR + 4 TB paths -> b = 7, f = 29 (MT = 32 - 4 + 1).
+        let m = MPathSystem::new(32, 7).unwrap();
+        assert_eq!(m.paths_per_direction(), 4);
+        assert_eq!(AnalyzedConstruction::resilience(&m), 28);
+        // The paper reports Fp <= 0.001 using the estimate after Theorem B.1 with
+        // p' = 1/7; the optimised counting bound must do at least as well.
+        let fp = m.crash_probability_counting_bound(0.125).unwrap();
+        assert!(fp <= 0.001, "fp={fp}");
+        let load = m.analytic_load();
+        assert!((load - 0.25).abs() < 0.05, "load={load}");
+    }
+
+    #[test]
+    fn monte_carlo_crash_probability_small_below_half() {
+        let m = MPathSystem::new(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let est_low = monte_carlo_crash_probability(&m, 0.05, 200, &mut rng);
+        let est_high = monte_carlo_crash_probability(&m, 0.6, 200, &mut rng);
+        assert!(est_low.mean < 0.3, "Fp at p=0.05 should be small: {}", est_low.mean);
+        assert!(est_high.mean > 0.7, "Fp at p=0.6 should be near 1: {}", est_high.mean);
+    }
+
+    #[test]
+    fn max_b_is_consistent() {
+        for side in [4usize, 6, 9, 12] {
+            let b = MPathSystem::max_b(side);
+            assert!(MPathSystem::new(side, b).is_ok(), "side={side} b={b}");
+            assert!(MPathSystem::new(side, b + 1).is_err(), "side={side} b={b}");
+        }
+    }
+}

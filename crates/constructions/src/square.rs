@@ -1,0 +1,159 @@
+//! Shared helpers for constructions that arrange the universe in a `√n × √n` square
+//! (the Grid baseline of [MR98a] and the M-Grid of Section 5.1).
+
+use bqs_core::bitset::ServerSet;
+use bqs_core::error::QuorumError;
+
+/// A square arrangement of `side × side` servers, indexed row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SquareGrid {
+    side: usize,
+}
+
+impl SquareGrid {
+    /// Creates a `side × side` arrangement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidParameters`] if `side == 0`.
+    pub fn new(side: usize) -> Result<Self, QuorumError> {
+        if side == 0 {
+            return Err(QuorumError::InvalidParameters(
+                "grid side must be positive".into(),
+            ));
+        }
+        Ok(SquareGrid { side })
+    }
+
+    /// Creates the arrangement for a universe of `n` servers, requiring `n` to be a
+    /// perfect square.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidParameters`] if `n` is not a positive perfect
+    /// square.
+    pub fn for_universe(n: usize) -> Result<Self, QuorumError> {
+        let side = (n as f64).sqrt().round() as usize;
+        if side == 0 || side * side != n {
+            return Err(QuorumError::InvalidParameters(format!(
+                "universe size {n} is not a perfect square"
+            )));
+        }
+        SquareGrid::new(side)
+    }
+
+    /// The side length.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The universe size `side²`.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Row-major index of `(row, col)`.
+    #[must_use]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.side && col < self.side);
+        row * self.side + col
+    }
+
+    /// The coordinates of a server index.
+    #[must_use]
+    pub fn coords(&self, v: usize) -> (usize, usize) {
+        (v / self.side, v % self.side)
+    }
+
+    /// The servers of row `r`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> ServerSet {
+        ServerSet::from_indices(self.universe_size(), (0..self.side).map(|c| self.index(r, c)))
+    }
+
+    /// The servers of column `c`.
+    #[must_use]
+    pub fn column(&self, c: usize) -> ServerSet {
+        ServerSet::from_indices(self.universe_size(), (0..self.side).map(|r| self.index(r, c)))
+    }
+
+    /// The indices of rows that are entirely contained in `alive`.
+    #[must_use]
+    pub fn fully_alive_rows(&self, alive: &ServerSet) -> Vec<usize> {
+        (0..self.side)
+            .filter(|&r| (0..self.side).all(|c| alive.contains(self.index(r, c))))
+            .collect()
+    }
+
+    /// The indices of columns that are entirely contained in `alive`.
+    #[must_use]
+    pub fn fully_alive_columns(&self, alive: &ServerSet) -> Vec<usize> {
+        (0..self.side)
+            .filter(|&c| (0..self.side).all(|r| alive.contains(self.index(r, c))))
+            .collect()
+    }
+
+    /// The union of the given rows and columns as a server set.
+    #[must_use]
+    pub fn union_of(&self, rows: &[usize], cols: &[usize]) -> ServerSet {
+        let mut set = ServerSet::new(self.universe_size());
+        for &r in rows {
+            for c in 0..self.side {
+                set.insert(self.index(r, c));
+            }
+        }
+        for &c in cols {
+            for r in 0..self.side {
+                set.insert(self.index(r, c));
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let g = SquareGrid::new(4).unwrap();
+        assert_eq!(g.universe_size(), 16);
+        assert_eq!(g.index(2, 3), 11);
+        assert_eq!(g.coords(11), (2, 3));
+        assert!(SquareGrid::new(0).is_err());
+        assert!(SquareGrid::for_universe(49).is_ok());
+        assert!(SquareGrid::for_universe(48).is_err());
+        assert!(SquareGrid::for_universe(0).is_err());
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let g = SquareGrid::new(3).unwrap();
+        assert_eq!(g.row(1).to_vec(), vec![3, 4, 5]);
+        assert_eq!(g.column(2).to_vec(), vec![2, 5, 8]);
+        assert_eq!(g.row(0).intersection_size(&g.column(0)), 1);
+    }
+
+    #[test]
+    fn alive_rows_and_columns() {
+        let g = SquareGrid::new(3).unwrap();
+        let mut alive = ServerSet::full(9);
+        alive.remove(g.index(1, 1));
+        assert_eq!(g.fully_alive_rows(&alive), vec![0, 2]);
+        assert_eq!(g.fully_alive_columns(&alive), vec![0, 2]);
+    }
+
+    #[test]
+    fn union_of_rows_and_columns() {
+        let g = SquareGrid::new(3).unwrap();
+        let u = g.union_of(&[0], &[1]);
+        // Row 0 (3 servers) + column 1 (3 servers) sharing one cell = 5 servers.
+        assert_eq!(u.len(), 5);
+        assert!(u.contains(g.index(0, 0)));
+        assert!(u.contains(g.index(2, 1)));
+        assert!(!u.contains(g.index(2, 2)));
+    }
+}

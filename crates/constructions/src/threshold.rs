@@ -1,0 +1,297 @@
+//! Threshold quorum systems.
+//!
+//! The `ℓ-of-k` threshold system takes every `ℓ`-subset of the `k` servers as a
+//! quorum. Three roles in the paper:
+//!
+//! * the **Threshold construction of [MR98a]** (first row of Table 2): over `n`
+//!   servers with `4b < n`, quorums of size `⌈(n + 2b + 1)/2⌉` give a b-masking
+//!   system with load `1/2 + O(b/n)` and resilience `n − c(Q)`;
+//! * the **minimal masking threshold** `Thresh(3b+1 of 4b+1)`, the inner component
+//!   of boostFPP (Section 6);
+//! * the **ℓ-of-k building block** of the recursive threshold systems RT(k, ℓ)
+//!   (Section 5.2).
+
+use rand::RngCore;
+
+use bqs_core::bitset::ServerSet;
+use bqs_core::error::QuorumError;
+use bqs_core::quorum::{ExplicitQuorumSystem, QuorumSystem};
+
+use crate::AnalyzedConstruction;
+
+/// An `ℓ-of-n` threshold quorum system: every `ℓ`-subset of the universe is a quorum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdSystem {
+    n: usize,
+    quorum_size: usize,
+}
+
+impl ThresholdSystem {
+    /// Creates the `quorum_size`-of-`n` threshold system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidParameters`] unless `0 < quorum_size <= n` and
+    /// `2 * quorum_size > n` (otherwise two quorums could be disjoint and the
+    /// collection would not be a quorum system).
+    pub fn new(n: usize, quorum_size: usize) -> Result<Self, QuorumError> {
+        if quorum_size == 0 || quorum_size > n {
+            return Err(QuorumError::InvalidParameters(format!(
+                "quorum size {quorum_size} must be in 1..={n}"
+            )));
+        }
+        if 2 * quorum_size <= n {
+            return Err(QuorumError::InvalidParameters(format!(
+                "{quorum_size}-of-{n} is not a quorum system: two quorums can be disjoint"
+            )));
+        }
+        Ok(ThresholdSystem { n, quorum_size })
+    }
+
+    /// The b-masking threshold construction of [MR98a] over `n` servers: quorums of
+    /// size `⌈(n + 2b + 1) / 2⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidParameters`] unless `4b < n`.
+    pub fn masking(n: usize, b: usize) -> Result<Self, QuorumError> {
+        if 4 * b >= n {
+            return Err(QuorumError::InvalidParameters(format!(
+                "a b-masking system requires 4b < n (got b={b}, n={n})"
+            )));
+        }
+        let quorum_size = (n + 2 * b + 1).div_ceil(2);
+        ThresholdSystem::new(n, quorum_size)
+    }
+
+    /// The minimal-universe b-masking threshold `Thresh(3b+1 of 4b+1)` used as the
+    /// inner component of boostFPP.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for `b >= 0`; the `Result` keeps the constructor signatures
+    /// uniform across the crate.
+    pub fn minimal_masking(b: usize) -> Result<Self, QuorumError> {
+        ThresholdSystem::new(4 * b + 1, 3 * b + 1)
+    }
+
+    /// The quorum size `ℓ`.
+    #[must_use]
+    pub fn quorum_size(&self) -> usize {
+        self.quorum_size
+    }
+
+    /// Minimal intersection size `IS = 2ℓ − n`.
+    #[must_use]
+    pub fn min_intersection(&self) -> usize {
+        2 * self.quorum_size - self.n
+    }
+
+    /// Minimal transversal size `MT = n − ℓ + 1`.
+    #[must_use]
+    pub fn min_transversal(&self) -> usize {
+        self.n - self.quorum_size + 1
+    }
+
+    /// Exact crash probability: the system fails iff at least `n − ℓ + 1` servers
+    /// crash (a binomial tail).
+    #[must_use]
+    pub fn crash_probability(&self, p: f64) -> f64 {
+        bqs_core::availability::threshold_crash_probability(self.n, self.quorum_size, p)
+    }
+
+    /// Materialises all `C(n, ℓ)` quorums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidParameters`] if the number of quorums exceeds
+    /// `max_quorums`.
+    pub fn to_explicit(&self, max_quorums: usize) -> Result<ExplicitQuorumSystem, QuorumError> {
+        let count = bqs_combinatorics::binomial::binomial(self.n as u64, self.quorum_size as u64);
+        if count > max_quorums as u128 {
+            return Err(QuorumError::InvalidParameters(format!(
+                "{} quorums exceed the cap of {max_quorums}",
+                count
+            )));
+        }
+        let quorums: Vec<ServerSet> =
+            bqs_combinatorics::subsets::KSubsets::new(self.n, self.quorum_size)
+                .map(|s| ServerSet::from_indices(self.n, s))
+                .collect();
+        Ok(ExplicitQuorumSystem::new(self.n, quorums)?.with_name(self.name()))
+    }
+}
+
+impl QuorumSystem for ThresholdSystem {
+    fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        format!("Threshold({}-of-{})", self.quorum_size, self.n)
+    }
+
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> ServerSet {
+        let picks = rand::seq::index::sample(rng, self.n, self.quorum_size);
+        ServerSet::from_indices(self.n, picks.iter())
+    }
+
+    fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
+        if alive.len() < self.quorum_size {
+            return None;
+        }
+        Some(ServerSet::from_indices(
+            self.n,
+            alive.iter().take(self.quorum_size),
+        ))
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.quorum_size
+    }
+}
+
+impl AnalyzedConstruction for ThresholdSystem {
+    fn masking_b(&self) -> usize {
+        let is = self.min_intersection();
+        let mt = self.min_transversal();
+        if is == 0 || mt == 0 {
+            return 0;
+        }
+        ((is - 1) / 2).min(mt - 1)
+    }
+
+    fn resilience(&self) -> usize {
+        self.min_transversal() - 1
+    }
+
+    fn analytic_load(&self) -> f64 {
+        // The system is fair, so Proposition 3.9 applies: L = c / n.
+        self.quorum_size as f64 / self.n as f64
+    }
+
+    fn crash_probability_upper_bound(&self, p: f64) -> Option<f64> {
+        Some(self.crash_probability(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_core::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_parameters() {
+        let t = ThresholdSystem::new(7, 5).unwrap();
+        assert_eq!(t.universe_size(), 7);
+        assert_eq!(t.min_quorum_size(), 5);
+        assert_eq!(t.min_intersection(), 3);
+        assert_eq!(t.min_transversal(), 3);
+        assert_eq!(t.masking_b(), 1);
+        assert_eq!(AnalyzedConstruction::resilience(&t), 2);
+        assert!((t.analytic_load() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ThresholdSystem::new(5, 0).is_err());
+        assert!(ThresholdSystem::new(5, 6).is_err());
+        assert!(ThresholdSystem::new(6, 3).is_err()); // 2*3 <= 6: disjoint quorums
+        assert!(ThresholdSystem::masking(8, 2).is_err()); // 4b >= n
+        assert!(ThresholdSystem::masking(9, 2).is_ok());
+    }
+
+    #[test]
+    fn mr98a_masking_threshold_parameters() {
+        // n = 16, b = 3: quorum size = ceil((16+7)/2) = 12, IS = 8 >= 2b+1 = 7,
+        // MT = 5 >= b+1 = 4.
+        let t = ThresholdSystem::masking(16, 3).unwrap();
+        assert_eq!(t.quorum_size(), 12);
+        assert!(t.min_intersection() >= 7);
+        assert!(t.min_transversal() >= 4);
+        assert!(t.masking_b() >= 3);
+        // Load is 1/2 + O(b/n) (remark after Corollary 4.2).
+        assert!(t.analytic_load() >= 0.5);
+        assert!(t.analytic_load() <= 0.5 + (2.0 * 3.0 + 2.0) / 16.0);
+    }
+
+    #[test]
+    fn minimal_masking_is_exactly_b_masking() {
+        for b in 0..4usize {
+            let t = ThresholdSystem::minimal_masking(b).unwrap();
+            assert_eq!(t.universe_size(), 4 * b + 1);
+            assert_eq!(t.masking_b(), b);
+            // Verify against the exact explicit-system checker.
+            let explicit = t.to_explicit(100_000).unwrap();
+            assert_eq!(masking_level(explicit.quorums(), 4 * b + 1), Some(b));
+        }
+    }
+
+    #[test]
+    fn explicit_matches_analytic_measures() {
+        let t = ThresholdSystem::new(6, 4).unwrap();
+        let e = t.to_explicit(1000).unwrap();
+        assert_eq!(min_quorum_size(e.quorums()), t.min_quorum_size());
+        assert_eq!(min_intersection_size(e.quorums()), t.min_intersection());
+        assert_eq!(min_transversal_size(e.quorums(), 6), t.min_transversal());
+        let (lp_load, _) = optimal_load(e.quorums(), 6).unwrap();
+        assert!((lp_load - t.analytic_load()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn explicit_cap_enforced() {
+        let t = ThresholdSystem::new(30, 16).unwrap();
+        assert!(t.to_explicit(1000).is_err());
+    }
+
+    #[test]
+    fn crash_probability_matches_exact_enumeration() {
+        let t = ThresholdSystem::new(6, 4).unwrap();
+        for &p in &[0.1, 0.3, 0.5] {
+            let closed = t.crash_probability(p);
+            let exact = exact_crash_probability(&t, p).unwrap();
+            assert!((closed - exact).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sampled_quorums_have_right_size_and_are_uniformish() {
+        let t = ThresholdSystem::new(9, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = vec![0usize; 9];
+        for _ in 0..900 {
+            let q = t.sample_quorum(&mut rng);
+            assert_eq!(q.len(), 5);
+            for u in q.iter() {
+                seen[u] += 1;
+            }
+        }
+        // Each server should appear in roughly 5/9 of the samples.
+        for &count in &seen {
+            let frac = count as f64 / 900.0;
+            assert!((frac - 5.0 / 9.0).abs() < 0.1, "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn find_live_quorum_thresholds() {
+        let t = ThresholdSystem::new(5, 3).unwrap();
+        let alive = ServerSet::from_indices(5, [0, 2, 4]);
+        let q = t.find_live_quorum(&alive).unwrap();
+        assert_eq!(q.len(), 3);
+        assert!(q.is_subset_of(&alive));
+        let too_few = ServerSet::from_indices(5, [1, 3]);
+        assert!(t.find_live_quorum(&too_few).is_none());
+    }
+
+    #[test]
+    fn crash_probability_upper_bound_is_exact_here() {
+        let t = ThresholdSystem::minimal_masking(2).unwrap();
+        let p = 0.2;
+        assert!(
+            (t.crash_probability_upper_bound(p).unwrap() - t.crash_probability(p)).abs() < 1e-12
+        );
+    }
+}

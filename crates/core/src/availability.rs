@@ -1,0 +1,256 @@
+//! Crash probability `F_p(Q)` (Definition 3.10).
+//!
+//! Assuming each server crashes independently with probability `p`, `F_p(Q)` is the
+//! probability that *every* quorum contains at least one crashed server — the system
+//! is unavailable. Two engines are provided:
+//!
+//! * [`exact_crash_probability`] — exact enumeration of all `2^n` crash
+//!   configurations, feasible for the small universes used in unit tests and for
+//!   validating the estimators (an ablation called out in DESIGN.md);
+//! * [`monte_carlo_crash_probability`] — an unbiased estimator with a binomial
+//!   confidence interval, usable for any [`QuorumSystem`], including the large
+//!   structured constructions.
+//!
+//! The paper also cares about the *asymptotic* behaviour of `F_p`: a family of
+//! systems is **Condorcet** if `F_p → 0` as `n → ∞` for every `p < 1/2`.
+//! [`CrashEstimate`] carries the statistical context needed for such comparisons.
+
+use rand::Rng;
+
+use crate::bitset::ServerSet;
+use crate::error::QuorumError;
+use crate::quorum::QuorumSystem;
+
+/// Largest universe size accepted by the exact enumerator (`2^25` configurations).
+pub const EXACT_ENUMERATION_LIMIT: usize = 25;
+
+/// A Monte-Carlo estimate of a probability, with sampling error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashEstimate {
+    /// Point estimate.
+    pub mean: f64,
+    /// Standard error (binomial).
+    pub std_error: f64,
+    /// Number of trials behind the estimate.
+    pub trials: usize,
+}
+
+impl CrashEstimate {
+    /// Half-width of the 95% normal-approximation confidence interval.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error
+    }
+
+    /// Whether `value` lies within the 95% confidence interval.
+    #[must_use]
+    pub fn is_consistent_with(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95_half_width() + 1e-12
+    }
+}
+
+/// Exact crash probability by enumerating every crash configuration.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when the universe exceeds
+/// [`EXACT_ENUMERATION_LIMIT`] servers.
+pub fn exact_crash_probability<Q: QuorumSystem + ?Sized>(
+    system: &Q,
+    p: f64,
+) -> Result<f64, QuorumError> {
+    let n = system.universe_size();
+    if n > EXACT_ENUMERATION_LIMIT {
+        return Err(QuorumError::UniverseTooLarge {
+            universe_size: n,
+            limit: EXACT_ENUMERATION_LIMIT,
+        });
+    }
+    let p = p.clamp(0.0, 1.0);
+    let q = 1.0 - p;
+    let mut crash_prob = 0.0;
+    for mask in 0u64..(1u64 << n) {
+        let alive = ServerSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0));
+        if !system.is_available(&alive) {
+            let alive_count = alive.len() as i32;
+            let crashed_count = (n as i32) - alive_count;
+            crash_prob += q.powi(alive_count) * p.powi(crashed_count);
+        }
+    }
+    Ok(crash_prob.clamp(0.0, 1.0))
+}
+
+/// Monte-Carlo estimate of the crash probability.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn monte_carlo_crash_probability<Q, R>(
+    system: &Q,
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+) -> CrashEstimate
+where
+    Q: QuorumSystem + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(trials > 0, "at least one trial is required");
+    let n = system.universe_size();
+    let p = p.clamp(0.0, 1.0);
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let mut alive = ServerSet::new(n);
+        for i in 0..n {
+            if rng.gen::<f64>() >= p {
+                alive.insert(i);
+            }
+        }
+        if !system.is_available(&alive) {
+            failures += 1;
+        }
+    }
+    let mean = failures as f64 / trials as f64;
+    CrashEstimate {
+        mean,
+        std_error: (mean * (1.0 - mean) / trials as f64).sqrt(),
+        trials,
+    }
+}
+
+/// Samples a single alive-set with independent crash probability `p` — the failure
+/// model of Definition 3.10 — for callers that drive their own experiments (e.g. the
+/// protocol simulator).
+pub fn sample_alive_set<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> ServerSet {
+    let mut alive = ServerSet::new(n);
+    for i in 0..n {
+        if rng.gen::<f64>() >= p {
+            alive.insert(i);
+        }
+    }
+    alive
+}
+
+/// The exact crash probability of an `ℓ-of-k` threshold system:
+/// the system fails iff at least `k − ℓ + 1` of the `k` servers crash.
+/// This closed form (a binomial tail) is used by the RT recurrence of
+/// Proposition 5.6/5.7 and by boostFPP's threshold component.
+#[must_use]
+pub fn threshold_crash_probability(k: usize, l: usize, p: f64) -> f64 {
+    assert!(l <= k && l > 0, "threshold requires 0 < l <= k");
+    bqs_combinatorics::binomial::binomial_tail(k as u64, (k - l + 1) as u64, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum::ExplicitQuorumSystem;
+    use bqs_combinatorics::subsets::KSubsets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn k_of_n_system(n: usize, k: usize) -> ExplicitQuorumSystem {
+        let quorums: Vec<ServerSet> = KSubsets::new(n, k)
+            .map(|s| ServerSet::from_indices(n, s))
+            .collect();
+        ExplicitQuorumSystem::new(n, quorums).unwrap()
+    }
+
+    #[test]
+    fn exact_matches_threshold_closed_form() {
+        for (n, k) in [(4usize, 3usize), (5, 3), (5, 4), (7, 5)] {
+            let sys = k_of_n_system(n, k);
+            for &p in &[0.0, 0.1, 0.25, 0.5, 0.9, 1.0] {
+                let exact = exact_crash_probability(&sys, p).unwrap();
+                let closed = threshold_crash_probability(n, k, p);
+                assert!(
+                    (exact - closed).abs() < 1e-9,
+                    "n={n} k={k} p={p}: {exact} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_extremes() {
+        let sys = k_of_n_system(5, 3);
+        assert_eq!(exact_crash_probability(&sys, 0.0).unwrap(), 0.0);
+        assert_eq!(exact_crash_probability(&sys, 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn exact_monotone_in_p() {
+        let sys = k_of_n_system(6, 4);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let fp = exact_crash_probability(&sys, p).unwrap();
+            assert!(fp >= prev - 1e-12, "p={p}");
+            prev = fp;
+        }
+    }
+
+    #[test]
+    fn universe_limit_enforced() {
+        let quorums = vec![ServerSet::full(30)];
+        let sys = ExplicitQuorumSystem::new(30, quorums).unwrap();
+        assert!(matches!(
+            exact_crash_probability(&sys, 0.1),
+            Err(QuorumError::UniverseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        let sys = k_of_n_system(7, 5);
+        let mut rng = StdRng::seed_from_u64(17);
+        for &p in &[0.1, 0.3, 0.5] {
+            let exact = exact_crash_probability(&sys, p).unwrap();
+            let mc = monte_carlo_crash_probability(&sys, p, 4000, &mut rng);
+            assert!(
+                mc.is_consistent_with(exact) || (mc.mean - exact).abs() < 0.03,
+                "p={p}: exact={exact} mc={} ± {}",
+                mc.mean,
+                mc.ci95_half_width()
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_estimate_statistics() {
+        let sys = k_of_n_system(5, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = monte_carlo_crash_probability(&sys, 0.5, 1000, &mut rng);
+        assert_eq!(est.trials, 1000);
+        assert!(est.std_error > 0.0);
+        assert!(est.ci95_half_width() < 0.05);
+    }
+
+    #[test]
+    fn sample_alive_set_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += sample_alive_set(50, 0.2, &mut rng).len();
+        }
+        let mean_alive = total as f64 / 200.0;
+        assert!((mean_alive - 40.0).abs() < 2.0, "mean alive = {mean_alive}");
+    }
+
+    #[test]
+    fn singleton_system_crash_probability_is_p() {
+        // One quorum {0}: system fails iff server 0 crashes.
+        let sys = ExplicitQuorumSystem::from_indices(1, [vec![0usize]]).unwrap();
+        for &p in &[0.0, 0.2, 0.7, 1.0] {
+            assert!((exact_crash_probability(&sys, p).unwrap() - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn monte_carlo_requires_trials() {
+        let sys = k_of_n_system(3, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = monte_carlo_crash_probability(&sys, 0.1, 0, &mut rng);
+    }
+}

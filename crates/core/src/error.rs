@@ -1,0 +1,144 @@
+//! Error types for quorum-system construction and analysis.
+
+use std::fmt;
+
+/// Errors returned by quorum-system constructors and analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuorumError {
+    /// A quorum system must contain at least one quorum.
+    EmptySystem,
+    /// Quorums must be non-empty sets of servers.
+    EmptyQuorum {
+        /// Index of the offending quorum.
+        index: usize,
+    },
+    /// Two quorums do not intersect, violating Definition 3.1.
+    NonIntersecting {
+        /// Index of the first quorum.
+        first: usize,
+        /// Index of the second quorum.
+        second: usize,
+    },
+    /// A quorum refers to servers outside the declared universe.
+    UniverseMismatch {
+        /// Index of the offending quorum.
+        index: usize,
+        /// Declared universe size.
+        universe_size: usize,
+    },
+    /// An access strategy is invalid (wrong length, negative weight, or weights that
+    /// do not sum to one).
+    InvalidStrategy(String),
+    /// The requested construction parameters are invalid (e.g. `4b >= n`, a grid side
+    /// that is not an integer, a projective-plane order that is not a prime power).
+    InvalidParameters(String),
+    /// The system fails the requested b-masking property.
+    NotMasking {
+        /// The masking level that was requested.
+        requested_b: usize,
+        /// The largest masking level the system actually provides.
+        actual_b: usize,
+    },
+    /// An exact computation was requested on a universe too large for enumeration.
+    UniverseTooLarge {
+        /// The universe size that was requested.
+        universe_size: usize,
+        /// The maximum supported by the exact algorithm.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::EmptySystem => write!(f, "quorum system contains no quorums"),
+            QuorumError::EmptyQuorum { index } => {
+                write!(f, "quorum {index} is empty")
+            }
+            QuorumError::NonIntersecting { first, second } => {
+                write!(f, "quorums {first} and {second} do not intersect")
+            }
+            QuorumError::UniverseMismatch {
+                index,
+                universe_size,
+            } => write!(
+                f,
+                "quorum {index} references servers outside the universe of size {universe_size}"
+            ),
+            QuorumError::InvalidStrategy(msg) => write!(f, "invalid access strategy: {msg}"),
+            QuorumError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            QuorumError::NotMasking {
+                requested_b,
+                actual_b,
+            } => write!(
+                f,
+                "system is not {requested_b}-masking (it is at most {actual_b}-masking)"
+            ),
+            QuorumError::UniverseTooLarge {
+                universe_size,
+                limit,
+            } => write!(
+                f,
+                "universe of size {universe_size} exceeds the exact-computation limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(QuorumError, &str)> = vec![
+            (QuorumError::EmptySystem, "no quorums"),
+            (QuorumError::EmptyQuorum { index: 3 }, "quorum 3"),
+            (
+                QuorumError::NonIntersecting { first: 1, second: 2 },
+                "do not intersect",
+            ),
+            (
+                QuorumError::UniverseMismatch {
+                    index: 0,
+                    universe_size: 9,
+                },
+                "universe of size 9",
+            ),
+            (
+                QuorumError::InvalidStrategy("weights sum to 0.5".into()),
+                "weights sum to 0.5",
+            ),
+            (
+                QuorumError::InvalidParameters("4b >= n".into()),
+                "4b >= n",
+            ),
+            (
+                QuorumError::NotMasking {
+                    requested_b: 3,
+                    actual_b: 1,
+                },
+                "not 3-masking",
+            ),
+            (
+                QuorumError::UniverseTooLarge {
+                    universe_size: 100,
+                    limit: 25,
+                },
+                "exceeds the exact-computation limit",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<QuorumError>();
+    }
+}

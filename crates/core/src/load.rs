@@ -1,0 +1,229 @@
+//! The load `L(Q)` of a quorum system (Definition 3.8, Proposition 3.9).
+//!
+//! The system load is `min_w max_u l_w(u)`: the best achievable frequency of access
+//! of the busiest server over all access strategies. For an explicit system this is a
+//! linear program; [`optimal_load`] solves it exactly with the workspace simplex
+//! solver and also returns an optimal strategy. For fair systems Proposition 3.9
+//! gives the closed form `L(Q) = c(Q) / n`, exposed as [`fair_load`] and used as a
+//! cross-check (and an ablation) against the LP.
+
+use bqs_lp::{Constraint, LinearProgram, LpOutcome, Relation};
+
+use crate::bitset::ServerSet;
+use crate::error::QuorumError;
+use crate::measures;
+use crate::strategy::AccessStrategy;
+
+/// The exact system load and an optimal access strategy, via linear programming.
+///
+/// Variables are one weight per quorum plus the bound `z`; constraints say each
+/// server's induced load is at most `z` and the weights form a distribution.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::EmptySystem`] when no quorums are given, or
+/// [`QuorumError::InvalidStrategy`] if the LP solver fails to produce a valid
+/// distribution (which indicates a numerical problem and should not happen for
+/// well-formed inputs).
+pub fn optimal_load(
+    quorums: &[ServerSet],
+    universe_size: usize,
+) -> Result<(f64, AccessStrategy), QuorumError> {
+    if quorums.is_empty() {
+        return Err(QuorumError::EmptySystem);
+    }
+    let m = quorums.len();
+    // Variables: w_0..w_{m-1}, z  (all >= 0).
+    let num_vars = m + 1;
+    let mut objective = vec![0.0; num_vars];
+    objective[m] = 1.0; // minimize z
+
+    let mut constraints = Vec::with_capacity(universe_size + 1);
+    for u in 0..universe_size {
+        let mut coeffs = vec![0.0; num_vars];
+        let mut touched = false;
+        for (qi, q) in quorums.iter().enumerate() {
+            if q.contains(u) {
+                coeffs[qi] = 1.0;
+                touched = true;
+            }
+        }
+        if !touched {
+            continue; // server in no quorum never carries load
+        }
+        coeffs[m] = -1.0;
+        constraints.push(Constraint::new(coeffs, Relation::Le, 0.0));
+    }
+    let mut sum_coeffs = vec![1.0; num_vars];
+    sum_coeffs[m] = 0.0;
+    constraints.push(Constraint::new(sum_coeffs, Relation::Eq, 1.0));
+
+    let lp = LinearProgram {
+        num_vars,
+        maximize: false,
+        objective,
+        constraints,
+    };
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => {
+            let load = sol.objective_value;
+            let mut weights: Vec<f64> = sol.values[..m].iter().map(|&w| w.max(0.0)).collect();
+            // Renormalise against floating point drift before building the strategy.
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                return Err(QuorumError::InvalidStrategy(
+                    "LP produced an all-zero strategy".into(),
+                ));
+            }
+            for w in &mut weights {
+                *w /= total;
+            }
+            let strategy = AccessStrategy::new(weights)?;
+            Ok((load, strategy))
+        }
+        LpOutcome::Infeasible | LpOutcome::Unbounded => Err(QuorumError::InvalidStrategy(
+            "load LP was infeasible or unbounded".into(),
+        )),
+    }
+}
+
+/// The load of a *fair* system by Proposition 3.9: `L(Q) = c(Q) / n`.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::InvalidParameters`] if the system is not fair (use
+/// [`optimal_load`] instead in that case).
+pub fn fair_load(quorums: &[ServerSet], universe_size: usize) -> Result<f64, QuorumError> {
+    if measures::fairness(quorums, universe_size).is_none() {
+        return Err(QuorumError::InvalidParameters(
+            "Proposition 3.9 requires an (s, d)-fair system".into(),
+        ));
+    }
+    Ok(measures::min_quorum_size(quorums) as f64 / universe_size as f64)
+}
+
+/// The load induced by a specific strategy (`L_w(Q)`), for comparing candidate
+/// strategies against the optimum.
+#[must_use]
+pub fn strategy_load(
+    quorums: &[ServerSet],
+    universe_size: usize,
+    strategy: &AccessStrategy,
+) -> f64 {
+    strategy.induced_system_load(quorums, universe_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_combinatorics::subsets::KSubsets;
+
+    fn k_of_n(n: usize, k: usize) -> Vec<ServerSet> {
+        KSubsets::new(n, k)
+            .map(|s| ServerSet::from_indices(n, s))
+            .collect()
+    }
+
+    #[test]
+    fn majority_load_is_majority_fraction() {
+        // Majority over n: load = ceil((n+1)/2)/n.
+        for n in [3usize, 5, 7] {
+            let k = n / 2 + 1;
+            let q = k_of_n(n, k);
+            let (load, strategy) = optimal_load(&q, n).unwrap();
+            let expected = k as f64 / n as f64;
+            assert!((load - expected).abs() < 1e-6, "n={n} load={load}");
+            // The returned strategy must achieve (close to) the optimal load.
+            let achieved = strategy_load(&q, n, &strategy);
+            assert!(achieved <= load + 1e-6);
+            // And it must agree with the fair-system closed form.
+            assert!((fair_load(&q, n).unwrap() - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singleton_quorum_forces_unit_load() {
+        // A system containing a singleton quorum {0} that every other quorum must
+        // intersect: the only quorums are supersets of {0}; load is 1 on server 0...
+        let q = vec![
+            ServerSet::from_indices(3, [0]),
+            ServerSet::from_indices(3, [0, 1]),
+            ServerSet::from_indices(3, [0, 2]),
+        ];
+        let (load, _) = optimal_load(&q, 3).unwrap();
+        assert!((load - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_versus_majority_loads() {
+        // The "star" system {{0,1},{0,2},{0,3}} has load 1 (server 0 in every quorum);
+        // the 3-majority has load 2/3 — the LP must see the difference.
+        let star = vec![
+            ServerSet::from_indices(4, [0, 1]),
+            ServerSet::from_indices(4, [0, 2]),
+            ServerSet::from_indices(4, [0, 3]),
+        ];
+        let (l_star, _) = optimal_load(&star, 4).unwrap();
+        assert!((l_star - 1.0).abs() < 1e-6);
+        let (l_maj, _) = optimal_load(&k_of_n(3, 2), 3).unwrap();
+        assert!((l_maj - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_like_load() {
+        // 2x2 grid, quorums = one row + one column (4 quorums of size 3 over 4
+        // elements): fair with s=3, so L = 3/4.
+        let q = vec![
+            ServerSet::from_indices(4, [0, 1, 2]), // row0 + col0
+            ServerSet::from_indices(4, [0, 1, 3]), // row0 + col1
+            ServerSet::from_indices(4, [2, 3, 0]), // row1 + col0
+            ServerSet::from_indices(4, [2, 3, 1]), // row1 + col1
+        ];
+        let (load, _) = optimal_load(&q, 4).unwrap();
+        assert!((load - 0.75).abs() < 1e-6);
+        assert!((fair_load(&q, 4).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_lower_bounds_respected() {
+        // NW98: L >= max(c/n, 1/c); check on 4-of-7 threshold.
+        let q = k_of_n(7, 4);
+        let (load, _) = optimal_load(&q, 7).unwrap();
+        assert!(load >= 4.0 / 7.0 - 1e-9);
+        assert!(load >= 1.0 / 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn fair_load_rejects_unfair_systems() {
+        let q = vec![
+            ServerSet::from_indices(3, [0, 1]),
+            ServerSet::from_indices(3, [0, 1, 2]),
+        ];
+        assert!(fair_load(&q, 3).is_err());
+        // The LP still works on unfair systems.
+        let (load, _) = optimal_load(&q, 3).unwrap();
+        assert!(load > 0.0 && load <= 1.0);
+    }
+
+    #[test]
+    fn empty_system_is_an_error() {
+        assert!(matches!(optimal_load(&[], 3), Err(QuorumError::EmptySystem)));
+    }
+
+    #[test]
+    fn optimal_strategy_beats_uniform_on_asymmetric_system() {
+        // System where uniform is suboptimal: quorums {0,1},{0,2},{1,2},{0,1},
+        // duplicated quorum skews uniform; LP should still reach 2/3.
+        let q = vec![
+            ServerSet::from_indices(3, [0, 1]),
+            ServerSet::from_indices(3, [0, 2]),
+            ServerSet::from_indices(3, [1, 2]),
+            ServerSet::from_indices(3, [0, 1]),
+        ];
+        let uniform = AccessStrategy::uniform(4);
+        let uniform_load = strategy_load(&q, 3, &uniform);
+        let (opt, _) = optimal_load(&q, 3).unwrap();
+        assert!(opt <= uniform_load + 1e-9);
+        assert!((opt - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,279 @@
+//! The quorum-system abstraction and explicit quorum systems.
+//!
+//! A quorum system (Definition 3.1) is a collection of pairwise-intersecting subsets
+//! of a universe of servers. Two representations coexist in this library:
+//!
+//! * [`ExplicitQuorumSystem`] materialises every quorum; all exact measures (load via
+//!   LP, minimal transversal, exact crash probability) operate on it.
+//! * The [`QuorumSystem`] trait is the *operational* interface — what a replicated
+//!   data protocol or an availability simulation needs: sample a quorum under the
+//!   system's access strategy, and find a live quorum given the set of responsive
+//!   servers. Large structured constructions (M-Path, boostFPP, deep RT) implement it
+//!   directly without enumerating their (exponentially many) quorums.
+
+use rand::RngCore;
+
+use crate::bitset::ServerSet;
+use crate::error::QuorumError;
+use crate::strategy::AccessStrategy;
+
+/// Operational interface to a quorum system over the universe `{0, ..., n-1}`.
+///
+/// Implementations must guarantee the quorum-system property: any two sets that
+/// [`QuorumSystem::sample_quorum`] can return, or that
+/// [`QuorumSystem::find_live_quorum`] can return, intersect.
+pub trait QuorumSystem {
+    /// The number of servers `n = |U|`.
+    fn universe_size(&self) -> usize;
+
+    /// A short human-readable name (e.g. `"M-Grid(n=49, b=3)"`).
+    fn name(&self) -> String;
+
+    /// Samples a quorum according to the system's built-in access strategy (the
+    /// load-optimal strategy where one is known).
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> ServerSet;
+
+    /// Returns a quorum consisting entirely of servers in `alive`, or `None` if every
+    /// quorum contains a non-responsive server (the system is unavailable under this
+    /// failure configuration).
+    fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet>;
+
+    /// True if some quorum survives within `alive`.
+    fn is_available(&self, alive: &ServerSet) -> bool {
+        self.find_live_quorum(alive).is_some()
+    }
+
+    /// The cardinality `c(Q)` of the smallest quorum.
+    fn min_quorum_size(&self) -> usize;
+}
+
+/// A quorum system given by an explicit list of quorums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplicitQuorumSystem {
+    universe_size: usize,
+    quorums: Vec<ServerSet>,
+    strategy: AccessStrategy,
+    name: String,
+}
+
+impl ExplicitQuorumSystem {
+    /// Builds an explicit quorum system over `universe_size` servers, validating the
+    /// quorum-system property (non-empty, within the universe, pairwise intersecting).
+    /// The access strategy defaults to uniform.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QuorumError`] describing the first violated property.
+    pub fn new(universe_size: usize, quorums: Vec<ServerSet>) -> Result<Self, QuorumError> {
+        if quorums.is_empty() {
+            return Err(QuorumError::EmptySystem);
+        }
+        for (i, q) in quorums.iter().enumerate() {
+            if q.is_empty() {
+                return Err(QuorumError::EmptyQuorum { index: i });
+            }
+            if q.capacity() != universe_size || q.iter().any(|u| u >= universe_size) {
+                return Err(QuorumError::UniverseMismatch {
+                    index: i,
+                    universe_size,
+                });
+            }
+        }
+        for i in 0..quorums.len() {
+            for j in (i + 1)..quorums.len() {
+                if quorums[i].is_disjoint_from(&quorums[j]) {
+                    return Err(QuorumError::NonIntersecting {
+                        first: i,
+                        second: j,
+                    });
+                }
+            }
+        }
+        let strategy = AccessStrategy::uniform(quorums.len());
+        Ok(ExplicitQuorumSystem {
+            universe_size,
+            quorums,
+            strategy,
+            name: "explicit".to_string(),
+        })
+    }
+
+    /// Builds the system from quorums given as index lists (convenience).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExplicitQuorumSystem::new`].
+    pub fn from_indices<I, J>(universe_size: usize, quorums: I) -> Result<Self, QuorumError>
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = usize>,
+    {
+        let sets: Vec<ServerSet> = quorums
+            .into_iter()
+            .map(|q| ServerSet::from_indices(universe_size, q))
+            .collect();
+        ExplicitQuorumSystem::new(universe_size, sets)
+    }
+
+    /// Renames the system (used by constructions that lower themselves to explicit
+    /// form while keeping a descriptive name).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Installs an access strategy (replacing the default uniform one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidStrategy`] if the strategy length does not match
+    /// the number of quorums.
+    pub fn set_strategy(&mut self, strategy: AccessStrategy) -> Result<(), QuorumError> {
+        if strategy.len() != self.quorums.len() {
+            return Err(QuorumError::InvalidStrategy(format!(
+                "strategy covers {} quorums but the system has {}",
+                strategy.len(),
+                self.quorums.len()
+            )));
+        }
+        self.strategy = strategy;
+        Ok(())
+    }
+
+    /// The quorums of the system.
+    #[must_use]
+    pub fn quorums(&self) -> &[ServerSet] {
+        &self.quorums
+    }
+
+    /// Number of quorums.
+    #[must_use]
+    pub fn num_quorums(&self) -> usize {
+        self.quorums.len()
+    }
+
+    /// The currently-installed access strategy.
+    #[must_use]
+    pub fn strategy(&self) -> &AccessStrategy {
+        &self.strategy
+    }
+}
+
+impl QuorumSystem for ExplicitQuorumSystem {
+    fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> ServerSet {
+        let idx = self.strategy.sample_index(rng);
+        self.quorums[idx].clone()
+    }
+
+    fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
+        self.quorums
+            .iter()
+            .find(|q| q.is_subset_of(alive))
+            .cloned()
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.quorums.iter().map(ServerSet::len).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn majority(n: usize) -> ExplicitQuorumSystem {
+        // All subsets of size floor(n/2)+1.
+        let k = n / 2 + 1;
+        let quorums = bqs_combinatorics::subsets::KSubsets::new(n, k)
+            .map(|s| ServerSet::from_indices(n, s))
+            .collect();
+        ExplicitQuorumSystem::new(n, quorums).unwrap()
+    }
+
+    #[test]
+    fn valid_system_constructs() {
+        let q = majority(5);
+        assert_eq!(q.universe_size(), 5);
+        assert_eq!(q.num_quorums(), 10); // C(5,3)
+        assert_eq!(q.min_quorum_size(), 3);
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        assert_eq!(
+            ExplicitQuorumSystem::new(3, vec![]).unwrap_err(),
+            QuorumError::EmptySystem
+        );
+    }
+
+    #[test]
+    fn empty_quorum_rejected() {
+        let err = ExplicitQuorumSystem::new(3, vec![ServerSet::new(3)]).unwrap_err();
+        assert_eq!(err, QuorumError::EmptyQuorum { index: 0 });
+    }
+
+    #[test]
+    fn non_intersecting_rejected() {
+        let err = ExplicitQuorumSystem::from_indices(4, [vec![0, 1], vec![2, 3]]).unwrap_err();
+        assert_eq!(err, QuorumError::NonIntersecting { first: 0, second: 1 });
+    }
+
+    #[test]
+    fn universe_mismatch_rejected() {
+        let bad = vec![ServerSet::from_indices(5, [0, 4])];
+        let err = ExplicitQuorumSystem::new(4, bad).unwrap_err();
+        assert!(matches!(err, QuorumError::UniverseMismatch { .. }));
+    }
+
+    #[test]
+    fn find_live_quorum_respects_failures() {
+        let q = majority(5);
+        let all = ServerSet::full(5);
+        assert!(q.is_available(&all));
+        // Two crashes leave a majority of 3 alive.
+        let alive = ServerSet::from_indices(5, [0, 2, 4]);
+        let live = q.find_live_quorum(&alive).unwrap();
+        assert!(live.is_subset_of(&alive));
+        // Three crashes kill every majority quorum.
+        let alive2 = ServerSet::from_indices(5, [1, 3]);
+        assert!(q.find_live_quorum(&alive2).is_none());
+        assert!(!q.is_available(&alive2));
+    }
+
+    #[test]
+    fn sampling_returns_actual_quorums() {
+        let q = majority(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = q.sample_quorum(&mut rng);
+            assert!(q.quorums().contains(&s));
+        }
+    }
+
+    #[test]
+    fn strategy_replacement_validated() {
+        let mut q = majority(3);
+        assert!(q.set_strategy(AccessStrategy::uniform(2)).is_err());
+        assert!(q.set_strategy(AccessStrategy::uniform(3)).is_ok());
+        let named = q.clone().with_name("majority-3");
+        assert_eq!(named.name(), "majority-3");
+    }
+
+    #[test]
+    fn from_indices_convenience() {
+        let q = ExplicitQuorumSystem::from_indices(3, [vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        assert_eq!(q.num_quorums(), 3);
+        assert_eq!(q.min_quorum_size(), 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Access strategies (Definition 3.8).
+//!
+//! An access strategy `w` is a probability distribution over the quorums of a system:
+//! `w(Q)` is the frequency with which quorum `Q` is chosen when the replicated
+//! service is accessed. The *load induced on a server* is the total probability of
+//! the quorums containing it, and the system load `L(Q)` is the induced maximum load
+//! under the best possible strategy.
+
+use rand::Rng;
+
+use crate::bitset::ServerSet;
+use crate::error::QuorumError;
+
+/// A probability distribution over the quorums of an explicit quorum system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessStrategy {
+    weights: Vec<f64>,
+}
+
+const WEIGHT_TOLERANCE: f64 = 1e-6;
+
+impl AccessStrategy {
+    /// Creates a strategy from explicit per-quorum weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidStrategy`] if the weights are empty, any weight
+    /// is negative, or they do not sum to 1 (within a small tolerance).
+    pub fn new(weights: Vec<f64>) -> Result<Self, QuorumError> {
+        if weights.is_empty() {
+            return Err(QuorumError::InvalidStrategy(
+                "strategy must assign weight to at least one quorum".into(),
+            ));
+        }
+        if weights.iter().any(|&w| w < -1e-12 || !w.is_finite()) {
+            return Err(QuorumError::InvalidStrategy(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > WEIGHT_TOLERANCE {
+            return Err(QuorumError::InvalidStrategy(format!(
+                "weights sum to {total}, expected 1"
+            )));
+        }
+        Ok(AccessStrategy { weights })
+    }
+
+    /// The uniform strategy over `m` quorums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn uniform(m: usize) -> Self {
+        assert!(m > 0, "cannot build a strategy over zero quorums");
+        AccessStrategy {
+            weights: vec![1.0 / m as f64; m],
+        }
+    }
+
+    /// Number of quorums the strategy ranges over.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns true if the strategy covers no quorums (never the case for valid
+    /// strategies; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The weight assigned to quorum `i`.
+    #[must_use]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// All weights, indexed like the quorum list they were built for.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Samples a quorum index according to the strategy.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            if x < acc {
+                return i;
+            }
+        }
+        self.weights.len() - 1
+    }
+
+    /// The load induced by this strategy on each server of the universe
+    /// (`l_w(u) = Σ_{Q ∋ u} w(Q)`, Definition 3.8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorums.len()` differs from the strategy length.
+    #[must_use]
+    pub fn induced_loads(&self, quorums: &[ServerSet], universe_size: usize) -> Vec<f64> {
+        assert_eq!(
+            quorums.len(),
+            self.weights.len(),
+            "strategy covers {} quorums but {} were given",
+            self.weights.len(),
+            quorums.len()
+        );
+        let mut loads = vec![0.0; universe_size];
+        for (q, &w) in quorums.iter().zip(&self.weights) {
+            for u in q.iter() {
+                loads[u] += w;
+            }
+        }
+        loads
+    }
+
+    /// The load induced on the busiest server, `L_w(Q) = max_u l_w(u)`.
+    #[must_use]
+    pub fn induced_system_load(&self, quorums: &[ServerSet], universe_size: usize) -> f64 {
+        self.induced_loads(quorums, universe_size)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn majority3() -> Vec<ServerSet> {
+        vec![
+            ServerSet::from_indices(3, [0, 1]),
+            ServerSet::from_indices(3, [0, 2]),
+            ServerSet::from_indices(3, [1, 2]),
+        ]
+    }
+
+    #[test]
+    fn uniform_strategy_weights() {
+        let s = AccessStrategy::uniform(4);
+        assert_eq!(s.len(), 4);
+        for i in 0..4 {
+            assert!((s.weight(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_strategies_rejected() {
+        assert!(AccessStrategy::new(vec![]).is_err());
+        assert!(AccessStrategy::new(vec![0.5, 0.6]).is_err());
+        assert!(AccessStrategy::new(vec![-0.1, 1.1]).is_err());
+        assert!(AccessStrategy::new(vec![f64::NAN, 1.0]).is_err());
+        assert!(AccessStrategy::new(vec![0.25, 0.75]).is_ok());
+    }
+
+    #[test]
+    fn induced_loads_majority() {
+        // Uniform strategy on the 3-majority system loads each server 2/3.
+        let s = AccessStrategy::uniform(3);
+        let loads = s.induced_loads(&majority3(), 3);
+        for l in loads {
+            assert!((l - 2.0 / 3.0).abs() < 1e-12);
+        }
+        assert!((s.induced_system_load(&majority3(), 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_strategy_loads() {
+        // All weight on the first quorum {0,1}: servers 0,1 have load 1, server 2 has 0.
+        let s = AccessStrategy::new(vec![1.0, 0.0, 0.0]).unwrap();
+        let loads = s.induced_loads(&majority3(), 3);
+        assert_eq!(loads, vec![1.0, 1.0, 0.0]);
+        assert_eq!(s.induced_system_load(&majority3(), 3), 1.0);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let s = AccessStrategy::new(vec![0.8, 0.2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 2];
+        for _ in 0..5000 {
+            counts[s.sample_index(&mut rng)] += 1;
+        }
+        let frac0 = counts[0] as f64 / 5000.0;
+        assert!((frac0 - 0.8).abs() < 0.05, "frac0={frac0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy covers")]
+    fn induced_loads_length_mismatch_panics() {
+        let s = AccessStrategy::uniform(2);
+        let _ = s.induced_loads(&majority3(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero quorums")]
+    fn uniform_zero_panics() {
+        let _ = AccessStrategy::uniform(0);
+    }
+}

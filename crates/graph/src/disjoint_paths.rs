@@ -1,0 +1,198 @@
+//! Extraction of explicit vertex-disjoint crossing paths from a max-flow solution.
+//!
+//! The max-flow value tells us *how many* disjoint crossings exist; M-Path quorum
+//! construction also needs the actual vertex sets, so that a quorum (a union of
+//! `√(2b+1)` LR paths and `√(2b+1)` TB paths) can be materialised and handed to the
+//! replicated-data protocol layer.
+
+use crate::grid::{Axis, TriangulatedGrid};
+use crate::maxflow::build_disjoint_path_network;
+
+/// Finds up to `want` vertex-disjoint crossing paths along `axis` using only `alive`
+/// vertices. Returns the extracted paths (each a vertex-index sequence from the
+/// source side to the sink side). Fewer than `want` paths are returned when the grid
+/// does not contain that many disjoint crossings.
+#[must_use]
+pub fn find_disjoint_paths(
+    grid: &TriangulatedGrid,
+    alive: &[bool],
+    axis: Axis,
+    want: usize,
+) -> Vec<Vec<usize>> {
+    let n = grid.num_vertices();
+    let (mut net, source, sink) = build_disjoint_path_network(grid, alive, axis);
+    let available = net.max_flow(source, sink) as usize;
+    let count = available.min(want);
+    if count == 0 {
+        return Vec::new();
+    }
+
+    // Walk the flow decomposition: from each saturated source edge, follow unit flow
+    // through the split graph until the sink.
+    let flow = net.flow_edges();
+    let mut used_flow: Vec<Vec<bool>> = flow
+        .iter()
+        .map(|edges| vec![false; edges.len()])
+        .collect();
+    let mut paths = Vec::new();
+
+    'outer: for (src_idx, &(first, _)) in flow[source].iter().enumerate() {
+        if paths.len() == count {
+            break;
+        }
+        if used_flow[source][src_idx] {
+            continue;
+        }
+        used_flow[source][src_idx] = true;
+        let mut path_vertices = Vec::new();
+        let mut node = first; // an `in` node (2v)
+        loop {
+            if node == sink {
+                break;
+            }
+            if node % 2 == 0 && node < 2 * n {
+                path_vertices.push(node / 2);
+            }
+            // Follow an unused flow edge out of this node.
+            let mut advanced = false;
+            for (i, &(to, _)) in flow[node].iter().enumerate() {
+                if !used_flow[node][i] {
+                    used_flow[node][i] = true;
+                    node = to;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                // Flow decomposition should never dead-end; skip defensively.
+                continue 'outer;
+            }
+        }
+        paths.push(path_vertices);
+    }
+    paths
+}
+
+/// Greedily selects `want` *straight* disjoint lines (rows for LR, columns for TB)
+/// whose vertices are all alive. This is the access pattern of the optimal-load
+/// strategy in Proposition 7.2; it is cheaper than max-flow but only succeeds when
+/// enough fully-alive straight lines exist.
+#[must_use]
+pub fn find_straight_disjoint_paths(
+    grid: &TriangulatedGrid,
+    alive: &[bool],
+    axis: Axis,
+    want: usize,
+) -> Vec<Vec<usize>> {
+    let mut paths = Vec::new();
+    for i in 0..grid.side() {
+        if paths.len() == want {
+            break;
+        }
+        let line = grid.straight_path(axis, i);
+        if line.iter().all(|&v| alive[v]) {
+            paths.push(line);
+        }
+    }
+    paths
+}
+
+/// Checks that the given paths are pairwise vertex-disjoint valid crossings of `axis`.
+#[must_use]
+pub fn are_disjoint_crossings(grid: &TriangulatedGrid, axis: Axis, paths: &[Vec<usize>]) -> bool {
+    let mut seen = vec![false; grid.num_vertices()];
+    for p in paths {
+        if !grid.is_crossing_path(axis, p) {
+            return false;
+        }
+        for &v in p {
+            if seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_requested_number_on_full_grid() {
+        let g = TriangulatedGrid::new(6);
+        let alive = vec![true; g.num_vertices()];
+        for want in [1usize, 2, 4, 6] {
+            let paths = find_disjoint_paths(&g, &alive, Axis::LeftRight, want);
+            assert_eq!(paths.len(), want);
+            assert!(are_disjoint_crossings(&g, Axis::LeftRight, &paths));
+        }
+    }
+
+    #[test]
+    fn respects_availability_limit() {
+        let g = TriangulatedGrid::new(4);
+        let mut alive = vec![true; g.num_vertices()];
+        // Kill two full rows: at most 2 disjoint LR crossings remain.
+        for c in 0..4 {
+            alive[g.index(1, c)] = false;
+            alive[g.index(3, c)] = false;
+        }
+        let paths = find_disjoint_paths(&g, &alive, Axis::LeftRight, 4);
+        assert_eq!(paths.len(), 2);
+        assert!(are_disjoint_crossings(&g, Axis::LeftRight, &paths));
+        for p in &paths {
+            assert!(p.iter().all(|&v| alive[v]));
+        }
+    }
+
+    #[test]
+    fn returns_empty_when_no_crossing_exists() {
+        let g = TriangulatedGrid::new(3);
+        let mut alive = vec![true; g.num_vertices()];
+        for r in 0..3 {
+            alive[g.index(r, 1)] = false; // middle column dead severs LR
+        }
+        assert!(find_disjoint_paths(&g, &alive, Axis::LeftRight, 2).is_empty());
+    }
+
+    #[test]
+    fn straight_paths_selected_when_alive() {
+        let g = TriangulatedGrid::new(5);
+        let mut alive = vec![true; g.num_vertices()];
+        alive[g.index(2, 3)] = false; // row 2 unusable as a straight path
+        let paths = find_straight_disjoint_paths(&g, &alive, Axis::LeftRight, 3);
+        assert_eq!(paths.len(), 3);
+        assert!(are_disjoint_crossings(&g, Axis::LeftRight, &paths));
+        assert!(paths.iter().all(|p| !p.contains(&g.index(2, 3))));
+    }
+
+    #[test]
+    fn straight_paths_fall_short_when_not_enough_lines() {
+        let g = TriangulatedGrid::new(3);
+        let mut alive = vec![true; g.num_vertices()];
+        alive[g.index(0, 0)] = false;
+        alive[g.index(1, 1)] = false;
+        // Only row 2 remains fully alive.
+        let paths = find_straight_disjoint_paths(&g, &alive, Axis::LeftRight, 3);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn tb_paths_extracted_and_disjoint() {
+        let g = TriangulatedGrid::new(5);
+        let alive = vec![true; g.num_vertices()];
+        let paths = find_disjoint_paths(&g, &alive, Axis::TopBottom, 3);
+        assert_eq!(paths.len(), 3);
+        assert!(are_disjoint_crossings(&g, Axis::TopBottom, &paths));
+    }
+
+    #[test]
+    fn disjointness_checker_detects_overlap() {
+        let g = TriangulatedGrid::new(3);
+        let p0 = g.straight_path(Axis::LeftRight, 0);
+        let overlapping = vec![p0.clone(), p0];
+        assert!(!are_disjoint_crossings(&g, Axis::LeftRight, &overlapping));
+    }
+}

@@ -1,0 +1,37 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The *load* of a quorum system (Definition 3.8 of Malkhi, Reiter & Wool) is the
+//! value of a linear program: choose an access strategy `w` (a probability
+//! distribution over quorums) minimising the maximum induced load over servers.
+//! For fair systems Proposition 3.9 gives a closed form, but for arbitrary explicit
+//! quorum systems an LP solver is required to compute `L(Q)` exactly. This crate
+//! provides a dense two-phase simplex implementation sufficient for that purpose
+//! (hundreds of variables/constraints), with no external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use bqs_lp::{Constraint, LinearProgram, LpOutcome, Relation};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x, y >= 0
+//! let lp = LinearProgram {
+//!     num_vars: 2,
+//!     maximize: true,
+//!     objective: vec![3.0, 2.0],
+//!     constraints: vec![
+//!         Constraint::new(vec![1.0, 1.0], Relation::Le, 4.0),
+//!         Constraint::new(vec![1.0, 3.0], Relation::Le, 6.0),
+//!     ],
+//! };
+//! match lp.solve() {
+//!     LpOutcome::Optimal(sol) => assert!((sol.objective_value - 12.0).abs() < 1e-9),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod simplex;
+
+pub use simplex::{Constraint, LinearProgram, LpOutcome, Relation, Solution};

@@ -1,0 +1,130 @@
+//! The simulated server cluster.
+//!
+//! A [`Cluster`] owns the replicas created from a [`FaultPlan`](crate::fault::FaultPlan)
+//! and routes protocol messages to them, tracking per-server access counts so the
+//! empirical load of an access strategy can be measured and compared with the
+//! analytic load `L(Q)` of the quorum system in use.
+
+use rand::Rng;
+
+use bqs_core::bitset::ServerSet;
+
+use crate::fault::FaultPlan;
+use crate::server::{Entry, Replica};
+
+/// A set of simulated replicas addressed by server index.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    replicas: Vec<Replica>,
+}
+
+impl Cluster {
+    /// Instantiates the cluster described by a fault plan.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Cluster {
+            replicas: plan.build_replicas(),
+        }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when the cluster has no servers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Read-only access to a replica (for assertions in tests and reports).
+    #[must_use]
+    pub fn replica(&self, i: usize) -> &Replica {
+        &self.replicas[i]
+    }
+
+    /// The set of servers a client's failure detector would consider responsive
+    /// (everything except crashed and silent-Byzantine servers).
+    #[must_use]
+    pub fn responsive_set(&self) -> ServerSet {
+        ServerSet::from_indices(
+            self.replicas.len(),
+            self.replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_responsive())
+                .map(|(i, _)| i),
+        )
+    }
+
+    /// Delivers a write to every server in `quorum`.
+    pub fn deliver_write(&mut self, quorum: &ServerSet, entry: Entry) {
+        for i in quorum.iter() {
+            self.replicas[i].deliver_write(entry);
+        }
+    }
+
+    /// Delivers a read to every server in `quorum`, collecting the replies.
+    pub fn deliver_read<R: Rng + ?Sized>(
+        &mut self,
+        quorum: &ServerSet,
+        rng: &mut R,
+    ) -> Vec<(usize, Option<Entry>)> {
+        quorum
+            .iter()
+            .map(|i| (i, self.replicas[i].deliver_read(rng)))
+            .collect()
+    }
+
+    /// Per-server access counts accumulated so far.
+    #[must_use]
+    pub fn access_counts(&self) -> Vec<u64> {
+        self.replicas.iter().map(Replica::accesses).collect()
+    }
+
+    /// The empirical load: each server's access count divided by the number of
+    /// operations, with the maximum corresponding to `L_w(Q)` of Definition 3.8.
+    #[must_use]
+    pub fn empirical_loads(&self, operations: u64) -> Vec<f64> {
+        self.replicas
+            .iter()
+            .map(|r| r.accesses() as f64 / operations.max(1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ByzantineStrategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn responsive_set_excludes_crashed_and_silent() {
+        let plan = FaultPlan::none(5)
+            .with_crashed(1)
+            .with_byzantine(3, ByzantineStrategy::Silent)
+            .with_byzantine(4, ByzantineStrategy::Equivocate);
+        let cluster = Cluster::new(plan);
+        assert_eq!(cluster.responsive_set().to_vec(), vec![0, 2, 4]);
+        assert_eq!(cluster.len(), 5);
+        assert!(!cluster.is_empty());
+    }
+
+    #[test]
+    fn writes_and_reads_are_routed_and_counted() {
+        let mut cluster = Cluster::new(FaultPlan::none(4));
+        let mut rng = StdRng::seed_from_u64(0);
+        let quorum = ServerSet::from_indices(4, [0, 2]);
+        cluster.deliver_write(&quorum, Entry { timestamp: 1, value: 9 });
+        let replies = cluster.deliver_read(&quorum, &mut rng);
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|(_, r)| r.map(|e| e.value) == Some(9)));
+        assert_eq!(cluster.access_counts(), vec![2, 0, 2, 0]);
+        let loads = cluster.empirical_loads(2);
+        assert_eq!(loads, vec![1.0, 0.0, 1.0, 0.0]);
+    }
+}

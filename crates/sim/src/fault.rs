@@ -1,0 +1,195 @@
+//! Fault-injection plans.
+//!
+//! A [`FaultPlan`] assigns a behaviour to every server before a simulation run: which
+//! servers are Byzantine (and with what attack strategy), and which have crashed.
+//! The hybrid fault model of the paper — up to `b` Byzantine failures *plus* possibly
+//! many more crashes — maps directly onto a plan with `byzantine.len() <= b` and an
+//! arbitrary crash set.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::server::{Behavior, ByzantineStrategy, Replica};
+
+/// A complete assignment of behaviours to the `n` servers of a simulation.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    n: usize,
+    behaviors: Vec<Behavior>,
+}
+
+impl FaultPlan {
+    /// A plan with no failures.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        FaultPlan {
+            n,
+            behaviors: vec![Behavior::Correct; n],
+        }
+    }
+
+    /// The number of servers covered by the plan.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    /// Marks a specific server Byzantine with the given strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server >= n`.
+    #[must_use]
+    pub fn with_byzantine(mut self, server: usize, strategy: ByzantineStrategy) -> Self {
+        self.behaviors[server] = Behavior::Byzantine(strategy);
+        self
+    }
+
+    /// Marks a specific server crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server >= n`.
+    #[must_use]
+    pub fn with_crashed(mut self, server: usize) -> Self {
+        self.behaviors[server] = Behavior::Crashed;
+        self
+    }
+
+    /// A plan with `byzantine_count` uniformly chosen Byzantine servers (all using
+    /// `strategy`) and `crash_count` additional uniformly chosen crashed servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byzantine_count + crash_count > n`.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(
+        n: usize,
+        byzantine_count: usize,
+        crash_count: usize,
+        strategy: ByzantineStrategy,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            byzantine_count + crash_count <= n,
+            "cannot fail more servers than exist"
+        );
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        let mut plan = FaultPlan::none(n);
+        for &s in indices.iter().take(byzantine_count) {
+            plan.behaviors[s] = Behavior::Byzantine(strategy);
+        }
+        for &s in indices
+            .iter()
+            .skip(byzantine_count)
+            .take(crash_count)
+        {
+            plan.behaviors[s] = Behavior::Crashed;
+        }
+        plan
+    }
+
+    /// A plan where each server independently crashes with probability `p`
+    /// (the failure model of Definition 3.10), with no Byzantine servers.
+    #[must_use]
+    pub fn independent_crashes<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Self {
+        let mut plan = FaultPlan::none(n);
+        for b in &mut plan.behaviors {
+            if rng.gen::<f64>() < p {
+                *b = Behavior::Crashed;
+            }
+        }
+        plan
+    }
+
+    /// The behaviour assigned to `server`.
+    #[must_use]
+    pub fn behavior(&self, server: usize) -> Behavior {
+        self.behaviors[server]
+    }
+
+    /// Number of Byzantine servers in the plan.
+    #[must_use]
+    pub fn byzantine_count(&self) -> usize {
+        self.behaviors
+            .iter()
+            .filter(|b| matches!(b, Behavior::Byzantine(_)))
+            .count()
+    }
+
+    /// Number of crashed servers in the plan.
+    #[must_use]
+    pub fn crash_count(&self) -> usize {
+        self.behaviors
+            .iter()
+            .filter(|b| matches!(b, Behavior::Crashed))
+            .count()
+    }
+
+    /// Instantiates the replicas described by the plan.
+    #[must_use]
+    pub fn build_replicas(&self) -> Vec<Replica> {
+        self.behaviors.iter().map(|&b| Replica::new(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_plan() {
+        let p = FaultPlan::none(5);
+        assert_eq!(p.universe_size(), 5);
+        assert_eq!(p.byzantine_count(), 0);
+        assert_eq!(p.crash_count(), 0);
+        assert!(p.build_replicas().iter().all(|r| r.behavior() == Behavior::Correct));
+    }
+
+    #[test]
+    fn builder_style_assignment() {
+        let p = FaultPlan::none(6)
+            .with_byzantine(1, ByzantineStrategy::Equivocate)
+            .with_byzantine(3, ByzantineStrategy::StaleReplay)
+            .with_crashed(5);
+        assert_eq!(p.byzantine_count(), 2);
+        assert_eq!(p.crash_count(), 1);
+        assert!(matches!(p.behavior(1), Behavior::Byzantine(_)));
+        assert_eq!(p.behavior(0), Behavior::Correct);
+    }
+
+    #[test]
+    fn random_plan_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = FaultPlan::random(
+            20,
+            3,
+            5,
+            ByzantineStrategy::FabricateHighTimestamp { value: 0 },
+            &mut rng,
+        );
+        assert_eq!(p.byzantine_count(), 3);
+        assert_eq!(p.crash_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail more servers")]
+    fn random_plan_rejects_too_many_failures() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = FaultPlan::random(4, 3, 2, ByzantineStrategy::Equivocate, &mut rng);
+    }
+
+    #[test]
+    fn independent_crashes_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut total = 0;
+        for _ in 0..50 {
+            total += FaultPlan::independent_crashes(100, 0.2, &mut rng).crash_count();
+        }
+        let mean = total as f64 / 50.0;
+        assert!((mean - 20.0).abs() < 3.0, "mean crashes = {mean}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulation of replicated data over b-masking quorum systems.
+//!
+//! The constructions and measures in the rest of this workspace answer *how well* a
+//! b-masking quorum system performs; this crate demonstrates *that it works*: it
+//! implements the replicated read/write register of [MR98a] — the protocol whose
+//! consistency requirement (`|Q₁ ∩ Q₂| ≥ 2b + 1`, Definition 3.5 of the paper)
+//! motivates masking quorum systems — and runs it against clusters with injected
+//! Byzantine and crash failures.
+//!
+//! * [`server`] — replicas with correct, crashed and Byzantine behaviours (value
+//!   fabrication with inflated timestamps, stale replay, equivocation, silence);
+//! * [`fault`] — fault plans for the paper's hybrid failure model (`≤ b` Byzantine
+//!   plus arbitrarily many crashes);
+//! * [`cluster`] — message routing and per-server access accounting;
+//! * [`client`] — the masking read/write protocol over any
+//!   [`bqs_core::quorum::QuorumSystem`];
+//! * [`runner`] — workload driver with safety checking and empirical-load
+//!   measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use bqs_constructions::threshold::ThresholdSystem;
+//! use bqs_sim::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A b = 1 masking threshold over 5 servers, with one fabricating Byzantine server.
+//! let system = ThresholdSystem::minimal_masking(1).unwrap();
+//! let plan = FaultPlan::none(5)
+//!     .with_byzantine(2, ByzantineStrategy::FabricateHighTimestamp { value: 666 });
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let report = run_workload(system, 1, plan, WorkloadConfig::default(), &mut rng);
+//! assert!(report.is_safe());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod fault;
+pub mod multi_writer;
+pub mod runner;
+pub mod server;
+
+pub use client::{Client, ProtocolError, ReadOutcome, WriteOutcome};
+pub use cluster::Cluster;
+pub use fault::FaultPlan;
+pub use multi_writer::{run_multi_writer_workload, MultiWriterClient, MultiWriterReport};
+pub use runner::{run_workload, SimReport, WorkloadConfig};
+pub use server::{Behavior, ByzantineStrategy, Entry, Replica, Timestamp, Value};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::client::{Client, ProtocolError, ReadOutcome, WriteOutcome};
+    pub use crate::cluster::Cluster;
+    pub use crate::fault::FaultPlan;
+    pub use crate::multi_writer::{
+        run_multi_writer_workload, MultiWriterClient, MultiWriterReport,
+    };
+    pub use crate::runner::{run_workload, SimReport, WorkloadConfig};
+    pub use crate::server::{Behavior, ByzantineStrategy, Entry, Replica, Timestamp, Value};
+}

@@ -1,0 +1,222 @@
+//! Simulated replica servers.
+//!
+//! Each server stores the latest timestamped value it has accepted and follows one
+//! of three behaviours: correct, crashed (never replies), or Byzantine (replies with
+//! adversarially chosen data). The Byzantine strategies implemented here are the
+//! standard attacks against replicated read/write registers — fabricating a value
+//! with an inflated timestamp, replaying a stale value, and equivocating — exactly
+//! the behaviours that the `2b+1` intersection of a b-masking quorum system is
+//! designed to mask ([MR98a], Definition 3.5 of the paper).
+
+use rand::Rng;
+
+/// Logical timestamps attached to writes.
+pub type Timestamp = u64;
+
+/// The values stored in the replicated register.
+pub type Value = u64;
+
+/// A timestamped value as stored and reported by servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Entry {
+    /// The write's logical timestamp.
+    pub timestamp: Timestamp,
+    /// The written value.
+    pub value: Value,
+}
+
+/// How a Byzantine server misbehaves when read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineStrategy {
+    /// Report a fabricated value with a timestamp higher than anything written.
+    FabricateHighTimestamp {
+        /// The fabricated value to report.
+        value: Value,
+    },
+    /// Report the oldest value it ever saw (stale replay), or nothing if none.
+    StaleReplay,
+    /// Report a uniformly random value and timestamp on every read (equivocation).
+    Equivocate,
+    /// Stay silent (indistinguishable from a crash to the client).
+    Silent,
+}
+
+/// A server's failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Follows the protocol.
+    Correct,
+    /// Crashed: never responds.
+    Crashed,
+    /// Byzantine: responds according to the given strategy.
+    Byzantine(ByzantineStrategy),
+}
+
+/// A simulated replica.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    behavior: Behavior,
+    /// Latest accepted entry.
+    current: Option<Entry>,
+    /// First entry ever accepted (used by the stale-replay attack).
+    first: Option<Entry>,
+    /// Number of protocol messages this replica has received (for load accounting).
+    accesses: u64,
+}
+
+impl Replica {
+    /// Creates a replica with the given behaviour and empty state.
+    #[must_use]
+    pub fn new(behavior: Behavior) -> Self {
+        Replica {
+            behavior,
+            current: None,
+            first: None,
+            accesses: 0,
+        }
+    }
+
+    /// The replica's behaviour.
+    #[must_use]
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Number of read/write messages the replica has received.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The replica's current stored entry (what a correct replica would report).
+    #[must_use]
+    pub fn stored(&self) -> Option<Entry> {
+        self.current
+    }
+
+    /// Delivers a write message. Correct servers accept the entry if its timestamp is
+    /// newer than what they hold; crashed servers ignore it; Byzantine servers accept
+    /// it too (they may lie later, but remembering the truth lets `StaleReplay` work).
+    pub fn deliver_write(&mut self, entry: Entry) {
+        self.accesses += 1;
+        match self.behavior {
+            Behavior::Crashed => {}
+            Behavior::Correct | Behavior::Byzantine(_) => {
+                if self.first.is_none() {
+                    self.first = Some(entry);
+                }
+                if self.current.map_or(true, |c| entry.timestamp > c.timestamp) {
+                    self.current = Some(entry);
+                }
+            }
+        }
+    }
+
+    /// Delivers a read message and returns the reply, if any.
+    pub fn deliver_read<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Entry> {
+        self.accesses += 1;
+        match self.behavior {
+            Behavior::Correct => self.current,
+            Behavior::Crashed => None,
+            Behavior::Byzantine(strategy) => match strategy {
+                ByzantineStrategy::FabricateHighTimestamp { value } => Some(Entry {
+                    timestamp: Timestamp::MAX,
+                    value,
+                }),
+                ByzantineStrategy::StaleReplay => self.first,
+                ByzantineStrategy::Equivocate => Some(Entry {
+                    timestamp: rng.gen(),
+                    value: rng.gen(),
+                }),
+                ByzantineStrategy::Silent => None,
+            },
+        }
+    }
+
+    /// Whether the server responds to messages at all (crashed and silent-Byzantine
+    /// servers do not). The client's failure detector uses this to build its view of
+    /// the responsive set.
+    #[must_use]
+    pub fn is_responsive(&self) -> bool {
+        !matches!(
+            self.behavior,
+            Behavior::Crashed | Behavior::Byzantine(ByzantineStrategy::Silent)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn correct_replica_stores_and_reports() {
+        let mut r = Replica::new(Behavior::Correct);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(r.deliver_read(&mut rng), None);
+        r.deliver_write(Entry { timestamp: 1, value: 10 });
+        r.deliver_write(Entry { timestamp: 3, value: 30 });
+        // An older write must not overwrite a newer one.
+        r.deliver_write(Entry { timestamp: 2, value: 20 });
+        assert_eq!(
+            r.deliver_read(&mut rng),
+            Some(Entry { timestamp: 3, value: 30 })
+        );
+        assert_eq!(r.accesses(), 5);
+    }
+
+    #[test]
+    fn crashed_replica_never_replies() {
+        let mut r = Replica::new(Behavior::Crashed);
+        let mut rng = StdRng::seed_from_u64(0);
+        r.deliver_write(Entry { timestamp: 1, value: 10 });
+        assert_eq!(r.deliver_read(&mut rng), None);
+        assert!(!r.is_responsive());
+        assert_eq!(r.stored(), None);
+    }
+
+    #[test]
+    fn fabricating_replica_reports_max_timestamp() {
+        let mut r = Replica::new(Behavior::Byzantine(
+            ByzantineStrategy::FabricateHighTimestamp { value: 666 },
+        ));
+        let mut rng = StdRng::seed_from_u64(0);
+        r.deliver_write(Entry { timestamp: 5, value: 50 });
+        let reply = r.deliver_read(&mut rng).unwrap();
+        assert_eq!(reply.value, 666);
+        assert_eq!(reply.timestamp, Timestamp::MAX);
+        assert!(r.is_responsive());
+    }
+
+    #[test]
+    fn stale_replay_reports_first_write() {
+        let mut r = Replica::new(Behavior::Byzantine(ByzantineStrategy::StaleReplay));
+        let mut rng = StdRng::seed_from_u64(0);
+        r.deliver_write(Entry { timestamp: 1, value: 11 });
+        r.deliver_write(Entry { timestamp: 9, value: 99 });
+        assert_eq!(
+            r.deliver_read(&mut rng),
+            Some(Entry { timestamp: 1, value: 11 })
+        );
+    }
+
+    #[test]
+    fn equivocating_replica_changes_answers() {
+        let mut r = Replica::new(Behavior::Byzantine(ByzantineStrategy::Equivocate));
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = r.deliver_read(&mut rng);
+        let b = r.deliver_read(&mut rng);
+        assert!(a.is_some() && b.is_some());
+        assert_ne!(a, b, "equivocation should vary (with overwhelming probability)");
+    }
+
+    #[test]
+    fn silent_byzantine_is_unresponsive() {
+        let mut r = Replica::new(Behavior::Byzantine(ByzantineStrategy::Silent));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(r.deliver_read(&mut rng), None);
+        assert!(!r.is_responsive());
+    }
+}

@@ -1,0 +1,62 @@
+//! # byzantine-quorums
+//!
+//! A from-scratch Rust implementation of *The Load and Availability of Byzantine
+//! Quorum Systems* (Dahlia Malkhi, Michael K. Reiter, Avishai Wool — PODC 1997 /
+//! SIAM Journal on Computing): b-masking quorum system constructions, their load and
+//! availability analysis, the quorum-composition ("boosting") machinery, and a
+//! replicated-data protocol simulator that exercises them under Byzantine and crash
+//! faults.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `bqs-core` | quorum systems, measures (`c`, `IS`, `MT`, load, `F_p`), masking, composition, lower bounds |
+//! | [`constructions`] | `bqs-constructions` | Threshold, Grid, M-Grid, RT(k, ℓ), FPP, boostFPP, M-Path and regular baselines |
+//! | [`analysis`] | `bqs-analysis` | Table 2, the Section 8 scenario, load/availability sweeps, ablations |
+//! | [`sim`] | `bqs-sim` | the [MR98a] masking read/write register with fault injection |
+//! | [`combinatorics`] | `bqs-combinatorics` | binomials, finite fields, projective planes |
+//! | [`lp`] | `bqs-lp` | the simplex solver behind exact load computation |
+//! | [`graph`] | `bqs-graph` | triangulated grids, max-flow, percolation (M-Path substrate) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use byzantine_quorums::constructions::prelude::*;
+//! use byzantine_quorums::core::prelude::*;
+//!
+//! // An M-Grid over 25 servers masking 2 Byzantine failures (Section 5.1).
+//! let system = MGridSystem::new(5, 2)?;
+//! assert_eq!(system.masking_b(), 2);
+//!
+//! // Verify the b-masking property exactly on the explicit quorum list.
+//! let explicit = system.to_explicit(100_000)?;
+//! assert!(is_b_masking(explicit.quorums(), 25, 2));
+//!
+//! // Its load is optimal to within a small constant (√2 asymptotically, Prop. 5.2).
+//! let (load, _strategy) = optimal_load(explicit.quorums(), 25)?;
+//! assert!(load <= 1.5 * load_lower_bound_universal(25, 2) + 1e-9);
+//! # Ok::<(), byzantine_quorums::core::QuorumError>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `bqs-bench` crate for the harnesses that regenerate every table and figure of the
+//! paper (documented in `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bqs_analysis as analysis;
+pub use bqs_combinatorics as combinatorics;
+pub use bqs_constructions as constructions;
+pub use bqs_core as core;
+pub use bqs_graph as graph;
+pub use bqs_lp as lp;
+pub use bqs_sim as sim;
+
+/// One-stop import of the most frequently used items from every layer.
+pub mod prelude {
+    pub use bqs_constructions::prelude::*;
+    pub use bqs_core::prelude::*;
+    pub use bqs_sim::prelude::*;
+}

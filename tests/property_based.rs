@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) on the core invariants of the library:
+//! Theorem 4.7 (composition), Lemma 3.6 / Corollary 3.7 (masking), Theorem 4.1
+//! (load bound), the binomial lemmas of Appendix A, and the bitset algebra that
+//! everything else rests on.
+
+use proptest::prelude::*;
+
+use byzantine_quorums::combinatorics::binomial::{
+    binomial, binomial_tail, lemma_a1_holds, lemma_a2_bound,
+};
+use byzantine_quorums::core::prelude::*;
+use byzantine_quorums::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ServerSet algebra: |A ∩ B| + |A ∪ B| = |A| + |B|, difference/complement laws.
+    #[test]
+    fn bitset_inclusion_exclusion(
+        a in proptest::collection::btree_set(0usize..120, 0..40),
+        b in proptest::collection::btree_set(0usize..120, 0..40),
+    ) {
+        let sa = ServerSet::from_indices(120, a.iter().copied());
+        let sb = ServerSet::from_indices(120, b.iter().copied());
+        prop_assert_eq!(
+            sa.intersection_size(&sb) + sa.union(&sb).len(),
+            sa.len() + sb.len()
+        );
+        prop_assert_eq!(sa.difference(&sb).len(), sa.len() - sa.intersection_size(&sb));
+        prop_assert_eq!(sa.complement().len(), 120 - sa.len());
+        prop_assert!(sa.intersection(&sb).is_subset_of(&sa));
+        prop_assert!(sa.is_subset_of(&sa.union(&sb)));
+    }
+
+    /// Pascal's rule and symmetry for binomial coefficients.
+    #[test]
+    fn binomial_identities(n in 1u64..50, k in 0u64..50) {
+        if k <= n {
+            prop_assert_eq!(binomial(n, k), binomial(n, n - k));
+        } else {
+            prop_assert_eq!(binomial(n, k), 0);
+        }
+        if k >= 1 && k <= n {
+            prop_assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+        }
+    }
+
+    /// Lemma A.1 and Lemma A.2 of the paper hold for all small parameters.
+    #[test]
+    fn appendix_a_lemmas(k in 1u64..40, d in 0u64..40, i in 0u64..40, p in 0.0f64..1.0) {
+        prop_assert!(lemma_a1_holds(k, d, i));
+        if d <= k {
+            let tail = binomial_tail(k, d, p);
+            prop_assert!(tail <= lemma_a2_bound(k, d, p) + 1e-9);
+        }
+    }
+
+    /// The ℓ-of-k threshold system: masking level from Corollary 3.7 matches the
+    /// closed form min{(2ℓ-k-1)/2, k-ℓ}.
+    #[test]
+    fn threshold_masking_level_closed_form(k in 3usize..9, excess in 1usize..4) {
+        let l = k / 2 + excess;
+        prop_assume!(l < k && 2 * l > k);
+        let sys = ThresholdSystem::new(k, l).unwrap();
+        let explicit = sys.to_explicit(100_000).unwrap();
+        let expected = ((2 * l - k - 1) / 2).min(k - l);
+        prop_assert_eq!(masking_level(explicit.quorums(), k), Some(expected));
+        prop_assert_eq!(sys.masking_b(), expected);
+    }
+
+    /// Theorem 4.7: composing two threshold systems multiplies c, IS, MT and the load.
+    #[test]
+    fn composition_theorem_on_thresholds(
+        k1 in 2usize..5, e1 in 1usize..3,
+        k2 in 2usize..5, e2 in 1usize..3,
+    ) {
+        let l1 = (k1 / 2 + e1).min(k1);
+        let l2 = (k2 / 2 + e2).min(k2);
+        prop_assume!(l1 < k1 || k1 == l1); // allow l == k (single quorum = whole set)
+        prop_assume!(2 * l1 > k1 && 2 * l2 > k2);
+        prop_assume!(l1 <= k1 && l2 <= k2);
+        let s = ThresholdSystem::new(k1, l1).unwrap().to_explicit(10_000).unwrap();
+        let r = ThresholdSystem::new(k2, l2).unwrap().to_explicit(10_000).unwrap();
+        prop_assume!(s.num_quorums().pow(l1 as u32) <= 20_000);
+        let composed = compose_explicit(&s, &r, 200_000);
+        prop_assume!(composed.is_ok());
+        let composed = composed.unwrap();
+        let n = k1 * k2;
+        prop_assert_eq!(composed.universe_size(), n);
+        prop_assert_eq!(min_quorum_size(composed.quorums()), l1 * l2);
+        prop_assert_eq!(
+            min_intersection_size(composed.quorums()),
+            (2 * l1 - k1) * (2 * l2 - k2)
+        );
+        prop_assert_eq!(
+            min_transversal_size(composed.quorums(), n),
+            (k1 - l1 + 1) * (k2 - l2 + 1)
+        );
+        let (load, _) = optimal_load(composed.quorums(), n).unwrap();
+        let expected = (l1 as f64 / k1 as f64) * (l2 as f64 / k2 as f64);
+        prop_assert!((load - expected).abs() < 1e-5);
+    }
+
+    /// Theorem 4.1 and Corollary 4.2: the LP load of any explicit b-masking system
+    /// built from random quorums respects the lower bounds.
+    #[test]
+    fn load_lower_bound_on_random_masking_systems(seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random threshold parameters guarantee a valid masking system.
+        let b = (seed % 3) as usize;
+        let sys = ThresholdSystem::minimal_masking(b).unwrap();
+        let explicit = sys.to_explicit(100_000).unwrap();
+        let n = explicit.universe_size();
+        let (load, _) = optimal_load(explicit.quorums(), n).unwrap();
+        prop_assert!(load + 1e-9 >= byzantine_quorums::core::bounds::load_lower_bound_universal(n, b));
+        // Sampling never returns a set smaller than c(Q).
+        let q = sys.sample_quorum(&mut rng);
+        prop_assert!(q.len() >= sys.min_quorum_size());
+    }
+
+    /// The masking read rule: a value written to at least 2b+1 servers of the read
+    /// quorum always survives masking, and a value reported by at most b servers
+    /// never does (the vote-counting core of Definition 3.5).
+    #[test]
+    fn mask_votes_properties(b in 0usize..4, honest in 1usize..12, byz in 0usize..4) {
+        prop_assume!(honest >= 2 * b + 1);
+        prop_assume!(byz <= b);
+        let mut votes: Vec<(usize, u64)> = Vec::new();
+        for i in 0..honest {
+            votes.push((i, 7)); // honest servers all report the written value 7
+        }
+        for j in 0..byz {
+            votes.push((honest + j, 1_000_000 + j as u64)); // fabricated values
+        }
+        let safe = mask_votes(&votes, b);
+        prop_assert!(safe.contains(&7));
+        prop_assert!(safe.iter().all(|&v| v == 7));
+    }
+
+    /// Crash-probability bounds of Section 4 are consistent: Prop 4.3 ≥ Prop 4.4
+    /// whenever MT ≤ c − 2b, and both lie in [0, 1].
+    #[test]
+    fn crash_bounds_consistency(p in 0.0f64..1.0, b in 0usize..5, extra in 0usize..10) {
+        use byzantine_quorums::core::bounds::*;
+        let c = 2 * b + 1 + extra; // minimal quorum at least 2b+1
+        let mt = (c - 2 * b).min(extra + 1);
+        let b43 = crash_probability_lower_bound_resilience(p, mt);
+        let b44 = crash_probability_lower_bound_masking(p, c, b);
+        prop_assert!((0.0..=1.0).contains(&b43));
+        prop_assert!((0.0..=1.0).contains(&b44));
+        if mt <= c - 2 * b {
+            prop_assert!(b43 + 1e-12 >= b44);
+        }
+    }
+}
+
+/// Non-proptest regression: a composed system's crash probability is the composition
+/// of the component crash probabilities (Theorem 4.7's availability clause) for a
+/// non-threshold composition as well.
+#[test]
+fn composed_crash_probability_for_grid_over_threshold() {
+    use byzantine_quorums::core::availability::exact_crash_probability;
+    let outer = RegularGridSystem::new(2).unwrap().to_explicit().unwrap();
+    let inner = ThresholdSystem::new(3, 2).unwrap().to_explicit(100).unwrap();
+    let composed = compose_explicit(&outer, &inner, 1_000_000).unwrap();
+    for &p in &[0.1, 0.3, 0.5, 0.7] {
+        let r = exact_crash_probability(&inner, p).unwrap();
+        let s_of_r = exact_crash_probability(&outer, r).unwrap();
+        let direct = exact_crash_probability(&composed, p).unwrap();
+        assert!((s_of_r - direct).abs() < 1e-9, "p={p}: {s_of_r} vs {direct}");
+    }
+}
