@@ -140,7 +140,10 @@ mod tests {
             );
         }
         // On the threshold instance greedy is exactly tight (any k-l+1 servers work).
-        let t = rows.iter().find(|r| r.system.starts_with("Threshold")).unwrap();
+        let t = rows
+            .iter()
+            .find(|r| r.system.starts_with("Threshold"))
+            .unwrap();
         assert_eq!(t.greedy, t.exact);
     }
 

@@ -9,14 +9,16 @@
 //!   threshold at `p_c`.
 //! * [`exact_vs_monte_carlo`] — the ablation of DESIGN.md: exact enumeration against
 //!   the Monte-Carlo estimator on small instances.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! All sweeps consume the shared [`Evaluator`] instead of hand-rolled
+//! estimation loops: structure-aware constructions (Threshold, Grid, M-Grid,
+//! RT) report *exact* closed-form values, small universes are enumerated in
+//! parallel, and only the remaining systems (boostFPP, M-Path) fall back to
+//! Monte-Carlo with per-thread RNG streams.
 
 use bqs_constructions::prelude::*;
-use bqs_core::availability::{
-    exact_crash_probability, monte_carlo_crash_probability, CrashEstimate,
-};
+use bqs_core::availability::CrashEstimate;
+use bqs_core::eval::{Evaluator, FpEstimate};
 use bqs_core::quorum::QuorumSystem;
 
 /// A single `(p, F_p)` measurement for one system.
@@ -28,19 +30,49 @@ pub struct AvailabilityPoint {
     pub n: usize,
     /// Per-server crash probability.
     pub p: f64,
-    /// Monte-Carlo estimate of the crash probability.
-    pub fp: CrashEstimate,
+    /// The engine's `F_p` answer (exact where the construction allows it,
+    /// Monte-Carlo otherwise — see [`FpEstimate::method`]).
+    pub fp: FpEstimate,
     /// Analytic upper bound, when the construction provides one.
     pub fp_upper_bound: Option<f64>,
     /// Analytic lower bound, when the construction provides one.
     pub fp_lower_bound: Option<f64>,
 }
 
+fn measure(
+    points: &mut Vec<AvailabilityPoint>,
+    evaluator: &Evaluator,
+    sys: &dyn AnalyzedConstruction,
+    p: f64,
+) {
+    points.push(AvailabilityPoint {
+        system: sys.name(),
+        n: sys.universe_size(),
+        p,
+        fp: evaluator.crash_probability(sys, p),
+        fp_upper_bound: sys.crash_probability_upper_bound(p),
+        fp_lower_bound: sys.crash_probability_lower_bound(p),
+    });
+}
+
 /// Sweeps `F_p` over the given `p` values for the standard comparison set of
 /// constructions at grid side `side` and masking level `b` (clamped per system).
 #[must_use]
-pub fn fp_vs_p(side: usize, b: usize, ps: &[f64], trials: usize, seed: u64) -> Vec<AvailabilityPoint> {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn fp_vs_p(
+    side: usize,
+    b: usize,
+    ps: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<AvailabilityPoint> {
+    let evaluator = Evaluator::new().with_trials(trials.max(1)).with_seed(seed);
+    // M-Path availability runs a max-flow per configuration, so exhaustive
+    // enumeration is never worth it in a sweep: force Monte-Carlo (capped
+    // effort), matching the pre-engine behavior.
+    let mpath_evaluator = evaluator
+        .clone()
+        .with_trials(trials.clamp(1, 300))
+        .with_exact_limit(0);
     let n = side * side;
     let mut points = Vec::new();
 
@@ -52,32 +84,20 @@ pub fn fp_vs_p(side: usize, b: usize, ps: &[f64], trials: usize, seed: u64) -> V
         .unwrap_or(2);
 
     for &p in ps {
-        let mut push = |sys: &dyn AnalyzedConstruction, trials: usize| {
-            let fp = monte_carlo_crash_probability(sys, p, trials.max(1), &mut rng);
-            points.push(AvailabilityPoint {
-                system: sys.name(),
-                n: sys.universe_size(),
-                p,
-                fp,
-                fp_upper_bound: sys.crash_probability_upper_bound(p),
-                fp_lower_bound: sys.crash_probability_lower_bound(p),
-            });
-        };
         if let Ok(sys) = ThresholdSystem::masking(n, b) {
-            push(&sys, trials);
+            measure(&mut points, &evaluator, &sys, p);
         }
         if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
-            push(&sys, trials);
+            measure(&mut points, &evaluator, &sys, p);
         }
         if let Ok(sys) = RtSystem::new(4, 3, depth) {
-            push(&sys, trials);
+            measure(&mut points, &evaluator, &sys, p);
         }
         if let Ok(sys) = BoostFppSystem::new(q, b) {
-            push(&sys, trials);
+            measure(&mut points, &evaluator, &sys, p);
         }
         if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
-            // Max-flow quorum discovery is costlier; cap the per-point effort.
-            push(&sys, trials.min(300));
+            measure(&mut points, &mpath_evaluator, &sys, p);
         }
     }
     points
@@ -87,31 +107,30 @@ pub fn fp_vs_p(side: usize, b: usize, ps: &[f64], trials: usize, seed: u64) -> V
 /// between the M-Grid (`F_p → 1`) and RT / M-Path (`F_p → 0` for `p < p_c` resp.
 /// `p < 1/2`).
 #[must_use]
-pub fn fp_vs_n(sides: &[usize], b: usize, p: f64, trials: usize, seed: u64) -> Vec<AvailabilityPoint> {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn fp_vs_n(
+    sides: &[usize],
+    b: usize,
+    p: f64,
+    trials: usize,
+    seed: u64,
+) -> Vec<AvailabilityPoint> {
+    let evaluator = Evaluator::new().with_trials(trials.max(1)).with_seed(seed);
+    let mpath_evaluator = evaluator
+        .clone()
+        .with_trials(trials.clamp(1, 300))
+        .with_exact_limit(0);
     let mut points = Vec::new();
     for &side in sides {
-        let mut push = |sys: &dyn AnalyzedConstruction, trials: usize| {
-            let fp = monte_carlo_crash_probability(sys, p, trials.max(1), &mut rng);
-            points.push(AvailabilityPoint {
-                system: sys.name(),
-                n: sys.universe_size(),
-                p,
-                fp,
-                fp_upper_bound: sys.crash_probability_upper_bound(p),
-                fp_lower_bound: sys.crash_probability_lower_bound(p),
-            });
-        };
         if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
-            push(&sys, trials);
+            measure(&mut points, &evaluator, &sys, p);
         }
         let n = side * side;
         let depth = ((n as f64).ln() / 4f64.ln()).round().max(1.0) as u32;
         if let Ok(sys) = RtSystem::new(4, 3, depth) {
-            push(&sys, trials);
+            measure(&mut points, &evaluator, &sys, p);
         }
         if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
-            push(&sys, trials.min(300));
+            measure(&mut points, &mpath_evaluator, &sys, p);
         }
     }
     points
@@ -156,9 +175,11 @@ pub struct ExactVsMc {
 }
 
 /// Compares exact enumeration with the Monte-Carlo estimator on small instances.
+/// Both columns come from the same [`Evaluator`]: parallel allocation-free
+/// enumeration on one side, parallel per-thread-stream sampling on the other.
 #[must_use]
 pub fn exact_vs_monte_carlo(trials: usize, seed: u64) -> Vec<ExactVsMc> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let evaluator = Evaluator::new().with_trials(trials.max(1)).with_seed(seed);
     let mut out = Vec::new();
     let ps = [0.1, 0.25, 0.4];
 
@@ -171,8 +192,8 @@ pub fn exact_vs_monte_carlo(trials: usize, seed: u64) -> Vec<ExactVsMc> {
     let systems: Vec<&dyn QuorumSystem> = vec![&thresh, &rt, &grid, &mgrid, &mpath];
     for sys in systems {
         for &p in &ps {
-            let exact = exact_crash_probability(sys, p).expect("small universe");
-            let estimate = monte_carlo_crash_probability(sys, p, trials.max(1), &mut rng);
+            let exact = evaluator.exact(sys, p).expect("small universe");
+            let estimate = evaluator.monte_carlo(sys, p);
             out.push(ExactVsMc {
                 system: sys.name(),
                 p,
@@ -199,13 +220,13 @@ mod tests {
                 .find(|pt| pt.system.starts_with(prefix))
                 .unwrap_or_else(|| panic!("{prefix} missing"))
         };
-        assert!(get("RT").fp.mean <= get("M-Grid").fp.mean + 0.05);
-        assert!(get("M-Path").fp.mean <= get("M-Grid").fp.mean + 0.05);
+        assert!(get("RT").fp.value <= get("M-Grid").fp.value + 0.05);
+        assert!(get("M-Path").fp.value <= get("M-Grid").fp.value + 0.05);
         // Every Monte-Carlo estimate respects its analytic bounds (within CI).
         for pt in &points {
             if let Some(up) = pt.fp_upper_bound {
                 assert!(
-                    pt.fp.mean <= up + pt.fp.ci95_half_width() + 0.02,
+                    pt.fp.value <= up + pt.fp.ci95_half_width() + 0.02,
                     "{} p={}",
                     pt.system,
                     pt.p
@@ -213,7 +234,7 @@ mod tests {
             }
             if let Some(low) = pt.fp_lower_bound {
                 assert!(
-                    pt.fp.mean + pt.fp.ci95_half_width() + 0.02 >= low,
+                    pt.fp.value + pt.fp.ci95_half_width() + 0.02 >= low,
                     "{} p={}",
                     pt.system,
                     pt.p
@@ -231,13 +252,16 @@ mod tests {
             points
                 .iter()
                 .filter(|pt| pt.system.starts_with(prefix))
-                .map(|pt| pt.fp.mean)
+                .map(|pt| pt.fp.value)
                 .collect()
         };
         let mgrid = series("M-Grid");
         let rt = series("RT");
         assert_eq!(mgrid.len(), 2);
-        assert!(mgrid[1] >= mgrid[0] - 0.05, "M-Grid should degrade: {mgrid:?}");
+        assert!(
+            mgrid[1] >= mgrid[0] - 0.05,
+            "M-Grid should degrade: {mgrid:?}"
+        );
         assert!(rt[1] <= rt[0] + 0.05, "RT should improve: {rt:?}");
     }
 
@@ -261,8 +285,7 @@ mod tests {
     fn exact_and_monte_carlo_agree() {
         for row in exact_vs_monte_carlo(3000, 13) {
             assert!(
-                (row.exact - row.estimate.mean).abs()
-                    <= row.estimate.ci95_half_width().max(0.03),
+                (row.exact - row.estimate.mean).abs() <= row.estimate.ci95_half_width().max(0.03),
                 "{} p={}: exact {} vs MC {}",
                 row.system,
                 row.p,

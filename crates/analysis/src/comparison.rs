@@ -50,12 +50,7 @@ pub fn build_table2(side: usize, b: usize) -> Vec<Table2Row> {
     let mut rows = Vec::new();
 
     if let Ok(sys) = ThresholdSystem::masking(n, b) {
-        rows.push(row(
-            &sys,
-            "n/4",
-            "1/2 + O(b/n)",
-            "exp(-Omega(f)) *",
-        ));
+        rows.push(row(&sys, "n/4", "1/2 + O(b/n)", "exp(-Omega(f)) *"));
     }
     let grid_b = b.min(side.saturating_sub(1) / 3);
     if let Ok(sys) = GridSystem::new(side, grid_b) {
@@ -78,7 +73,12 @@ pub fn build_table2(side: usize, b: usize) -> Vec<Table2Row> {
     let target_copies = (n / (4 * b + 1)).max(7);
     let q = best_plane_order(target_copies);
     if let Ok(sys) = BoostFppSystem::new(q, b) {
-        rows.push(row(&sys, "n/4", "O(sqrt(b/n)) +", "exp(-Omega(b - log(n/b)))"));
+        rows.push(row(
+            &sys,
+            "n/4",
+            "O(sqrt(b/n)) +",
+            "exp(-Omega(b - log(n/b)))",
+        ));
     }
     if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
         rows.push(row(
@@ -189,7 +189,11 @@ mod tests {
             assert!(r.load > 0.0 && r.load <= 1.0, "{}", r.system);
             assert!(r.load_optimality_ratio >= 1.0 - 1e-9, "{}", r.system);
             if let (Some(up), Some(low)) = (r.fp_upper, r.fp_lower) {
-                assert!(up + 1e-9 >= low, "{}: upper {up} below lower {low}", r.system);
+                assert!(
+                    up + 1e-9 >= low,
+                    "{}: upper {up} below lower {low}",
+                    r.system
+                );
             }
         }
     }

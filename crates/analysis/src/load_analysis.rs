@@ -110,15 +110,16 @@ pub struct LoadAblation {
 #[must_use]
 pub fn lp_vs_fair_load() -> Vec<LoadAblation> {
     let mut out = Vec::new();
-    let mut push = |name: String, quorums: &[bqs_core::bitset::ServerSet], n: usize, analytic: f64| {
-        if let Ok((lp, _)) = optimal_load(quorums, n) {
-            out.push(LoadAblation {
-                system: name,
-                lp_load: lp,
-                analytic_load: analytic,
-            });
-        }
-    };
+    let mut push =
+        |name: String, quorums: &[bqs_core::bitset::ServerSet], n: usize, analytic: f64| {
+            if let Ok((lp, _)) = optimal_load(quorums, n) {
+                out.push(LoadAblation {
+                    system: name,
+                    lp_load: lp,
+                    analytic_load: analytic,
+                });
+            }
+        };
 
     let t = ThresholdSystem::minimal_masking(1).expect("valid");
     let te = t.to_explicit(10_000).expect("small");
@@ -134,11 +135,21 @@ pub fn lp_vs_fair_load() -> Vec<LoadAblation> {
 
     let rt = RtSystem::new(4, 3, 2).expect("valid");
     let rte = rt.to_explicit(10_000).expect("small");
-    push(rt.name(), rte.quorums(), rt.universe_size(), rt.analytic_load());
+    push(
+        rt.name(),
+        rte.quorums(),
+        rt.universe_size(),
+        rt.analytic_load(),
+    );
 
     let fpp = FppSystem::new(3).expect("valid");
     let fe = fpp.to_explicit().expect("small");
-    push(fpp.name(), fe.quorums(), fpp.universe_size(), fpp.analytic_load());
+    push(
+        fpp.name(),
+        fe.quorums(),
+        fpp.universe_size(),
+        fpp.analytic_load(),
+    );
 
     out
 }

@@ -80,12 +80,12 @@ pub fn estimate_decay_rate(
     let mut rng = StdRng::seed_from_u64(seed);
     let small = PercolationEstimator::new(small_side);
     let large = PercolationEstimator::new(large_side);
-    let f_small =
-        1.0 - small
+    let f_small = 1.0
+        - small
             .estimate_crossing_probability(p, Axis::LeftRight, trials.max(1), &mut rng)
             .mean;
-    let f_large =
-        1.0 - large
+    let f_large = 1.0
+        - large
             .estimate_crossing_probability(p, Axis::LeftRight, trials.max(1), &mut rng)
             .mean;
     if f_small <= 0.0 || f_large <= 0.0 {

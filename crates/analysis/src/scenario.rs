@@ -15,11 +15,8 @@
 //! Monte-Carlo column adds a simulated estimate of the true `F_p` (which the paper
 //! could only bound analytically).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use bqs_constructions::prelude::*;
-use bqs_core::availability::monte_carlo_crash_probability;
+use bqs_core::eval::{Evaluator, FpEstimate};
 
 /// One row of the Section 8 scenario comparison.
 #[derive(Debug, Clone)]
@@ -39,25 +36,36 @@ pub struct ScenarioRow {
     pub fp_bound: Option<f64>,
     /// `true` if `fp_bound` is an upper bound, `false` if it is a lower bound.
     pub fp_bound_is_upper: bool,
-    /// Monte-Carlo estimate of the true crash probability at `p = 1/8`.
-    pub fp_monte_carlo: f64,
-    /// Half-width of the 95% confidence interval of the Monte-Carlo estimate.
-    pub fp_ci95: f64,
+    /// The engine's estimate of the true crash probability at `p = 1/8`:
+    /// exact (closed form) for M-Grid and RT, Monte-Carlo for boostFPP and
+    /// M-Path — where the paper could only bound analytically.
+    pub fp: FpEstimate,
     /// The value the paper reports for this row.
     pub paper_fp_claim: &'static str,
     /// The resilience the paper reports for this row.
     pub paper_f: usize,
 }
 
+impl ScenarioRow {
+    /// The engine's point value for `F_p` (see [`ScenarioRow::fp`]).
+    #[must_use]
+    pub fn fp_value(&self) -> f64 {
+        self.fp.value
+    }
+}
+
 /// The crash probability of the Section 8 scenario.
 pub const SCENARIO_P: f64 = 0.125;
 
 /// Builds the four rows of the Section 8 comparison. `trials` controls the
-/// Monte-Carlo effort per row (the paper has no such column; 2 000 trials gives
-/// ±0.02 at 95% confidence).
+/// Monte-Carlo effort for the systems without a closed form (the paper has no
+/// such column; 2 000 trials gives ±0.02 at 95% confidence). M-Grid and RT now
+/// report *exact* values through the evaluation engine's closed forms.
 #[must_use]
 pub fn build_scenario(trials: usize) -> Vec<ScenarioRow> {
-    let mut rng = StdRng::seed_from_u64(0x5ec8);
+    let evaluator = Evaluator::new()
+        .with_trials(trials.max(1))
+        .with_seed(0x5ec8);
     let mut rows = Vec::new();
 
     // M-Grid: n = 1024, b = 15.
@@ -68,8 +76,7 @@ pub fn build_scenario(trials: usize) -> Vec<ScenarioRow> {
         false,
         "Fp >= 0.638",
         28,
-        trials,
-        &mut rng,
+        &evaluator,
     ));
 
     // boostFPP: q = 3, b = 19 -> n = 1001.
@@ -80,8 +87,7 @@ pub fn build_scenario(trials: usize) -> Vec<ScenarioRow> {
         true,
         "Fp <= 0.372",
         79,
-        trials,
-        &mut rng,
+        &evaluator,
     ));
 
     // M-Path: n = 1024, 4 + 4 paths -> b = 7.
@@ -92,8 +98,11 @@ pub fn build_scenario(trials: usize) -> Vec<ScenarioRow> {
         true,
         "Fp <= 0.001",
         29,
-        trials.min(400), // max-flow verification is costlier per trial
-        &mut rng,
+        // max-flow verification is costlier per trial: always sample
+        &evaluator
+            .clone()
+            .with_trials(trials.clamp(1, 400))
+            .with_exact_limit(0),
     ));
 
     // RT(4,3) depth 5: n = 1024, b = 15.
@@ -104,8 +113,7 @@ pub fn build_scenario(trials: usize) -> Vec<ScenarioRow> {
         true,
         "Fp <= 0.0001",
         31,
-        trials,
-        &mut rng,
+        &evaluator,
     ));
 
     rows
@@ -117,10 +125,8 @@ fn make_row<S: AnalyzedConstruction + ?Sized>(
     fp_bound_is_upper: bool,
     paper_fp_claim: &'static str,
     paper_f: usize,
-    trials: usize,
-    rng: &mut StdRng,
+    evaluator: &Evaluator,
 ) -> ScenarioRow {
-    let est = monte_carlo_crash_probability(sys, SCENARIO_P, trials.max(1), rng);
     ScenarioRow {
         system: sys.name(),
         n: sys.universe_size(),
@@ -129,8 +135,7 @@ fn make_row<S: AnalyzedConstruction + ?Sized>(
         load: sys.analytic_load(),
         fp_bound,
         fp_bound_is_upper,
-        fp_monte_carlo: est.mean,
-        fp_ci95: est.ci95_half_width(),
+        fp: evaluator.crash_probability(sys, SCENARIO_P),
         paper_fp_claim,
         paper_f,
     }
@@ -147,7 +152,7 @@ pub fn render_scenario(rows: &[ScenarioRow]) -> String {
         "f (paper)",
         "load",
         "Fp bound (p=1/8)",
-        "Fp Monte-Carlo",
+        "Fp (engine)",
         "paper claim",
     ]);
     for r in rows {
@@ -155,6 +160,15 @@ pub fn render_scenario(rows: &[ScenarioRow]) -> String {
             (Some(v), true) => format!("<= {}", crate::report::format_probability(v)),
             (Some(v), false) => format!(">= {}", crate::report::format_probability(v)),
             (None, _) => "-".to_string(),
+        };
+        let engine_fp = if r.fp.is_exact() {
+            format!("{} (exact)", crate::report::format_probability(r.fp.value))
+        } else {
+            format!(
+                "{} ± {}",
+                crate::report::format_probability(r.fp.value),
+                crate::report::format_probability(r.fp.ci95_half_width())
+            )
         };
         table.push_row([
             r.system.clone(),
@@ -164,11 +178,7 @@ pub fn render_scenario(rows: &[ScenarioRow]) -> String {
             r.paper_f.to_string(),
             format!("{:.4}", r.load),
             bound,
-            format!(
-                "{} ± {}",
-                crate::report::format_probability(r.fp_monte_carlo),
-                crate::report::format_probability(r.fp_ci95)
-            ),
+            engine_fp,
             r.paper_fp_claim.to_string(),
         ]);
     }
@@ -231,18 +241,18 @@ mod tests {
             if let Some(bound) = r.fp_bound {
                 if r.fp_bound_is_upper {
                     assert!(
-                        r.fp_monte_carlo <= bound + r.fp_ci95 + 0.02,
+                        r.fp.value <= bound + r.fp.ci95_half_width() + 0.02,
                         "{}: MC {} exceeds upper bound {}",
                         r.system,
-                        r.fp_monte_carlo,
+                        r.fp.value,
                         bound
                     );
                 } else {
                     assert!(
-                        r.fp_monte_carlo + r.fp_ci95 + 0.05 >= bound,
+                        r.fp.value + r.fp.ci95_half_width() + 0.05 >= bound,
                         "{}: MC {} below lower bound {}",
                         r.system,
-                        r.fp_monte_carlo,
+                        r.fp.value,
                         bound
                     );
                 }
@@ -251,8 +261,8 @@ mod tests {
         // The ordering the paper emphasises: RT and M-Path are far more available
         // than M-Grid in this regime.
         let get = |prefix: &str| rows.iter().find(|r| r.system.starts_with(prefix)).unwrap();
-        assert!(get("RT").fp_monte_carlo < get("M-Grid").fp_monte_carlo);
-        assert!(get("M-Path").fp_monte_carlo < get("M-Grid").fp_monte_carlo);
+        assert!(get("RT").fp.value < get("M-Grid").fp.value);
+        assert!(get("M-Path").fp.value < get("M-Grid").fp.value);
     }
 
     #[test]

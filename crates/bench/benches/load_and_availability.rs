@@ -22,11 +22,17 @@ fn bench_load_lp(c: &mut Criterion) {
         ),
         (
             "mgrid_5x5_b2",
-            MGridSystem::new(5, 2).unwrap().to_explicit(100_000).unwrap(),
+            MGridSystem::new(5, 2)
+                .unwrap()
+                .to_explicit(100_000)
+                .unwrap(),
         ),
         (
             "rt43_depth2",
-            RtSystem::new(4, 3, 2).unwrap().to_explicit(100_000).unwrap(),
+            RtSystem::new(4, 3, 2)
+                .unwrap()
+                .to_explicit(100_000)
+                .unwrap(),
         ),
         ("fpp_q4", FppSystem::new(4).unwrap().to_explicit().unwrap()),
     ];
@@ -41,8 +47,14 @@ fn bench_load_lp(c: &mut Criterion) {
 fn bench_transversal(c: &mut Criterion) {
     let mut group = c.benchmark_group("min_transversal");
     group.sample_size(20);
-    let mgrid = MGridSystem::new(5, 2).unwrap().to_explicit(100_000).unwrap();
-    let thresh = ThresholdSystem::new(12, 8).unwrap().to_explicit(100_000).unwrap();
+    let mgrid = MGridSystem::new(5, 2)
+        .unwrap()
+        .to_explicit(100_000)
+        .unwrap();
+    let thresh = ThresholdSystem::new(12, 8)
+        .unwrap()
+        .to_explicit(100_000)
+        .unwrap();
     group.bench_function("mgrid_5x5_b2", |bencher| {
         bencher.iter(|| min_transversal_size(mgrid.quorums(), 25))
     });
@@ -67,9 +79,7 @@ fn bench_crash_probability(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     group.bench_function(
         BenchmarkId::new("monte_carlo_1000_trials", "boostfpp_n1001"),
-        |bencher| {
-            bencher.iter(|| monte_carlo_crash_probability(&boost, 0.125, 1000, &mut rng))
-        },
+        |bencher| bencher.iter(|| monte_carlo_crash_probability(&boost, 0.125, 1000, &mut rng)),
     );
     group.finish();
 }

@@ -64,8 +64,14 @@ fn bench_masking_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("masking_verification");
     // Explicit masking verification (pairwise intersections + transversal) on small
     // instances — the cost of validating a hand-built quorum system.
-    let mgrid = MGridSystem::new(5, 2).unwrap().to_explicit(100_000).unwrap();
-    let rt = RtSystem::new(4, 3, 2).unwrap().to_explicit(100_000).unwrap();
+    let mgrid = MGridSystem::new(5, 2)
+        .unwrap()
+        .to_explicit(100_000)
+        .unwrap();
+    let rt = RtSystem::new(4, 3, 2)
+        .unwrap()
+        .to_explicit(100_000)
+        .unwrap();
     group.bench_function("mgrid_5x5_b2", |bencher| {
         bencher.iter(|| is_b_masking(mgrid.quorums(), 25, 2))
     });

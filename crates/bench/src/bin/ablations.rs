@@ -30,11 +30,7 @@ fn main() {
     println!("(M-Path on a 12x12 grid, b = 4, {trials} trials per p)\n");
     let ps = [0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3];
     let rows = mpath_discovery_ablation(12, 4, &ps, trials, 0xAB1);
-    let mut t2 = TextTable::new([
-        "p",
-        "straight-line success",
-        "max-flow success",
-    ]);
+    let mut t2 = TextTable::new(["p", "straight-line success", "max-flow success"]);
     for r in &rows {
         t2.push_row([
             format!("{:.2}", r.p),

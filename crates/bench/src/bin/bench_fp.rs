@@ -1,0 +1,177 @@
+//! Machine-readable crash-probability benchmark: times the evaluation engine
+//! across constructions, universe sizes and crash probabilities, and emits
+//! `BENCH_fp.json` so future changes have a performance trajectory to compare
+//! against.
+//!
+//! Also measures the headline speedup of the engine refactor: exact `F_p` on
+//! the `n = 25` Grid, new allocation-free parallel engine versus the old
+//! scalar loop that heap-allocated a `ServerSet` per crash configuration
+//! (`exact_crash_probability_naive`).
+//!
+//! Run with: `cargo run --release -p bqs-bench --bin bench_fp [output.json]`
+
+use std::time::Instant;
+
+use bqs_constructions::prelude::*;
+use bqs_core::availability::exact_crash_probability_naive;
+use bqs_core::eval::{Evaluator, FpMethod};
+use bqs_core::quorum::QuorumSystem;
+
+struct Row {
+    construction: String,
+    n: usize,
+    p: f64,
+    method: &'static str,
+    fp: f64,
+    seconds: f64,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn method_name(m: FpMethod) -> &'static str {
+    match m {
+        FpMethod::ClosedForm => "closed_form",
+        FpMethod::Exact => "exact",
+        FpMethod::MonteCarlo => "monte_carlo",
+    }
+}
+
+fn measure(rows: &mut Vec<Row>, evaluator: &Evaluator, sys: &dyn QuorumSystem, p: f64) {
+    let (fp, seconds) = time(|| evaluator.crash_probability(sys, p));
+    rows.push(Row {
+        construction: sys.name(),
+        n: sys.universe_size(),
+        p,
+        method: method_name(fp.method),
+        fp: fp.value,
+        seconds,
+    });
+}
+
+/// Forces enumeration (no closed form) through the engine, for timing.
+fn measure_exact(rows: &mut Vec<Row>, evaluator: &Evaluator, sys: &dyn QuorumSystem, p: f64) {
+    let (fp, seconds) = time(|| evaluator.exact(sys, p).expect("within exact limit"));
+    rows.push(Row {
+        construction: sys.name(),
+        n: sys.universe_size(),
+        p,
+        method: "exact",
+        fp,
+        seconds,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fp.json".to_string());
+    let evaluator = Evaluator::new().with_trials(20_000).with_seed(0xBE7C);
+    let ps = [0.05, 0.125, 0.25];
+    let mut rows: Vec<Row> = Vec::new();
+
+    eprintln!("timing closed forms and exact enumeration across the matrix...");
+    for &p in &ps {
+        // Closed forms at paper scale (n ~ 1024): exact at any size, microseconds.
+        measure(
+            &mut rows,
+            &evaluator,
+            &ThresholdSystem::masking(1024, 255).unwrap(),
+            p,
+        );
+        measure(&mut rows, &evaluator, &GridSystem::new(32, 10).unwrap(), p);
+        measure(&mut rows, &evaluator, &MGridSystem::new(32, 15).unwrap(), p);
+        measure(&mut rows, &evaluator, &RtSystem::new(4, 3, 5).unwrap(), p);
+        // Monte-Carlo fallback for the constructions without closed forms.
+        measure(
+            &mut rows,
+            &evaluator,
+            &BoostFppSystem::new(3, 19).unwrap(),
+            p,
+        );
+        // Exact enumeration at n = 16 and n = 25 (the engine's parallel path).
+        measure_exact(&mut rows, &evaluator, &GridSystem::new(4, 1).unwrap(), p);
+        measure_exact(&mut rows, &evaluator, &GridSystem::new(5, 1).unwrap(), p);
+        measure_exact(&mut rows, &evaluator, &MGridSystem::new(4, 1).unwrap(), p);
+        measure_exact(&mut rows, &evaluator, &MGridSystem::new(5, 2).unwrap(), p);
+        measure_exact(
+            &mut rows,
+            &evaluator,
+            &ThresholdSystem::masking(25, 5).unwrap(),
+            p,
+        );
+    }
+
+    // The acceptance measurement: n = 25 Grid, engine versus the historical
+    // allocating scalar loop, at the Section 8 crash probability.
+    let grid25 = GridSystem::new(5, 1).unwrap();
+    let p = 0.125;
+    eprintln!("measuring the n = 25 Grid speedup (this runs the old scalar loop once)...");
+    let (engine_fp, engine_secs) = time(|| evaluator.exact(&grid25, p).unwrap());
+    let (naive_fp, naive_secs) = time(|| exact_crash_probability_naive(&grid25, p).unwrap());
+    let ratio = naive_secs / engine_secs.max(1e-12);
+    assert!(
+        (engine_fp - naive_fp).abs() < 1e-9,
+        "engine {engine_fp} disagrees with naive {naive_fp}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"bench_fp/v1\",\n  \"threads\": {},\n  \"results\": [\n",
+        evaluator.threads()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"construction\": \"{}\", \"n\": {}, \"p\": {}, \"method\": \"{}\", \"fp\": {:e}, \"seconds\": {:e}}}{}\n",
+            json_escape(&r.construction),
+            r.n,
+            r.p,
+            r.method,
+            r.fp,
+            r.seconds,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"grid25_speedup\": {{\"construction\": \"{}\", \"p\": {}, \"fp\": {:e}, \"naive_seconds\": {:e}, \"engine_seconds\": {:e}, \"ratio\": {:.2}}}\n",
+        json_escape(&grid25.name()),
+        p,
+        engine_fp,
+        naive_secs,
+        engine_secs,
+        ratio
+    ));
+    json.push_str("}\n");
+    std::fs::write(&output, &json).expect("write benchmark output");
+
+    println!(
+        "{:<28} {:>4} {:>7} {:>12} {:>14} {:>12}",
+        "construction", "n", "p", "method", "Fp", "seconds"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>4} {:>7} {:>12} {:>14.6e} {:>12.6}",
+            r.construction, r.n, r.p, r.method, r.fp, r.seconds
+        );
+    }
+    println!();
+    println!(
+        "n = 25 Grid exact F_p at p = {p}: engine {engine_secs:.3}s vs naive {naive_secs:.3}s -> {ratio:.1}x speedup"
+    );
+    println!("wrote {output}");
+    if ratio < 5.0 {
+        // Fail the process (after writing the JSON) so the CI perf-smoke step
+        // goes red when the engine regresses below the acceptance threshold.
+        eprintln!("ERROR: speedup {ratio:.1}x is below the 5x acceptance threshold");
+        std::process::exit(1);
+    }
+}

@@ -6,18 +6,16 @@
 
 use bqs_analysis::TextTable;
 use bqs_constructions::prelude::*;
-use bqs_core::availability::monte_carlo_crash_probability;
 use bqs_core::bounds::load_lower_bound_universal;
+use bqs_core::eval::Evaluator;
 use bqs_core::quorum::QuorumSystem;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let trials: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1000);
-    let mut rng = StdRng::seed_from_u64(0xB005);
+    let evaluator = Evaluator::new().with_trials(trials).with_seed(0xB005);
 
     println!("== scaling policy 1: fix q = 3, grow b (resilience grows, load stays ~3/(4q)) ==\n");
     let mut t1 = TextTable::new(["b", "n", "f", "load", "load / lower bound"]);
@@ -65,7 +63,7 @@ fn main() {
         "Fp (Monte-Carlo)",
     ]);
     for &p in &[0.05, 0.1, 0.15, 0.2, 0.24, 0.3, 0.35] {
-        let mc = monte_carlo_crash_probability(&sys, p, trials, &mut rng);
+        let mc = evaluator.monte_carlo(&sys, p);
         t3.push_row([
             format!("{p:.2}"),
             sys.crash_probability_prop_6_3_bound(p)

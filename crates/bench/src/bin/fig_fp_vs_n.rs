@@ -20,7 +20,7 @@ fn main() {
     let mut table = TextTable::new([
         "system",
         "n",
-        "Fp (Monte-Carlo)",
+        "Fp (engine)",
         "95% CI",
         "upper bound",
         "lower bound",
@@ -29,8 +29,12 @@ fn main() {
         table.push_row([
             pt.system.clone(),
             pt.n.to_string(),
-            format!("{:.4}", pt.fp.mean),
-            format!("±{:.4}", pt.fp.ci95_half_width()),
+            format!("{:.4}", pt.fp.value),
+            if pt.fp.is_exact() {
+                "exact".to_string()
+            } else {
+                format!("±{:.4}", pt.fp.ci95_half_width())
+            },
             format_optional_probability(pt.fp_upper_bound),
             format_optional_probability(pt.fp_lower_bound),
         ]);

@@ -24,7 +24,7 @@ fn main() {
     let mut table = TextTable::new([
         "system",
         "p",
-        "Fp (Monte-Carlo)",
+        "Fp (engine)",
         "95% CI",
         "upper bound",
         "lower bound",
@@ -33,8 +33,12 @@ fn main() {
         table.push_row([
             pt.system.clone(),
             format!("{:.2}", pt.p),
-            format!("{:.4}", pt.fp.mean),
-            format!("±{:.4}", pt.fp.ci95_half_width()),
+            format!("{:.4}", pt.fp.value),
+            if pt.fp.is_exact() {
+                "exact".to_string()
+            } else {
+                format!("±{:.4}", pt.fp.ci95_half_width())
+            },
             format_optional_probability(pt.fp_upper_bound),
             format_optional_probability(pt.fp_lower_bound),
         ]);

@@ -16,14 +16,7 @@ fn main() {
 
     println!("load vs universe size at masking level b = {b} (clamped per construction)\n");
     let points = load_vs_n(&sides, b);
-    let mut table = TextTable::new([
-        "system",
-        "n",
-        "b",
-        "load",
-        "lower bound",
-        "ratio",
-    ]);
+    let mut table = TextTable::new(["system", "n", "b", "load", "lower bound", "ratio"]);
     for p in &points {
         table.push_row([
             p.system.clone(),

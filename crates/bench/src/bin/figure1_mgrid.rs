@@ -42,7 +42,10 @@ fn main() {
     }
     println!();
     println!("quorum size      : {}", quorum.len());
-    println!("system load      : {:.4}  (Proposition 5.2: ~ 2 sqrt((b+1)/n))", sys.analytic_load());
+    println!(
+        "system load      : {:.4}  (Proposition 5.2: ~ 2 sqrt((b+1)/n))",
+        sys.analytic_load()
+    );
     println!("masks            : b = {}", sys.masking_b());
     println!("resilience       : f = {}", sys.resilience());
     println!(

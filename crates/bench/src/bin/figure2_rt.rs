@@ -54,11 +54,20 @@ fn main() {
 
     println!("universe size    : {n}");
     println!("quorum size      : c = l^h = {}", sys.min_quorum_size());
-    println!("intersections    : IS = (2l-k)^h = {}", sys.min_intersection());
-    println!("transversals     : MT = (k-l+1)^h = {}", sys.min_transversal());
+    println!(
+        "intersections    : IS = (2l-k)^h = {}",
+        sys.min_intersection()
+    );
+    println!(
+        "transversals     : MT = (k-l+1)^h = {}",
+        sys.min_transversal()
+    );
     println!("masks            : b = {}", sys.masking_b());
     println!("resilience       : f = {}", sys.resilience());
-    println!("load             : {:.4} = n^-(1-log_k l) (Proposition 5.5)", sys.analytic_load());
+    println!(
+        "load             : {:.4} = n^-(1-log_k l) (Proposition 5.5)",
+        sys.analytic_load()
+    );
     println!(
         "critical crash probability p_c = {:.4} (Proposition 5.6; 0.2324 for RT(4,3))",
         sys.critical_probability()

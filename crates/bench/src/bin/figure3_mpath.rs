@@ -23,9 +23,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let quorum = sys.sample_quorum(&mut rng);
 
-    println!(
-        "Figure 3: a multi-path construction on a {side}x{side} triangulated grid, b = {b},"
-    );
+    println!("Figure 3: a multi-path construction on a {side}x{side} triangulated grid, b = {b},");
     println!(
         "with one quorum shaded: {0} disjoint left-right paths and {0} top-bottom paths\n",
         sys.paths_per_direction()

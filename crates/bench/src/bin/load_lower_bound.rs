@@ -42,7 +42,9 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("\noptimal quorum size c* = sqrt((2b+1) n) = {c_star}; universal bound = {universal:.4}\n");
+    println!(
+        "\noptimal quorum size c* = sqrt((2b+1) n) = {c_star}; universal bound = {universal:.4}\n"
+    );
 
     println!("ablation: exact LP load vs the closed-form fair load (Proposition 3.9) on");
     println!("small explicit instances of each construction:\n");

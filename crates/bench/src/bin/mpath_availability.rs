@@ -53,8 +53,13 @@ fn main() {
     ]);
     let flow_trials = trials.min(300);
     for &p in &[0.05, 0.125, 0.2, 0.3, 0.4, 0.45, 0.55] {
-        let disjoint =
-            est.estimate_disjoint_crossings_probability(p, Axis::LeftRight, k, flow_trials, &mut rng);
+        let disjoint = est.estimate_disjoint_crossings_probability(
+            p,
+            Axis::LeftRight,
+            k,
+            flow_trials,
+            &mut rng,
+        );
         let fp = est.estimate_mpath_crash_probability(p, k, flow_trials, &mut rng);
         t2.push_row([
             format!("{p:.3}"),

@@ -60,7 +60,9 @@ fn main() {
             n,
             b,
             crashes,
-            ByzantineStrategy::FabricateHighTimestamp { value: u64::MAX / 3 },
+            ByzantineStrategy::FabricateHighTimestamp {
+                value: u64::MAX / 3,
+            },
             &mut rng,
         );
         // Run 1 (attacked): checks safety and availability under b Byzantine + crashes.
@@ -100,7 +102,11 @@ fn main() {
         ]);
     };
 
-    run(&|| Box::new(ThresholdSystem::minimal_masking(3).unwrap()), 1, 1);
+    run(
+        &|| Box::new(ThresholdSystem::minimal_masking(3).unwrap()),
+        1,
+        1,
+    );
     run(&|| Box::new(GridSystem::new(10, 3).unwrap()), 3, 2);
     run(&|| Box::new(MGridSystem::new(10, 4).unwrap()), 4, 3);
     run(&|| Box::new(RtSystem::new(4, 3, 3).unwrap()), 4, 4);

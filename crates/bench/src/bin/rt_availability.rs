@@ -45,7 +45,9 @@ fn main() {
     println!("{}", table.render());
     println!();
     println!("shape to check against the paper: Fp is negligible below p_c and jumps to ~1");
-    println!("above it (Proposition 5.6); for p < 1/C(k,l-1) = {:.4} the Prop 5.7 bound",
-        1.0 / bqs_combinatorics::binomial::binomial_f64(k as u64, (l - 1) as u64));
+    println!(
+        "above it (Proposition 5.6); for p < 1/C(k,l-1) = {:.4} the Prop 5.7 bound",
+        1.0 / bqs_combinatorics::binomial::binomial_f64(k as u64, (l - 1) as u64)
+    );
     println!("(6p)^sqrt(n) dominates the recurrence value, confirming the analysis is tight.");
 }

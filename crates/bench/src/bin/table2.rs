@@ -11,7 +11,10 @@ fn main() {
     let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
     let b: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
 
-    println!("Table 2 reproduction: constructions over an (approximately) {0}x{0} universe", side);
+    println!(
+        "Table 2 reproduction: constructions over an (approximately) {0}x{0} universe",
+        side
+    );
     println!("numeric Fp columns evaluated at p = {REFERENCE_CRASH_P}\n");
     let rows = build_table2(side, b);
     println!("{}", render_table2(&rows));

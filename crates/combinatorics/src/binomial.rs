@@ -340,7 +340,10 @@ mod tests {
             let k = ((p + gamma) * n as f64).ceil() as u64;
             let exact = binomial_tail(n, k, p);
             let bound = chernoff_upper_tail(n, gamma);
-            assert!(exact <= bound + 1e-12, "gamma={gamma} exact={exact} bound={bound}");
+            assert!(
+                exact <= bound + 1e-12,
+                "gamma={gamma} exact={exact} bound={bound}"
+            );
         }
     }
 

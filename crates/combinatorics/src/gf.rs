@@ -133,7 +133,7 @@ impl GfField {
         coeffs
     }
 
-    fn from_poly(&self, coeffs: &[u64]) -> GfElem {
+    fn elem_from_poly(&self, coeffs: &[u64]) -> GfElem {
         let mut acc = 0u64;
         for &c in coeffs.iter().rev() {
             acc = acc * self.p + (c % self.p);
@@ -150,7 +150,7 @@ impl GfField {
         let pa = self.to_poly(a);
         let pb = self.to_poly(b);
         let sum: Vec<u64> = pa.iter().zip(&pb).map(|(x, y)| (x + y) % self.p).collect();
-        self.from_poly(&sum)
+        self.elem_from_poly(&sum)
     }
 
     /// Field negation.
@@ -161,7 +161,7 @@ impl GfField {
         }
         let pa = self.to_poly(a);
         let neg: Vec<u64> = pa.iter().map(|&x| (self.p - x) % self.p).collect();
-        self.from_poly(&neg)
+        self.elem_from_poly(&neg)
     }
 
     /// Field subtraction.
@@ -179,7 +179,7 @@ impl GfField {
         let pa = self.to_poly(a);
         let pb = self.to_poly(b);
         let prod = poly_mul_mod(&pa, &pb, &self.modulus, self.p);
-        self.from_poly(&prod)
+        self.elem_from_poly(&prod)
     }
 
     /// Multiplicative inverse.
@@ -239,8 +239,8 @@ fn poly_mul_mod(a: &[u64], b: &[u64], modulus: &[u64], p: u64) -> Vec<u64> {
             continue;
         }
         prod[deg] = 0;
-        for k in 0..r {
-            let sub = (coef * modulus[k]) % p;
+        for (k, &m) in modulus.iter().enumerate().take(r) {
+            let sub = (coef * m) % p;
             let idx = deg - r + k;
             prod[idx] = (prod[idx] + p - sub) % p;
         }

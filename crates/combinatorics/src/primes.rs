@@ -26,12 +26,12 @@ pub fn is_prime(n: u64) -> bool {
     if n < 4 {
         return true;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return false;
     }
     let mut d = 3u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -58,12 +58,12 @@ pub fn prime_power(n: u64) -> Option<(u64, u32)> {
     }
     // Find the smallest prime factor, then check n is a pure power of it.
     let mut p = 0u64;
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         p = 2;
     } else {
         let mut d = 3u64;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 p = d;
                 break;
             }
@@ -76,7 +76,7 @@ pub fn prime_power(n: u64) -> Option<(u64, u32)> {
     }
     let mut m = n;
     let mut r = 0u32;
-    while m % p == 0 {
+    while m.is_multiple_of(p) {
         m /= p;
         r += 1;
     }

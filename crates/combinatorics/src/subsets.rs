@@ -28,11 +28,7 @@ impl KSubsets {
     /// exactly the empty set.
     #[must_use]
     pub fn new(n: usize, k: usize) -> Self {
-        let current = if k > n {
-            None
-        } else {
-            Some((0..k).collect())
-        };
+        let current = if k > n { None } else { Some((0..k).collect()) };
         KSubsets { n, k, current }
     }
 }

@@ -200,7 +200,7 @@ mod tests {
             let q1 = sys.sample_quorum(&mut rng);
             let q2 = sys.sample_quorum(&mut rng);
             assert_eq!(q1.len(), sys.min_quorum_size());
-            assert!(q1.intersection_size(&q2) >= 2 * sys.b() + 1);
+            assert!(q1.intersection_size(&q2) > 2 * sys.b());
         }
     }
 
@@ -212,7 +212,7 @@ mod tests {
         let sys = BoostFppSystem::new(2, 1).unwrap();
         assert_eq!(sys.universe_size(), 35);
         assert_eq!(sys.min_intersection(), 3);
-        assert!(sys.min_transversal() >= sys.b() + 1);
+        assert!(sys.min_transversal() > sys.b());
     }
 
     #[test]
@@ -252,7 +252,10 @@ mod tests {
         // The numeric bound is tighter than (or equal to) the Chernoff form.
         let chernoff = sys.crash_probability_prop_6_3_bound(p).unwrap();
         let numeric = sys.crash_probability_numeric_bound(p);
-        assert!(numeric <= chernoff + 1e-9, "numeric={numeric} chernoff={chernoff}");
+        assert!(
+            numeric <= chernoff + 1e-9,
+            "numeric={numeric} chernoff={chernoff}"
+        );
     }
 
     #[test]
@@ -268,10 +271,8 @@ mod tests {
             est.mean
         );
         // Lower bound of Proposition 4.3: p^{MT}.
-        let lower = bqs_core::bounds::crash_probability_lower_bound_resilience(
-            p,
-            sys.min_transversal(),
-        );
+        let lower =
+            bqs_core::bounds::crash_probability_lower_bound_resilience(p, sys.min_transversal());
         assert!(est.mean + est.ci95_half_width() >= lower);
     }
 

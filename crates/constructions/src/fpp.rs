@@ -70,8 +70,10 @@ impl FppSystem {
     /// Never fails for a validly constructed plane; the `Result` mirrors the other
     /// constructions' `to_explicit` signatures.
     pub fn to_explicit(&self) -> Result<ExplicitQuorumSystem, QuorumError> {
-        Ok(ExplicitQuorumSystem::new(self.universe_size(), self.lines.clone())?
-            .with_name(self.name()))
+        Ok(
+            ExplicitQuorumSystem::new(self.universe_size(), self.lines.clone())?
+                .with_name(self.name()),
+        )
     }
 
     /// The simple union-bound estimate (6) from the proof of Proposition 6.3:

@@ -81,6 +81,20 @@ impl GridSystem {
         self.grid.side() - 2 * self.b
     }
 
+    /// Exact crash probability in closed form: the system is available iff at
+    /// least `2b + 1` rows and at least one column are fully alive, whose
+    /// joint probability [`crate::square::rows_and_columns_alive_probability`]
+    /// computes by inclusion–exclusion — no enumeration, any `n`.
+    #[must_use]
+    pub fn crash_probability(&self, p: f64) -> f64 {
+        1.0 - crate::square::rows_and_columns_alive_probability(
+            self.grid.side(),
+            2 * self.b + 1,
+            1,
+            p,
+        )
+    }
+
     /// Materialises all `C(side, 2b+1) · side` quorums.
     ///
     /// # Errors
@@ -128,10 +142,23 @@ impl QuorumSystem for GridSystem {
         }
         let cols = self.grid.fully_alive_columns(alive);
         let col = *cols.first()?;
-        Some(
-            self.grid
-                .union_of(&rows[..2 * self.b + 1], &[col]),
-        )
+        Some(self.grid.union_of(&rows[..2 * self.b + 1], &[col]))
+    }
+
+    fn is_available(&self, alive: &ServerSet) -> bool {
+        // Allocation-free: availability only needs the *counts* of fully
+        // alive rows/columns, not the quorum itself.
+        self.grid.fully_alive_row_count(alive) > 2 * self.b
+            && self.grid.fully_alive_column_count(alive) >= 1
+    }
+
+    fn is_available_u64(&self, alive: u64, _scratch: &mut ServerSet) -> bool {
+        self.grid.fully_alive_row_count_u64(alive) > 2 * self.b
+            && self.grid.fully_alive_column_count_u64(alive) >= 1
+    }
+
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        Some(self.crash_probability(p))
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -206,7 +233,7 @@ mod tests {
         assert!(is_b_masking(e.quorums(), 16, 1));
         // On a side-4 grid any two quorums share at least 2 of their 3 rows, so the
         // intersections are far larger than the 2b+1 = 3 the masking property needs.
-        assert!(min_intersection_size(e.quorums()) >= 2 * 1 + 1);
+        assert!(min_intersection_size(e.quorums()) > 2);
         assert_eq!(min_transversal_size(e.quorums(), 16), g.min_transversal());
     }
 
@@ -241,6 +268,44 @@ mod tests {
         let g = GridSystem::new(10, 3).unwrap();
         assert_eq!(AnalyzedConstruction::resilience(&g), 10 - 6 - 1);
         assert!(AnalyzedConstruction::resilience(&g) >= g.masking_b());
+    }
+
+    #[test]
+    fn closed_form_crash_probability_matches_enumeration() {
+        for (side, b) in [(3usize, 0usize), (4, 1)] {
+            let g = GridSystem::new(side, b).unwrap();
+            for &p in &[0.0, 0.05, 0.125, 0.3, 0.5, 0.8, 1.0] {
+                let closed = g.crash_probability(p);
+                let enumerated = exact_crash_probability(&g, p).unwrap();
+                assert!(
+                    (closed - enumerated).abs() < 1e-9,
+                    "side={side} b={b} p={p}: closed {closed} vs enumerated {enumerated}"
+                );
+                // The closed form can never undercut the row-kill lower bound.
+                assert!(closed >= g.crash_probability_lower_bound(p).unwrap() - 1e-12);
+            }
+        }
+        // And the evaluation engine must pick it up without enumeration.
+        let big = GridSystem::new(30, 1).unwrap(); // n = 900, unenumerable
+        let fp = Evaluator::new().crash_probability(&big, 0.125);
+        assert_eq!(fp.method, FpMethod::ClosedForm);
+        assert!((0.0..=1.0).contains(&fp.value));
+    }
+
+    #[test]
+    fn word_level_availability_matches_set_availability() {
+        let g = GridSystem::new(4, 1).unwrap();
+        let n = g.universe_size();
+        let mut scratch = ServerSet::new(n);
+        let mut reference = ServerSet::new(n);
+        for mask in (0u64..1 << n).step_by(97) {
+            reference.assign_mask_u64(mask);
+            assert_eq!(
+                g.is_available_u64(mask, &mut scratch),
+                g.is_available(&reference),
+                "mask={mask:#x}"
+            );
+        }
     }
 
     #[test]

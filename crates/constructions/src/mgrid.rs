@@ -109,6 +109,21 @@ impl MGridSystem {
         (1.0 - (1.0 - p).powf(side)).powf(side)
     }
 
+    /// Exact crash probability in closed form: the system is available iff at
+    /// least `⌈√(b+1)⌉` rows *and* as many columns are fully alive, whose
+    /// joint probability [`crate::square::rows_and_columns_alive_probability`]
+    /// computes by inclusion–exclusion — no enumeration, any `n`. Sharpens the
+    /// paper's [KC91, Woo96] lower bound into the exact value.
+    #[must_use]
+    pub fn crash_probability(&self, p: f64) -> f64 {
+        1.0 - crate::square::rows_and_columns_alive_probability(
+            self.grid.side(),
+            self.lines,
+            self.lines,
+            p,
+        )
+    }
+
     /// Materialises all `C(side, lines)²` quorums.
     ///
     /// # Errors
@@ -172,10 +187,22 @@ impl QuorumSystem for MGridSystem {
         if cols.len() < self.lines {
             return None;
         }
-        Some(
-            self.grid
-                .union_of(&rows[..self.lines], &cols[..self.lines]),
-        )
+        Some(self.grid.union_of(&rows[..self.lines], &cols[..self.lines]))
+    }
+
+    fn is_available(&self, alive: &ServerSet) -> bool {
+        // Allocation-free: only the counts of fully alive lines matter.
+        self.grid.fully_alive_row_count(alive) >= self.lines
+            && self.grid.fully_alive_column_count(alive) >= self.lines
+    }
+
+    fn is_available_u64(&self, alive: u64, _scratch: &mut ServerSet) -> bool {
+        self.grid.fully_alive_row_count_u64(alive) >= self.lines
+            && self.grid.fully_alive_column_count_u64(alive) >= self.lines
+    }
+
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        Some(self.crash_probability(p))
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -272,10 +299,7 @@ mod tests {
             for _ in 0..30 {
                 let q1 = m.sample_quorum(&mut rng);
                 let q2 = m.sample_quorum(&mut rng);
-                assert!(
-                    q1.intersection_size(&q2) >= 2 * b + 1,
-                    "side={side} b={b}"
-                );
+                assert!(q1.intersection_size(&q2) > 2 * b, "side={side} b={b}");
             }
         }
     }
@@ -296,6 +320,45 @@ mod tests {
         let q = m.find_live_quorum(&alive2).unwrap();
         assert!(q.is_subset_of(&alive2));
         assert_eq!(q.len(), m.min_quorum_size());
+    }
+
+    #[test]
+    fn closed_form_crash_probability_matches_enumeration() {
+        for (side, b) in [(3usize, 1usize), (4, 1)] {
+            let m = MGridSystem::new(side, b).unwrap();
+            for &p in &[0.0, 0.05, 0.125, 0.3, 0.5, 0.8, 1.0] {
+                let closed = m.crash_probability(p);
+                let enumerated = exact_crash_probability(&m, p).unwrap();
+                assert!(
+                    (closed - enumerated).abs() < 1e-9,
+                    "side={side} b={b} p={p}: closed {closed} vs enumerated {enumerated}"
+                );
+                // Exact value dominates the paper's [KC91, Woo96] lower bound.
+                assert!(closed >= m.crash_probability_kc_bound(p) - 1e-12);
+            }
+        }
+        // The Section 8 instance (n = 1024) now gets an exact F_p where the
+        // paper could only report the 0.638 lower bound.
+        let section8 = MGridSystem::new(32, 15).unwrap();
+        let fp = Evaluator::new().crash_probability(&section8, 0.125);
+        assert_eq!(fp.method, FpMethod::ClosedForm);
+        assert!(fp.value >= 0.638 && fp.value <= 1.0, "fp={}", fp.value);
+    }
+
+    #[test]
+    fn word_level_availability_matches_set_availability() {
+        let m = MGridSystem::new(4, 1).unwrap();
+        let n = m.universe_size();
+        let mut scratch = ServerSet::new(n);
+        let mut reference = ServerSet::new(n);
+        for mask in (0u64..1 << n).step_by(89) {
+            reference.assign_mask_u64(mask);
+            assert_eq!(
+                m.is_available_u64(mask, &mut scratch),
+                m.is_available(&reference),
+                "mask={mask:#x}"
+            );
+        }
     }
 
     #[test]

@@ -131,7 +131,9 @@ impl MPathSystem {
     }
 
     fn to_mask(&self, set: &ServerSet) -> Vec<bool> {
-        (0..self.grid.num_vertices()).map(|v| set.contains(v)).collect()
+        (0..self.grid.num_vertices())
+            .map(|v| set.contains(v))
+            .collect()
     }
 
     /// The percolation-flavoured crash-probability upper bound used in the worked
@@ -312,7 +314,7 @@ mod tests {
             let q1 = m.sample_quorum(&mut rng);
             let q2 = m.sample_quorum(&mut rng);
             assert!(m.contains_quorum(&q1));
-            assert!(q1.intersection_size(&q2) >= 2 * m.b() + 1);
+            assert!(q1.intersection_size(&q2) > 2 * m.b());
         }
     }
 
@@ -401,8 +403,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         let est_low = monte_carlo_crash_probability(&m, 0.05, 200, &mut rng);
         let est_high = monte_carlo_crash_probability(&m, 0.6, 200, &mut rng);
-        assert!(est_low.mean < 0.3, "Fp at p=0.05 should be small: {}", est_low.mean);
-        assert!(est_high.mean > 0.7, "Fp at p=0.6 should be near 1: {}", est_high.mean);
+        assert!(
+            est_low.mean < 0.3,
+            "Fp at p=0.05 should be small: {}",
+            est_low.mean
+        );
+        assert!(
+            est_high.mean > 0.7,
+            "Fp at p=0.6 should be near 1: {}",
+            est_high.mean
+        );
     }
 
     #[test]

@@ -90,11 +90,7 @@ impl RtSystem {
     /// that at least `k − ℓ + 1` of `k` servers crash.
     #[must_use]
     pub fn building_block_failure(&self, p: f64) -> f64 {
-        bqs_combinatorics::binomial::binomial_tail(
-            self.k as u64,
-            (self.k - self.l + 1) as u64,
-            p,
-        )
+        bqs_combinatorics::binomial::binomial_tail(self.k as u64, (self.k - self.l + 1) as u64, p)
     }
 
     /// The exact crash probability via the recurrence (4) of the paper:
@@ -257,6 +253,13 @@ impl QuorumSystem for RtSystem {
 
     fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
         self.find_rec(0, self.universe_size(), alive)
+    }
+
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        // The recurrence of Proposition 5.6 is exact: sibling subtrees fail
+        // independently, so F(h) = g(F(h-1)) with g the ℓ-of-k failure
+        // polynomial (validated against enumeration in this module's tests).
+        Some(self.crash_probability(p))
     }
 
     fn min_quorum_size(&self) -> usize {

@@ -70,13 +70,19 @@ impl SquareGrid {
     /// The servers of row `r`.
     #[must_use]
     pub fn row(&self, r: usize) -> ServerSet {
-        ServerSet::from_indices(self.universe_size(), (0..self.side).map(|c| self.index(r, c)))
+        ServerSet::from_indices(
+            self.universe_size(),
+            (0..self.side).map(|c| self.index(r, c)),
+        )
     }
 
     /// The servers of column `c`.
     #[must_use]
     pub fn column(&self, c: usize) -> ServerSet {
-        ServerSet::from_indices(self.universe_size(), (0..self.side).map(|r| self.index(r, c)))
+        ServerSet::from_indices(
+            self.universe_size(),
+            (0..self.side).map(|r| self.index(r, c)),
+        )
     }
 
     /// The indices of rows that are entirely contained in `alive`.
@@ -95,6 +101,57 @@ impl SquareGrid {
             .collect()
     }
 
+    /// Number of rows entirely contained in `alive`, counted without
+    /// allocating (the hot-path sibling of [`SquareGrid::fully_alive_rows`]).
+    #[must_use]
+    pub fn fully_alive_row_count(&self, alive: &ServerSet) -> usize {
+        (0..self.side)
+            .filter(|&r| (0..self.side).all(|c| alive.contains(self.index(r, c))))
+            .count()
+    }
+
+    /// Number of columns entirely contained in `alive`, counted without
+    /// allocating.
+    #[must_use]
+    pub fn fully_alive_column_count(&self, alive: &ServerSet) -> usize {
+        (0..self.side)
+            .filter(|&c| (0..self.side).all(|r| alive.contains(self.index(r, c))))
+            .count()
+    }
+
+    /// Number of fully-alive rows when the universe is given as a raw `u64`
+    /// mask (valid only for `side² <= 64`).
+    #[must_use]
+    pub fn fully_alive_row_count_u64(&self, alive: u64) -> usize {
+        debug_assert!(self.universe_size() <= 64);
+        let row = if self.side == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.side) - 1
+        };
+        (0..self.side)
+            .filter(|&r| (alive >> (r * self.side)) & row == row)
+            .count()
+    }
+
+    /// Number of fully-alive columns when the universe is given as a raw
+    /// `u64` mask (valid only for `side² <= 64`).
+    ///
+    /// Column `c` is fully alive iff bit `c` survives the AND-fold of every
+    /// row's slice of the mask, so the count is `side` shift-ANDs plus one
+    /// popcount — this runs once per mask inside `2^n` exact enumeration.
+    #[must_use]
+    pub fn fully_alive_column_count_u64(&self, alive: u64) -> usize {
+        debug_assert!(self.universe_size() <= 64);
+        let row = if self.side == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.side) - 1
+        };
+        let folded = (0..self.side).fold(row, |acc, r| acc & (alive >> (r * self.side)));
+        (folded & row).count_ones() as usize
+    }
+
     /// The union of the given rows and columns as a server set.
     #[must_use]
     pub fn union_of(&self, rows: &[usize], cols: &[usize]) -> ServerSet {
@@ -111,6 +168,58 @@ impl SquareGrid {
         }
         set
     }
+}
+
+/// Exact probability that, with each server alive independently with
+/// probability `1 - p`, a `side × side` grid has at least `min_rows` fully
+/// alive rows **and** at least `min_cols` fully alive columns.
+///
+/// This is the availability event of both grid constructions (Grid needs
+/// `2b + 1` rows and one column; M-Grid needs `⌈√(b+1)⌉` of each), so
+/// `1 -` this value is their exact `F_p` — no enumeration required.
+///
+/// Derivation: condition on a set `S` of columns being fully alive. Given
+/// `|S| = j`, the rows are independent and each is fully alive with
+/// probability `(1-p)^(side-j)` (its cells in `S` are already alive). The
+/// generalized inclusion–exclusion identity for "at least `m` of `N`
+/// exchangeable events, jointly with any row event" then gives
+///
+/// ```text
+/// P = Σ_{j=m}^{s} (-1)^(j-m) C(j-1, m-1) C(s, j) (1-p)^(js) · P[Bin(s, (1-p)^(s-j)) >= min_rows]
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `1 <= min_cols <= side` and `min_rows <= side`.
+#[must_use]
+pub fn rows_and_columns_alive_probability(
+    side: usize,
+    min_rows: usize,
+    min_cols: usize,
+    p: f64,
+) -> f64 {
+    assert!(
+        (1..=side).contains(&min_cols) && min_rows <= side,
+        "need 1 <= min_cols <= side and min_rows <= side (side={side}, min_rows={min_rows}, min_cols={min_cols})"
+    );
+    let p = p.clamp(0.0, 1.0);
+    let q = 1.0 - p;
+    let s = side as u64;
+    let mut total = 0.0;
+    for j in min_cols..=side {
+        let sign = if (j - min_cols).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
+        let coeff = bqs_combinatorics::binomial::binomial(j as u64 - 1, min_cols as u64 - 1) as f64
+            * bqs_combinatorics::binomial::binomial(s, j as u64) as f64;
+        let cols_alive = q.powi((j * side) as i32);
+        let row_alive = q.powi((side - j) as i32);
+        let rows_tail = bqs_combinatorics::binomial::binomial_tail(s, min_rows as u64, row_alive);
+        total += sign * coeff * cols_alive * rows_tail;
+    }
+    total.clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

@@ -146,6 +146,19 @@ impl QuorumSystem for ThresholdSystem {
         ))
     }
 
+    fn is_available(&self, alive: &ServerSet) -> bool {
+        // Allocation-free: availability is a pure popcount test.
+        alive.len() >= self.quorum_size
+    }
+
+    fn is_available_u64(&self, alive: u64, _scratch: &mut ServerSet) -> bool {
+        alive.count_ones() as usize >= self.quorum_size
+    }
+
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        Some(self.crash_probability(p))
+    }
+
     fn min_quorum_size(&self) -> usize {
         self.quorum_size
     }
@@ -253,6 +266,27 @@ mod tests {
             let closed = t.crash_probability(p);
             let exact = exact_crash_probability(&t, p).unwrap();
             assert!((closed - exact).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_enumeration_up_to_n_20() {
+        // The closed form must track full enumeration to 1e-9 through n = 20
+        // (2^20 configurations — the engine's popcount fast path keeps this
+        // test cheap). It is also what the evaluation engine dispatches to.
+        for (n, b) in [(13usize, 3usize), (17, 2), (20, 4)] {
+            let t = ThresholdSystem::masking(n, b).unwrap();
+            for &p in &[0.05, 0.125, 0.3, 0.5, 0.8] {
+                let closed = t.crash_probability(p);
+                let enumerated = exact_crash_probability(&t, p).unwrap();
+                assert!(
+                    (closed - enumerated).abs() < 1e-9,
+                    "n={n} b={b} p={p}: closed {closed} vs enumerated {enumerated}"
+                );
+                let dispatched = Evaluator::new().crash_probability(&t, p);
+                assert_eq!(dispatched.method, FpMethod::ClosedForm);
+                assert!((dispatched.value - closed).abs() < 1e-15);
+            }
         }
     }
 

@@ -2,14 +2,20 @@
 //!
 //! Assuming each server crashes independently with probability `p`, `F_p(Q)` is the
 //! probability that *every* quorum contains at least one crashed server — the system
-//! is unavailable. Two engines are provided:
+//! is unavailable. Three engines are provided:
 //!
 //! * [`exact_crash_probability`] — exact enumeration of all `2^n` crash
-//!   configurations, feasible for the small universes used in unit tests and for
-//!   validating the estimators (an ablation called out in DESIGN.md);
+//!   configurations. Since the evaluation-engine refactor this iterates raw
+//!   `u64` masks against a reusable scratch set (zero allocation per
+//!   configuration) and fans large mask ranges out across threads via
+//!   [`crate::eval::Evaluator`];
+//! * [`exact_crash_probability_naive`] — the historical scalar loop that heap-
+//!   allocates a fresh [`ServerSet`] per configuration, kept as the reference
+//!   the engine is validated (and its speedup measured) against;
 //! * [`monte_carlo_crash_probability`] — an unbiased estimator with a binomial
 //!   confidence interval, usable for any [`QuorumSystem`], including the large
-//!   structured constructions.
+//!   structured constructions. For parallel estimation with per-thread RNG
+//!   streams, use [`crate::eval::Evaluator::monte_carlo`].
 //!
 //! The paper also cares about the *asymptotic* behaviour of `F_p`: a family of
 //! systems is **Condorcet** if `F_p → 0` as `n → ∞` for every `p < 1/2`.
@@ -19,10 +25,11 @@ use rand::Rng;
 
 use crate::bitset::ServerSet;
 use crate::error::QuorumError;
+use crate::eval::Evaluator;
 use crate::quorum::QuorumSystem;
 
 /// Largest universe size accepted by the exact enumerator (`2^25` configurations).
-pub const EXACT_ENUMERATION_LIMIT: usize = 25;
+pub const EXACT_ENUMERATION_LIMIT: usize = crate::eval::DEFAULT_EXACT_LIMIT;
 
 /// A Monte-Carlo estimate of a probability, with sampling error.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,11 +58,35 @@ impl CrashEstimate {
 
 /// Exact crash probability by enumerating every crash configuration.
 ///
+/// Runs on the shared evaluation engine: allocation-free mask iteration with
+/// a `u64` fast path, parallel across all cores once the mask space exceeds
+/// [`crate::eval::PARALLEL_MASK_THRESHOLD`] (below it, the ascending-mask
+/// scalar order is preserved, so results match the historical loop
+/// bit-for-bit). Closed forms are deliberately *not* consulted — this
+/// function is the ground truth they are tested against; use
+/// [`crate::eval::Evaluator::crash_probability`] for dispatching evaluation.
+///
 /// # Errors
 ///
 /// Returns [`QuorumError::UniverseTooLarge`] when the universe exceeds
 /// [`EXACT_ENUMERATION_LIMIT`] servers.
 pub fn exact_crash_probability<Q: QuorumSystem + ?Sized>(
+    system: &Q,
+    p: f64,
+) -> Result<f64, QuorumError> {
+    Evaluator::new().exact(system, p)
+}
+
+/// The pre-refactor scalar enumerator: single-threaded, one fresh heap
+/// [`ServerSet`] per crash configuration. Kept (not deprecated) as the
+/// bit-for-bit reference for the evaluation engine and as the baseline the
+/// `bench_fp` binary measures the engine's speedup against.
+///
+/// # Errors
+///
+/// Returns [`QuorumError::UniverseTooLarge`] when the universe exceeds
+/// [`EXACT_ENUMERATION_LIMIT`] servers.
+pub fn exact_crash_probability_naive<Q: QuorumSystem + ?Sized>(
     system: &Q,
     p: f64,
 ) -> Result<f64, QuorumError> {
@@ -99,8 +130,9 @@ where
     let n = system.universe_size();
     let p = p.clamp(0.0, 1.0);
     let mut failures = 0usize;
+    let mut alive = ServerSet::new(n);
     for _ in 0..trials {
-        let mut alive = ServerSet::new(n);
+        alive.clear();
         for i in 0..n {
             if rng.gen::<f64>() >= p {
                 alive.insert(i);

@@ -68,6 +68,26 @@ impl ServerSet {
         s
     }
 
+    /// Creates a set from an iterator of server indices, reporting the first
+    /// out-of-universe index instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending index when any index is `>= capacity`.
+    pub fn try_from_indices<I: IntoIterator<Item = usize>>(
+        capacity: usize,
+        indices: I,
+    ) -> Result<Self, usize> {
+        let mut s = ServerSet::new(capacity);
+        for i in indices {
+            if i >= capacity {
+                return Err(i);
+            }
+            s.insert(i);
+        }
+        Ok(s)
+    }
+
     /// The size of the universe this set ranges over.
     #[must_use]
     pub fn capacity(&self) -> usize {
@@ -228,6 +248,57 @@ impl ServerSet {
     #[must_use]
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
+    }
+
+    /// Removes every member, keeping the capacity (and allocation).
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Overwrites the set with the bits of `mask` — the allocation-free hot
+    /// path of the evaluation engine, which enumerates crash configurations
+    /// as raw `u64` masks and reuses one scratch `ServerSet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity exceeds 64 or if `mask` has bits at positions
+    /// `>= capacity`.
+    pub fn assign_mask_u64(&mut self, mask: u64) {
+        assert!(
+            self.capacity <= 64,
+            "assign_mask_u64 requires capacity <= 64 (got {})",
+            self.capacity
+        );
+        let valid = if self.capacity == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.capacity) - 1
+        };
+        assert!(
+            mask & !valid == 0,
+            "mask has bits beyond the capacity {}",
+            self.capacity
+        );
+        if let Some(w) = self.words.first_mut() {
+            *w = mask;
+        }
+    }
+
+    /// The set as a single `u64` mask. Only valid for capacities up to 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity exceeds 64.
+    #[must_use]
+    pub fn as_mask_u64(&self) -> u64 {
+        assert!(
+            self.capacity <= 64,
+            "as_mask_u64 requires capacity <= 64 (got {})",
+            self.capacity
+        );
+        self.words.first().copied().unwrap_or(0)
     }
 }
 

@@ -48,7 +48,7 @@ pub fn load_optimal_quorum_size(n: usize, b: usize) -> f64 {
 /// availability limit imposed by the resilience alone.
 #[must_use]
 pub fn crash_probability_lower_bound_resilience(p: f64, min_transversal: usize) -> f64 {
-    p.max(0.0).min(1.0).powi(min_transversal as i32)
+    p.clamp(0.0, 1.0).powi(min_transversal as i32)
 }
 
 /// Proposition 4.4: `F_p(Q) ≥ p^{c(Q) − 2b}` for a b-masking system.
@@ -60,9 +60,7 @@ pub fn crash_probability_lower_bound_masking(p: f64, min_quorum_size: usize, b: 
     if min_quorum_size <= 2 * b {
         return 1.0;
     }
-    p.max(0.0)
-        .min(1.0)
-        .powi((min_quorum_size - 2 * b) as i32)
+    p.clamp(0.0, 1.0).powi((min_quorum_size - 2 * b) as i32)
 }
 
 /// Proposition 4.5: `F_p(Q) ≥ p^{b+1}`, valid when `MT(Q) ≤ (IS(Q) + 1) / 2`
@@ -71,7 +69,7 @@ pub fn crash_probability_lower_bound_masking(p: f64, min_quorum_size: usize, b: 
 /// [`proposition_4_5_applies`].
 #[must_use]
 pub fn crash_probability_lower_bound_tight(p: f64, b: usize) -> f64 {
-    p.max(0.0).min(1.0).powi(b as i32 + 1)
+    p.clamp(0.0, 1.0).powi(b as i32 + 1)
 }
 
 /// The precondition of Proposition 4.5: `MT(Q) ≤ (IS(Q) + 1) / 2`.
@@ -99,7 +97,7 @@ mod tests {
         let b = 3;
         assert!((load_lower_bound(n, b, 7) - 1.0).abs() < 1e-12); // (2b+1)/c = 1
         assert!((load_lower_bound(n, b, 70) - 0.7).abs() < 1e-12); // c/n dominates
-        // The bound is minimised near c = sqrt((2b+1) n).
+                                                                   // The bound is minimised near c = sqrt((2b+1) n).
         let c_star = load_optimal_quorum_size(n, b).round() as usize;
         let at_star = load_lower_bound(n, b, c_star);
         assert!(at_star <= load_lower_bound(n, b, c_star / 2) + 1e-12);
@@ -113,10 +111,7 @@ mod tests {
         let b = 5;
         let universal = load_lower_bound_universal(n, b);
         for c in 1..=n {
-            assert!(
-                load_lower_bound(n, b, c) >= universal - 1e-9,
-                "c={c}"
-            );
+            assert!(load_lower_bound(n, b, c) >= universal - 1e-9, "c={c}");
         }
         // And the universal bound is attained at the optimal quorum size.
         let c_star = load_optimal_quorum_size(n, b);
@@ -157,7 +152,7 @@ mod tests {
     fn proposition_4_5_precondition() {
         // Threshold 3b+1 of 4b+1: MT = b+1, IS = 2b+1 -> 2(b+1) <= 2b+2 holds.
         assert!(proposition_4_5_applies(3, 5)); // b = 2
-        // FPP: MT = q+1, IS = 1 -> fails for q >= 1.
+                                                // FPP: MT = q+1, IS = 1 -> fails for q >= 1.
         assert!(!proposition_4_5_applies(3, 1));
     }
 

@@ -106,11 +106,11 @@ impl<S: QuorumSystem, R: QuorumSystem> QuorumSystem for ComposedSystem<S, R> {
         let n_s = self.outer.universe_size();
         let mut available_copies = ServerSet::new(n_s);
         let mut live_inner: Vec<Option<ServerSet>> = vec![None; n_s];
-        for copy in 0..n_s {
+        for (copy, slot) in live_inner.iter_mut().enumerate() {
             let local_alive = self.restrict_to_copy(alive, copy);
             if let Some(q) = self.inner.find_live_quorum(&local_alive) {
                 available_copies.insert(copy);
-                live_inner[copy] = Some(q);
+                *slot = Some(q);
             }
         }
         let outer_quorum = self.outer.find_live_quorum(&available_copies)?;
@@ -200,8 +200,11 @@ pub fn compose_explicit(
             }
         }
     }
-    Ok(ExplicitQuorumSystem::new(n, composed)?
-        .with_name(format!("{} ∘ {}", outer.name(), inner.name())))
+    Ok(ExplicitQuorumSystem::new(n, composed)?.with_name(format!(
+        "{} ∘ {}",
+        outer.name(),
+        inner.name()
+    )))
 }
 
 /// The analytic parameter composition of Theorem 4.7, for planning compositions
@@ -349,7 +352,10 @@ mod tests {
             let r_p = exact_crash_probability(&r, p).unwrap();
             let s_of_r = exact_crash_probability(&s, r_p).unwrap();
             let direct = exact_crash_probability(&composed, p).unwrap();
-            assert!((s_of_r - direct).abs() < 1e-9, "p={p}: {s_of_r} vs {direct}");
+            assert!(
+                (s_of_r - direct).abs() < 1e-9,
+                "p={p}: {s_of_r} vs {direct}"
+            );
         }
     }
 }

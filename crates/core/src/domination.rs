@@ -174,7 +174,13 @@ mod tests {
         use crate::load::optimal_load;
         let original = ExplicitQuorumSystem::from_indices(
             4,
-            [vec![0, 1], vec![0, 1, 2], vec![1, 2], vec![0, 2], vec![0, 2, 3]],
+            [
+                vec![0, 1],
+                vec![0, 1, 2],
+                vec![1, 2],
+                vec![0, 2],
+                vec![0, 2, 3],
+            ],
         )
         .unwrap();
         let minimal = minimize_system(&original).unwrap();
@@ -206,7 +212,9 @@ mod tests {
         let majority = sets(3, &[&[0, 1], &[0, 2], &[1, 2]]);
         assert_eq!(domination_witness(&majority, 3).unwrap(), None);
         let star = sets(3, &[&[0, 1], &[0, 2]]);
-        let witness = domination_witness(&star, 3).unwrap().expect("star is dominated");
+        let witness = domination_witness(&star, 3)
+            .unwrap()
+            .expect("star is dominated");
         // Any witness must hit every quorum without containing one ({0} and {1,2} both
         // qualify; the search returns the first in mask order).
         assert!(star.iter().all(|q| !q.is_disjoint_from(&witness)));

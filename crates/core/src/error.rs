@@ -97,7 +97,10 @@ mod tests {
             (QuorumError::EmptySystem, "no quorums"),
             (QuorumError::EmptyQuorum { index: 3 }, "quorum 3"),
             (
-                QuorumError::NonIntersecting { first: 1, second: 2 },
+                QuorumError::NonIntersecting {
+                    first: 1,
+                    second: 2,
+                },
                 "do not intersect",
             ),
             (
@@ -111,10 +114,7 @@ mod tests {
                 QuorumError::InvalidStrategy("weights sum to 0.5".into()),
                 "weights sum to 0.5",
             ),
-            (
-                QuorumError::InvalidParameters("4b >= n".into()),
-                "4b >= n",
-            ),
+            (QuorumError::InvalidParameters("4b >= n".into()), "4b >= n"),
             (
                 QuorumError::NotMasking {
                     requested_b: 3,

@@ -1,0 +1,573 @@
+//! The shared evaluation engine for crash probability `F_p(Q)`.
+//!
+//! Every figure, table and sweep in the workspace ultimately asks the same
+//! question — *how likely is it that no quorum survives?* — and before this
+//! module each caller hand-rolled its own loop: single-threaded, allocating a
+//! fresh [`ServerSet`] per crash configuration (`2^n` heap allocations per
+//! exact evaluation). [`Evaluator`] replaces those loops with one engine:
+//!
+//! * **Closed forms first.** Constructions whose structure admits an exact
+//!   closed-form `F_p` ([`QuorumSystem::crash_probability_closed_form`]) skip
+//!   enumeration entirely — Threshold, Grid, M-Grid and RT all answer in
+//!   microseconds at any `n`.
+//! * **Allocation-free exact enumeration.** Crash configurations are iterated
+//!   as raw `u64` masks (the exact limit is far below 64 servers) and checked
+//!   through [`QuorumSystem::is_available_u64`] against one reusable scratch
+//!   set per worker — zero heap allocation per configuration.
+//! * **Parallel by default.** Mask ranges are chunked across a scoped thread
+//!   pool; Monte-Carlo trials run on independent per-thread RNG streams
+//!   (deterministic for a fixed seed, regardless of thread count).
+//!
+//! Small universes (`2^n` below [`PARALLEL_MASK_THRESHOLD`]) are evaluated on
+//! the calling thread in ascending mask order, which keeps the result
+//! *bit-for-bit identical* to the historical scalar loop — a property the
+//! regression tests pin down.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::availability::CrashEstimate;
+use crate::bitset::ServerSet;
+use crate::error::QuorumError;
+use crate::quorum::QuorumSystem;
+
+/// Largest universe size accepted by the exact enumerator (`2^25`
+/// configurations by default; raise with [`Evaluator::with_exact_limit`], the
+/// hard ceiling being 63 bits of mask space).
+pub const DEFAULT_EXACT_LIMIT: usize = 25;
+
+/// Mask-count threshold below which exact enumeration stays on the calling
+/// thread (in ascending mask order, matching the historical scalar loop
+/// bit-for-bit). `2^17` configurations evaluate in well under a millisecond,
+/// so threads would only add overhead there.
+pub const PARALLEL_MASK_THRESHOLD: u64 = 1 << 17;
+
+/// How the engine arrived at a crash-probability value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpMethod {
+    /// A structure-aware closed form (exact, any `n`).
+    ClosedForm,
+    /// Exhaustive enumeration of all `2^n` crash configurations (exact).
+    Exact,
+    /// Monte-Carlo estimation (unbiased, with sampling error).
+    MonteCarlo,
+}
+
+/// A crash-probability answer, tagged with how it was obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpEstimate {
+    /// The crash probability `F_p(Q)` (point estimate for Monte-Carlo).
+    pub value: f64,
+    /// Standard error of the estimate (`None` for exact methods).
+    pub std_error: Option<f64>,
+    /// Number of Monte-Carlo trials behind the estimate, when applicable.
+    pub trials: Option<usize>,
+    /// The method that produced the value.
+    pub method: FpMethod,
+}
+
+impl FpEstimate {
+    /// Half-width of the 95% confidence interval (zero for exact methods).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error.unwrap_or(0.0)
+    }
+
+    /// Whether the estimate is exact (closed form or full enumeration).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.method != FpMethod::MonteCarlo
+    }
+
+    /// Whether `value` lies within the 95% confidence interval (exact methods
+    /// compare with a small absolute tolerance).
+    #[must_use]
+    pub fn is_consistent_with(&self, value: f64) -> bool {
+        (value - self.value).abs() <= self.ci95_half_width() + 1e-12
+    }
+}
+
+/// The shared entry point for crash-probability evaluation.
+///
+/// An `Evaluator` carries the execution policy — worker count, exact-vs-
+/// sampling cutoff, Monte-Carlo effort and base seed — so that sweeps and
+/// bench binaries describe *what* to measure and the engine decides *how*.
+///
+/// # Example
+///
+/// ```
+/// use bqs_core::eval::{Evaluator, FpMethod};
+/// use bqs_core::prelude::*;
+///
+/// let system = ExplicitQuorumSystem::from_indices(
+///     3,
+///     [vec![0, 1], vec![1, 2], vec![0, 2]],
+/// )?;
+/// let eval = Evaluator::new().with_seed(7);
+/// let fp = eval.crash_probability(&system, 0.1);
+/// assert_eq!(fp.method, FpMethod::Exact);
+/// // Majority-of-3 fails when >= 2 of 3 crash: 3 p^2 (1-p) + p^3.
+/// assert!((fp.value - (3.0 * 0.01 * 0.9 + 0.001)).abs() < 1e-12);
+/// # Ok::<(), QuorumError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    threads: usize,
+    exact_limit: usize,
+    mc_trials: usize,
+    seed: u64,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator {
+            threads: default_threads(),
+            exact_limit: DEFAULT_EXACT_LIMIT,
+            mc_trials: 10_000,
+            seed: 0x004d_5257_3937,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl Evaluator {
+    /// An evaluator with the default policy: all available cores, the
+    /// standard exact limit, 10 000 Monte-Carlo trials, a fixed seed.
+    #[must_use]
+    pub fn new() -> Self {
+        Evaluator::default()
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the largest universe evaluated by exact enumeration (clamped to
+    /// 63, the mask-width ceiling).
+    #[must_use]
+    pub fn with_exact_limit(mut self, limit: usize) -> Self {
+        self.exact_limit = limit.min(63);
+        self
+    }
+
+    /// Sets the Monte-Carlo effort used when enumeration is infeasible.
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.mc_trials = trials.max(1);
+        self
+    }
+
+    /// Sets the base seed of the deterministic per-thread RNG streams.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured Monte-Carlo trial count.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.mc_trials
+    }
+
+    /// Evaluates `F_p(Q)`, choosing the cheapest method that answers exactly:
+    /// a closed form when the construction has one, exhaustive enumeration
+    /// when `2^n` is tractable, Monte-Carlo estimation otherwise.
+    pub fn crash_probability<Q: QuorumSystem + ?Sized>(&self, system: &Q, p: f64) -> FpEstimate {
+        let p = p.clamp(0.0, 1.0);
+        if let Some(value) = system.crash_probability_closed_form(p) {
+            return FpEstimate {
+                value,
+                std_error: None,
+                trials: None,
+                method: FpMethod::ClosedForm,
+            };
+        }
+        match self.exact(system, p) {
+            Ok(value) => FpEstimate {
+                value,
+                std_error: None,
+                trials: None,
+                method: FpMethod::Exact,
+            },
+            Err(_) => {
+                let est = self.monte_carlo(system, p);
+                FpEstimate {
+                    value: est.mean,
+                    std_error: Some(est.std_error),
+                    trials: Some(est.trials),
+                    method: FpMethod::MonteCarlo,
+                }
+            }
+        }
+    }
+
+    /// Exact `F_p(Q)` by (parallel, allocation-free) enumeration of every
+    /// crash configuration. Never consults closed forms, which makes it the
+    /// reference the closed forms are validated against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::UniverseTooLarge`] when `n` exceeds the
+    /// configured exact limit.
+    pub fn exact<Q: QuorumSystem + ?Sized>(&self, system: &Q, p: f64) -> Result<f64, QuorumError> {
+        let n = system.universe_size();
+        if n > self.exact_limit {
+            return Err(QuorumError::UniverseTooLarge {
+                universe_size: n,
+                limit: self.exact_limit,
+            });
+        }
+        let p = p.clamp(0.0, 1.0);
+        let total: u64 = 1u64 << n;
+        if self.threads <= 1 || total <= PARALLEL_MASK_THRESHOLD {
+            return Ok(enumerate_masks(system, p, 0, total).clamp(0.0, 1.0));
+        }
+        // Oversplit relative to the worker count so an unlucky chunk (for
+        // example one whose masks are mostly available and exit the quorum
+        // scan late) cannot straggle the whole evaluation.
+        let chunks =
+            (self.threads * 8).min(usize::try_from(total / 1024).unwrap_or(usize::MAX).max(1));
+        let chunk_len = total.div_ceil(chunks as u64);
+        let crash_prob: f64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chunks as u64)
+                .map(|c| {
+                    let start = c * chunk_len;
+                    let end = total.min(start + chunk_len);
+                    scope.spawn(move || enumerate_masks(system, p, start, end))
+                })
+                .collect();
+            // Joining in spawn order keeps the reduction deterministic for a
+            // fixed chunk count.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        });
+        Ok(crash_prob.clamp(0.0, 1.0))
+    }
+
+    /// Monte-Carlo `F_p(Q)` with `self.trials()` trials fanned out over
+    /// per-thread RNG streams. Deterministic for a fixed seed — the stream
+    /// split is by trial block, not by scheduling order.
+    pub fn monte_carlo<Q: QuorumSystem + ?Sized>(&self, system: &Q, p: f64) -> CrashEstimate {
+        self.monte_carlo_with(system, p, self.mc_trials)
+    }
+
+    /// [`Evaluator::monte_carlo`] with an explicit trial count.
+    ///
+    /// Trials are partitioned into fixed-size blocks of [`MC_BLOCK_TRIALS`],
+    /// each with its own RNG stream seeded from the block *index* — never
+    /// from the worker count — and the failure counts are summed. The result
+    /// is therefore a pure function of `(seed, trials, p, system)`, identical
+    /// on a laptop, a CI runner, or any `with_threads` setting.
+    pub fn monte_carlo_with<Q: QuorumSystem + ?Sized>(
+        &self,
+        system: &Q,
+        p: f64,
+        trials: usize,
+    ) -> CrashEstimate {
+        let trials = trials.max(1);
+        let p = p.clamp(0.0, 1.0);
+        let blocks = trials.div_ceil(MC_BLOCK_TRIALS);
+        let block_trials = |b: usize| {
+            if b + 1 == blocks {
+                trials - b * MC_BLOCK_TRIALS
+            } else {
+                MC_BLOCK_TRIALS
+            }
+        };
+        let workers = self.threads.min(blocks);
+        let failures: usize = if workers <= 1 {
+            (0..blocks)
+                .map(|b| mc_failures(system, p, block_trials(b), stream_seed(self.seed, b as u64)))
+                .sum()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            // Strided block assignment; the sum over blocks is
+                            // independent of which worker ran which block.
+                            (w..blocks)
+                                .step_by(workers)
+                                .map(|b| {
+                                    mc_failures(
+                                        system,
+                                        p,
+                                        block_trials(b),
+                                        stream_seed(self.seed, b as u64),
+                                    )
+                                })
+                                .sum::<usize>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .sum()
+            })
+        };
+        let mean = failures as f64 / trials as f64;
+        CrashEstimate {
+            mean,
+            std_error: (mean * (1.0 - mean) / trials as f64).sqrt(),
+            trials,
+        }
+    }
+}
+
+/// Trials per Monte-Carlo RNG-stream block. The block partition (not the
+/// worker partition) defines the random streams, making estimates
+/// reproducible across machines with different core counts.
+pub const MC_BLOCK_TRIALS: usize = 1024;
+
+/// Sums the probability mass of the *unavailable* alive-masks in
+/// `start..end`, allocation-free: one scratch set for the whole range.
+///
+/// The per-mask probability depends only on the popcount, so the `n + 1`
+/// possible weights are computed once up front — with the exact expression
+/// the historical scalar loop used per mask, which keeps the summed terms
+/// (and hence the bit-for-bit parity the tests pin down) unchanged.
+fn enumerate_masks<Q: QuorumSystem + ?Sized>(system: &Q, p: f64, start: u64, end: u64) -> f64 {
+    let n = system.universe_size();
+    let q = 1.0 - p;
+    let weight: Vec<f64> = (0..=n as i32)
+        .map(|k| q.powi(k) * p.powi(n as i32 - k))
+        .collect();
+    let mut scratch = ServerSet::new(n);
+    let mut crash_prob = 0.0;
+    for mask in start..end {
+        if !system.is_available_u64(mask, &mut scratch) {
+            crash_prob += weight[mask.count_ones() as usize];
+        }
+    }
+    crash_prob
+}
+
+/// Runs `trials` independent crash experiments on one RNG stream, reusing a
+/// single scratch set, and counts how many left the system unavailable.
+fn mc_failures<Q: QuorumSystem + ?Sized>(system: &Q, p: f64, trials: usize, seed: u64) -> usize {
+    let n = system.universe_size();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alive = ServerSet::new(n);
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        alive.clear();
+        for i in 0..n {
+            if rng.gen::<f64>() >= p {
+                alive.insert(i);
+            }
+        }
+        if !system.is_available(&alive) {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Derives statistically independent per-worker seeds (SplitMix64 finalizer).
+fn stream_seed(base: u64, worker: u64) -> u64 {
+    let mut z = base ^ worker.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::{exact_crash_probability_naive, threshold_crash_probability};
+    use crate::quorum::ExplicitQuorumSystem;
+    use bqs_combinatorics::subsets::KSubsets;
+
+    fn k_of_n_system(n: usize, k: usize) -> ExplicitQuorumSystem {
+        let quorums: Vec<ServerSet> = KSubsets::new(n, k)
+            .map(|s| ServerSet::from_indices(n, s))
+            .collect();
+        ExplicitQuorumSystem::new(n, quorums).unwrap()
+    }
+
+    #[test]
+    fn exact_matches_naive_reference_bit_for_bit_on_small_universes() {
+        // Below PARALLEL_MASK_THRESHOLD the engine keeps the historical
+        // ascending-mask order, so the sum is identical to the last ulp.
+        let eval = Evaluator::new();
+        for (n, k) in [(4usize, 3usize), (6, 4), (9, 6), (11, 7)] {
+            let sys = k_of_n_system(n, k);
+            for &p in &[0.05, 0.125, 0.3, 0.5, 0.77] {
+                let engine = eval.exact(&sys, p).unwrap();
+                let naive = exact_crash_probability_naive(&sys, p).unwrap();
+                assert_eq!(
+                    engine.to_bits(),
+                    naive.to_bits(),
+                    "n={n} k={k} p={p}: {engine} vs {naive}"
+                );
+            }
+        }
+    }
+
+    /// A majority-of-n system answering availability by popcount alone, so the
+    /// test can afford universes above the parallel threshold (2^17 masks).
+    struct CheapMajority {
+        n: usize,
+    }
+
+    impl QuorumSystem for CheapMajority {
+        fn universe_size(&self) -> usize {
+            self.n
+        }
+        fn name(&self) -> String {
+            format!("cheap-majority({})", self.n)
+        }
+        fn sample_quorum(&self, _rng: &mut dyn rand::RngCore) -> ServerSet {
+            ServerSet::from_indices(self.n, 0..self.n / 2 + 1)
+        }
+        fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
+            if alive.len() > self.n / 2 {
+                Some(ServerSet::from_indices(
+                    self.n,
+                    alive.iter().take(self.n / 2 + 1),
+                ))
+            } else {
+                None
+            }
+        }
+        fn is_available(&self, alive: &ServerSet) -> bool {
+            alive.len() > self.n / 2
+        }
+        fn min_quorum_size(&self) -> usize {
+            self.n / 2 + 1
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_serial() {
+        // n = 19 exceeds the 2^17-mask threshold, forcing the chunked path.
+        let sys = CheapMajority { n: 19 };
+        let serial = Evaluator::new().with_threads(1);
+        let parallel = Evaluator::new().with_threads(4);
+        for &p in &[0.1, 0.5] {
+            let a = serial.exact(&sys, p).unwrap();
+            let b = parallel.exact(&sys, p).unwrap();
+            assert!((a - b).abs() < 1e-12, "p={p}: {a} vs {b}");
+            let closed = threshold_crash_probability(19, 10, p);
+            assert!((a - closed).abs() < 1e-9, "p={p}: {a} vs closed {closed}");
+        }
+    }
+
+    #[test]
+    fn crash_probability_dispatches_to_exact_and_reports_method() {
+        let sys = k_of_n_system(5, 3);
+        let fp = Evaluator::new().crash_probability(&sys, 0.25);
+        assert_eq!(fp.method, FpMethod::Exact);
+        assert!(fp.is_exact());
+        assert_eq!(fp.ci95_half_width(), 0.0);
+        let closed = threshold_crash_probability(5, 3, 0.25);
+        assert!((fp.value - closed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_probability_falls_back_to_monte_carlo() {
+        // 30 servers is beyond the exact limit and the explicit system has no
+        // closed form, so the engine must sample.
+        let quorums: Vec<ServerSet> = (0..4)
+            .map(|i| ServerSet::from_indices(30, (0..16).map(|j| (i + j) % 30)))
+            .collect();
+        let sys = ExplicitQuorumSystem::new(30, quorums).unwrap();
+        let eval = Evaluator::new().with_trials(2000).with_seed(11);
+        let fp = eval.crash_probability(&sys, 0.3);
+        assert_eq!(fp.method, FpMethod::MonteCarlo);
+        assert!(!fp.is_exact());
+        assert_eq!(fp.trials, Some(2000));
+        assert!(fp.std_error.unwrap() > 0.0);
+        assert!((0.0..=1.0).contains(&fp.value));
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_across_thread_counts() {
+        let sys = k_of_n_system(9, 6);
+        let a = Evaluator::new()
+            .with_seed(5)
+            .with_threads(1)
+            .monte_carlo_with(&sys, 0.2, 4096);
+        let b = Evaluator::new()
+            .with_seed(5)
+            .with_threads(4)
+            .monte_carlo_with(&sys, 0.2, 4096);
+        // The RNG streams are defined by the fixed block partition, not the
+        // worker partition: the estimate is a pure function of the seed and
+        // trial count, identical for every thread count.
+        assert_eq!(a.mean, b.mean);
+        let c = Evaluator::new()
+            .with_seed(5)
+            .with_threads(3)
+            .monte_carlo_with(&sys, 0.2, 4096);
+        assert_eq!(a.mean, c.mean);
+        // And the deterministic value is statistically consistent with exact.
+        let exact = Evaluator::new().exact(&sys, 0.2).unwrap();
+        for est in [a, b] {
+            assert!(
+                (est.mean - exact).abs() <= est.ci95_half_width() + 0.03,
+                "mc {} vs exact {exact}",
+                est.mean
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_short_circuits_enumeration() {
+        struct ClosedFormOnly;
+        impl QuorumSystem for ClosedFormOnly {
+            fn universe_size(&self) -> usize {
+                100 // far beyond any exact limit
+            }
+            fn name(&self) -> String {
+                "closed-form-only".into()
+            }
+            fn sample_quorum(&self, _rng: &mut dyn rand::RngCore) -> ServerSet {
+                ServerSet::full(100)
+            }
+            fn find_live_quorum(&self, _alive: &ServerSet) -> Option<ServerSet> {
+                unreachable!("the engine must not probe availability")
+            }
+            fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+                Some(p * p)
+            }
+            fn min_quorum_size(&self) -> usize {
+                100
+            }
+        }
+        let fp = Evaluator::new().crash_probability(&ClosedFormOnly, 0.25);
+        assert_eq!(fp.method, FpMethod::ClosedForm);
+        assert!((fp.value - 0.0625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_limit_is_enforced_and_configurable() {
+        let sys = k_of_n_system(10, 6);
+        let strict = Evaluator::new().with_exact_limit(8);
+        assert!(matches!(
+            strict.exact(&sys, 0.1),
+            Err(QuorumError::UniverseTooLarge { limit: 8, .. })
+        ));
+        assert!(strict.crash_probability(&sys, 0.1).method == FpMethod::MonteCarlo);
+        let relaxed = Evaluator::new().with_exact_limit(12);
+        assert!(relaxed.exact(&sys, 0.1).is_ok());
+    }
+}

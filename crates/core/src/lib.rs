@@ -52,6 +52,7 @@ pub mod bounds;
 pub mod composition;
 pub mod domination;
 pub mod error;
+pub mod eval;
 pub mod load;
 pub mod masking;
 pub mod measures;
@@ -63,6 +64,7 @@ pub use availability::{exact_crash_probability, monte_carlo_crash_probability, C
 pub use bitset::ServerSet;
 pub use composition::{compose_explicit, ComposedSystem};
 pub use error::QuorumError;
+pub use eval::{Evaluator, FpEstimate, FpMethod};
 pub use load::{fair_load, optimal_load};
 pub use masking::{is_b_masking, masking_level};
 pub use quorum::{ExplicitQuorumSystem, QuorumSystem};
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use crate::composition::{compose_explicit, ComposedSystem};
     pub use crate::domination::{is_coterie, minimize_system, reduce_to_minimal};
     pub use crate::error::QuorumError;
+    pub use crate::eval::{Evaluator, FpEstimate, FpMethod};
     pub use crate::load::{fair_load, optimal_load, strategy_load};
     pub use crate::masking::{is_b_masking, mask_votes, masking_feasible, masking_level};
     pub use crate::measures::{

@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn empty_system_is_an_error() {
-        assert!(matches!(optimal_load(&[], 3), Err(QuorumError::EmptySystem)));
+        assert!(matches!(
+            optimal_load(&[], 3),
+            Err(QuorumError::EmptySystem)
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub fn is_b_masking(quorums: &[ServerSet], universe_size: usize, b: usize) -> bo
         return false;
     }
     let mt = min_transversal_size(quorums, universe_size);
-    mt >= b + 1
+    mt > b
 }
 
 /// The consistency half of the masking property alone: every pairwise intersection
@@ -48,7 +48,7 @@ pub fn is_b_masking(quorums: &[ServerSet], universe_size: usize, b: usize) -> bo
 /// resilience is known analytically and only the intersections need checking.
 #[must_use]
 pub fn has_masking_intersections(quorums: &[ServerSet], b: usize) -> bool {
-    min_intersection_size(quorums) >= 2 * b + 1
+    min_intersection_size(quorums) > 2 * b
 }
 
 /// The necessary condition `4b < n` for a b-masking system to exist over `n` servers
@@ -75,7 +75,7 @@ pub fn mask_votes<V: Eq + Clone>(votes: &[(usize, V)], b: usize) -> Vec<V> {
     }
     distinct
         .into_iter()
-        .filter(|(_, count)| *count >= b + 1)
+        .filter(|(_, count)| *count > b)
         .map(|(v, _)| v)
         .collect()
 }

@@ -22,7 +22,12 @@ use crate::strategy::AccessStrategy;
 /// Implementations must guarantee the quorum-system property: any two sets that
 /// [`QuorumSystem::sample_quorum`] can return, or that
 /// [`QuorumSystem::find_live_quorum`] can return, intersect.
-pub trait QuorumSystem {
+///
+/// The `Send + Sync` supertraits let the evaluation engine
+/// ([`crate::eval::Evaluator`]) fan availability queries out across threads;
+/// every implementation in the workspace is a plain data structure, so this
+/// costs nothing.
+pub trait QuorumSystem: Send + Sync {
     /// The number of servers `n = |U|`.
     fn universe_size(&self) -> usize;
 
@@ -39,8 +44,37 @@ pub trait QuorumSystem {
     fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet>;
 
     /// True if some quorum survives within `alive`.
+    ///
+    /// Implementations should answer against the *borrowed* `alive` set without
+    /// allocating: this is the innermost call of exact `F_p` enumeration and of
+    /// every Monte-Carlo trial.
     fn is_available(&self, alive: &ServerSet) -> bool {
         self.find_live_quorum(alive).is_some()
+    }
+
+    /// Word-level availability for universes of at most 64 servers: `alive` is
+    /// a raw bitmask over the universe. `scratch` is a caller-provided reusable
+    /// set with the system's capacity, so the default implementation performs
+    /// zero heap allocation per call.
+    ///
+    /// Structure-aware implementations (explicit mask lists, grids) override
+    /// this to skip the `ServerSet` round-trip entirely.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `scratch.capacity() != self.universe_size()` or the
+    /// universe exceeds 64 servers.
+    fn is_available_u64(&self, alive: u64, scratch: &mut ServerSet) -> bool {
+        scratch.assign_mask_u64(alive);
+        self.is_available(scratch)
+    }
+
+    /// Exact crash probability in closed form, when the construction's
+    /// structure admits one (`None` otherwise). Implementations must agree
+    /// with exhaustive enumeration to within floating-point error; the
+    /// evaluation engine uses this to skip enumeration entirely.
+    fn crash_probability_closed_form(&self, _p: f64) -> Option<f64> {
+        None
     }
 
     /// The cardinality `c(Q)` of the smallest quorum.
@@ -52,6 +86,9 @@ pub trait QuorumSystem {
 pub struct ExplicitQuorumSystem {
     universe_size: usize,
     quorums: Vec<ServerSet>,
+    /// Quorums as raw `u64` masks, precompiled when the universe fits in one
+    /// word — the fast path of the evaluation engine. Empty for `n > 64`.
+    masks64: Vec<u64>,
     strategy: AccessStrategy,
     name: String,
 }
@@ -90,9 +127,15 @@ impl ExplicitQuorumSystem {
             }
         }
         let strategy = AccessStrategy::uniform(quorums.len());
+        let masks64 = if universe_size <= 64 {
+            quorums.iter().map(ServerSet::as_mask_u64).collect()
+        } else {
+            Vec::new()
+        };
         Ok(ExplicitQuorumSystem {
             universe_size,
             quorums,
+            masks64,
             strategy,
             name: "explicit".to_string(),
         })
@@ -102,7 +145,9 @@ impl ExplicitQuorumSystem {
     ///
     /// # Errors
     ///
-    /// Same as [`ExplicitQuorumSystem::new`].
+    /// Same as [`ExplicitQuorumSystem::new`]; in particular an out-of-universe
+    /// index yields [`QuorumError::UniverseMismatch`] for the offending quorum
+    /// rather than a panic.
     pub fn from_indices<I, J>(universe_size: usize, quorums: I) -> Result<Self, QuorumError>
     where
         I: IntoIterator<Item = J>,
@@ -110,8 +155,16 @@ impl ExplicitQuorumSystem {
     {
         let sets: Vec<ServerSet> = quorums
             .into_iter()
-            .map(|q| ServerSet::from_indices(universe_size, q))
-            .collect();
+            .enumerate()
+            .map(|(index, q)| {
+                ServerSet::try_from_indices(universe_size, q).map_err(|_| {
+                    QuorumError::UniverseMismatch {
+                        index,
+                        universe_size,
+                    }
+                })
+            })
+            .collect::<Result<_, _>>()?;
         ExplicitQuorumSystem::new(universe_size, sets)
     }
 
@@ -175,10 +228,25 @@ impl QuorumSystem for ExplicitQuorumSystem {
     }
 
     fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
-        self.quorums
-            .iter()
-            .find(|q| q.is_subset_of(alive))
-            .cloned()
+        self.quorums.iter().find(|q| q.is_subset_of(alive)).cloned()
+    }
+
+    fn is_available(&self, alive: &ServerSet) -> bool {
+        // Unlike the default (via `find_live_quorum`), never clones the
+        // surviving quorum: this runs once per crash configuration in exact
+        // enumeration.
+        self.quorums.iter().any(|q| q.is_subset_of(alive))
+    }
+
+    fn is_available_u64(&self, alive: u64, _scratch: &mut ServerSet) -> bool {
+        // Hard assert (not debug): with n > 64 `masks64` is empty and the
+        // loop below would silently report every configuration unavailable.
+        assert!(
+            self.universe_size <= 64,
+            "is_available_u64 requires a universe of at most 64 servers (got {})",
+            self.universe_size
+        );
+        self.masks64.iter().any(|&q| q & !alive == 0)
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -226,7 +294,13 @@ mod tests {
     #[test]
     fn non_intersecting_rejected() {
         let err = ExplicitQuorumSystem::from_indices(4, [vec![0, 1], vec![2, 3]]).unwrap_err();
-        assert_eq!(err, QuorumError::NonIntersecting { first: 0, second: 1 });
+        assert_eq!(
+            err,
+            QuorumError::NonIntersecting {
+                first: 0,
+                second: 1
+            }
+        );
     }
 
     #[test]
@@ -272,8 +346,38 @@ mod tests {
 
     #[test]
     fn from_indices_convenience() {
-        let q = ExplicitQuorumSystem::from_indices(3, [vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let q =
+            ExplicitQuorumSystem::from_indices(3, [vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
         assert_eq!(q.num_quorums(), 3);
         assert_eq!(q.min_quorum_size(), 2);
+    }
+
+    #[test]
+    fn from_indices_out_of_universe_is_an_error_not_a_panic() {
+        // Server 5 does not exist in a universe of 4: the offending quorum is
+        // reported instead of panicking inside ServerSet::insert.
+        let err = ExplicitQuorumSystem::from_indices(4, [vec![0, 1], vec![1, 5]]).unwrap_err();
+        assert_eq!(
+            err,
+            QuorumError::UniverseMismatch {
+                index: 1,
+                universe_size: 4
+            }
+        );
+    }
+
+    #[test]
+    fn explicit_word_level_availability_matches_set_availability() {
+        let q = majority(6);
+        let mut scratch = ServerSet::new(6);
+        let mut reference = ServerSet::new(6);
+        for mask in 0u64..(1 << 6) {
+            reference.assign_mask_u64(mask);
+            assert_eq!(
+                q.is_available_u64(mask, &mut scratch),
+                q.is_available(&reference),
+                "mask={mask:#x}"
+            );
+        }
     }
 }

@@ -57,16 +57,11 @@ pub fn min_transversal(quorums: &[ServerSet], universe_size: usize) -> ServerSet
     assert!(!quorums.is_empty(), "quorum system must be non-empty");
     let mut best = greedy_transversal(quorums, universe_size);
     let mut current = ServerSet::new(universe_size);
-    branch(quorums, universe_size, &mut current, &mut best);
+    branch(quorums, &mut current, &mut best);
     best
 }
 
-fn branch(
-    quorums: &[ServerSet],
-    universe_size: usize,
-    current: &mut ServerSet,
-    best: &mut ServerSet,
-) {
+fn branch(quorums: &[ServerSet], current: &mut ServerSet, best: &mut ServerSet) {
     if current.len() >= best.len() {
         return; // cannot improve on the incumbent
     }
@@ -93,7 +88,7 @@ fn branch(
     }
     for u in q.iter() {
         current.insert(u);
-        branch(quorums, universe_size, current, best);
+        branch(quorums, current, best);
         current.remove(u);
     }
 }

@@ -30,10 +30,7 @@ pub fn find_disjoint_paths(
     // Walk the flow decomposition: from each saturated source edge, follow unit flow
     // through the split graph until the sink.
     let flow = net.flow_edges();
-    let mut used_flow: Vec<Vec<bool>> = flow
-        .iter()
-        .map(|edges| vec![false; edges.len()])
-        .collect();
+    let mut used_flow: Vec<Vec<bool>> = flow.iter().map(|edges| vec![false; edges.len()]).collect();
     let mut paths = Vec::new();
 
     'outer: for (src_idx, &(first, _)) in flow[source].iter().enumerate() {

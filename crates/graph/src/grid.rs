@@ -56,7 +56,10 @@ impl TriangulatedGrid {
     /// Panics if the coordinates are out of range.
     #[must_use]
     pub fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.side && col < self.side, "coordinates out of range");
+        assert!(
+            row < self.side && col < self.side,
+            "coordinates out of range"
+        );
         row * self.side + col
     }
 
@@ -109,8 +112,12 @@ impl TriangulatedGrid {
     #[must_use]
     pub fn sinks(&self, axis: Axis) -> Vec<usize> {
         match axis {
-            Axis::LeftRight => (0..self.side).map(|r| self.index(r, self.side - 1)).collect(),
-            Axis::TopBottom => (0..self.side).map(|c| self.index(self.side - 1, c)).collect(),
+            Axis::LeftRight => (0..self.side)
+                .map(|r| self.index(r, self.side - 1))
+                .collect(),
+            Axis::TopBottom => (0..self.side)
+                .map(|c| self.index(self.side - 1, c))
+                .collect(),
         }
     }
 

@@ -36,6 +36,8 @@ pub mod percolation;
 pub mod union_find;
 
 pub use grid::{Axis, TriangulatedGrid};
-pub use maxflow::{max_vertex_disjoint_lr_paths, max_vertex_disjoint_paths, max_vertex_disjoint_tb_paths};
+pub use maxflow::{
+    max_vertex_disjoint_lr_paths, max_vertex_disjoint_paths, max_vertex_disjoint_tb_paths,
+};
 pub use percolation::PercolationEstimator;
 pub use union_find::UnionFind;

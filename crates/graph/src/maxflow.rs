@@ -103,7 +103,14 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs(&mut self, v: usize, sink: usize, pushed: i64, level: &[usize], iter: &mut [usize]) -> i64 {
+    fn dfs(
+        &mut self,
+        v: usize,
+        sink: usize,
+        pushed: i64,
+        level: &[usize],
+        iter: &mut [usize],
+    ) -> i64 {
         if v == sink {
             return pushed;
         }
@@ -160,8 +167,8 @@ pub fn build_disjoint_path_network(
     let source = 2 * n;
     let sink = 2 * n + 1;
     let mut net = FlowNetwork::new(2 * n + 2);
-    for v in 0..n {
-        if alive[v] {
+    for (v, &ok) in alive.iter().enumerate() {
+        if ok {
             net.add_edge(2 * v, 2 * v + 1, 1);
         }
     }

@@ -255,7 +255,8 @@ mod tests {
     fn disjoint_crossings_need_more_than_one() {
         let est = PercolationEstimator::new(6);
         let mut rng = StdRng::seed_from_u64(3);
-        let one = est.estimate_disjoint_crossings_probability(0.15, Axis::LeftRight, 1, 300, &mut rng);
+        let one =
+            est.estimate_disjoint_crossings_probability(0.15, Axis::LeftRight, 1, 300, &mut rng);
         let three =
             est.estimate_disjoint_crossings_probability(0.15, Axis::LeftRight, 3, 300, &mut rng);
         assert!(one.mean >= three.mean - 1e-12);
@@ -284,7 +285,9 @@ mod tests {
         // Vacuous above 1/3, approaches 1 for small p and large grids.
         assert_eq!(crossing_probability_lower_bound(10, 0.4), 0.0);
         assert!(crossing_probability_lower_bound(32, 0.05) > 0.99);
-        assert!(crossing_probability_lower_bound(4, 0.3) < crossing_probability_lower_bound(4, 0.01));
+        assert!(
+            crossing_probability_lower_bound(4, 0.3) < crossing_probability_lower_bound(4, 0.01)
+        );
     }
 
     #[test]

@@ -188,12 +188,8 @@ impl Tableau {
 
         // Objective in maximization form, padded.
         let mut objective = vec![0.0; cols];
-        for j in 0..n {
-            objective[j] = if lp.maximize {
-                lp.objective[j]
-            } else {
-                -lp.objective[j]
-            };
+        for (obj, &coeff) in objective.iter_mut().zip(&lp.objective) {
+            *obj = if lp.maximize { coeff } else { -coeff };
         }
 
         Tableau {
@@ -337,8 +333,8 @@ impl Tableau {
             if !self.is_artificial(self.basis[row]) {
                 continue;
             }
-            let pivot_col = (0..self.cols)
-                .find(|&j| !self.is_artificial(j) && self.a[row][j].abs() > 1e-7);
+            let pivot_col =
+                (0..self.cols).find(|&j| !self.is_artificial(j) && self.a[row][j].abs() > 1e-7);
             if let Some(j) = pivot_col {
                 self.pivot(row, j);
             }

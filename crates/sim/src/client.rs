@@ -169,7 +169,7 @@ impl<Q: QuorumSystem> Client<Q> {
         }
         let mut safe_entries: Vec<Entry> = support
             .into_iter()
-            .filter(|&(_, count)| count >= self.b + 1)
+            .filter(|&(_, count)| count > self.b)
             .map(|(e, _)| e)
             .collect();
         safe_entries.sort_unstable();
@@ -224,10 +224,8 @@ mod tests {
     fn fabricated_high_timestamp_is_masked() {
         // b = 1 over 5 servers; one Byzantine server fabricates value 666 with
         // timestamp MAX. The read must still return the honestly written value.
-        let plan = FaultPlan::none(5).with_byzantine(
-            2,
-            ByzantineStrategy::FabricateHighTimestamp { value: 666 },
-        );
+        let plan = FaultPlan::none(5)
+            .with_byzantine(2, ByzantineStrategy::FabricateHighTimestamp { value: 666 });
         let (mut client, mut cluster, mut rng) = setup(1, plan);
         client.write(&mut cluster, 10, &mut rng).unwrap();
         for _ in 0..20 {

@@ -119,7 +119,13 @@ mod tests {
         let mut cluster = Cluster::new(FaultPlan::none(4));
         let mut rng = StdRng::seed_from_u64(0);
         let quorum = ServerSet::from_indices(4, [0, 2]);
-        cluster.deliver_write(&quorum, Entry { timestamp: 1, value: 9 });
+        cluster.deliver_write(
+            &quorum,
+            Entry {
+                timestamp: 1,
+                value: 9,
+            },
+        );
         let replies = cluster.deliver_read(&quorum, &mut rng);
         assert_eq!(replies.len(), 2);
         assert!(replies.iter().all(|(_, r)| r.map(|e| e.value) == Some(9)));

@@ -80,11 +80,7 @@ impl FaultPlan {
         for &s in indices.iter().take(byzantine_count) {
             plan.behaviors[s] = Behavior::Byzantine(strategy);
         }
-        for &s in indices
-            .iter()
-            .skip(byzantine_count)
-            .take(crash_count)
-        {
+        for &s in indices.iter().skip(byzantine_count).take(crash_count) {
             plan.behaviors[s] = Behavior::Crashed;
         }
         plan
@@ -146,7 +142,10 @@ mod tests {
         assert_eq!(p.universe_size(), 5);
         assert_eq!(p.byzantine_count(), 0);
         assert_eq!(p.crash_count(), 0);
-        assert!(p.build_replicas().iter().all(|r| r.behavior() == Behavior::Correct));
+        assert!(p
+            .build_replicas()
+            .iter()
+            .all(|r| r.behavior() == Behavior::Correct));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl<Q: QuorumSystem> MultiWriterClient<Q> {
     /// Panics if `writer_id >= writer_count` or `writer_count == 0`.
     #[must_use]
     pub fn new(system: Q, b: usize, writer_id: u64, writer_count: u64) -> Self {
-        assert!(writer_count > 0 && writer_id < writer_count, "invalid writer identity");
+        assert!(
+            writer_count > 0 && writer_id < writer_count,
+            "invalid writer identity"
+        );
         MultiWriterClient {
             system,
             b,
@@ -93,7 +96,7 @@ impl<Q: QuorumSystem> MultiWriterClient<Q> {
         }
         let mut safe: Vec<Entry> = support
             .into_iter()
-            .filter(|&(_, count)| count >= self.b + 1)
+            .filter(|&(_, count)| count > self.b)
             .map(|(e, _)| e)
             .collect();
         safe.sort_unstable();
@@ -106,11 +109,7 @@ impl<Q: QuorumSystem> MultiWriterClient<Q> {
     ///
     /// [`ProtocolError::NoLiveQuorum`] if no responsive quorum exists;
     /// [`ProtocolError::NoSafeValue`] before the first write completes.
-    pub fn read<R: Rng>(
-        &self,
-        cluster: &mut Cluster,
-        rng: &mut R,
-    ) -> Result<Entry, ProtocolError> {
+    pub fn read<R: Rng>(&self, cluster: &mut Cluster, rng: &mut R) -> Result<Entry, ProtocolError> {
         let safe = self.safe_entries(cluster, rng)?;
         safe.into_iter()
             .max_by_key(|e| e.timestamp)

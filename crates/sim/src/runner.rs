@@ -179,7 +179,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let sys = ThresholdSystem::minimal_masking(2).unwrap();
         let plan = FaultPlan::none(9)
-            .with_byzantine(0, ByzantineStrategy::FabricateHighTimestamp { value: 999_999 })
+            .with_byzantine(
+                0,
+                ByzantineStrategy::FabricateHighTimestamp { value: 999_999 },
+            )
             .with_byzantine(5, ByzantineStrategy::Equivocate);
         let report = run_workload(
             sys,
@@ -248,7 +251,10 @@ mod tests {
         let sys = BoostFppSystem::new(2, 1).unwrap();
         let n = sys.universe_size();
         let plan = FaultPlan::none(n)
-            .with_byzantine(3, ByzantineStrategy::FabricateHighTimestamp { value: 424_242 })
+            .with_byzantine(
+                3,
+                ByzantineStrategy::FabricateHighTimestamp { value: 424_242 },
+            )
             .with_crashed(10)
             .with_crashed(16)
             .with_crashed(22);

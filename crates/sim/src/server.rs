@@ -105,7 +105,7 @@ impl Replica {
                 if self.first.is_none() {
                     self.first = Some(entry);
                 }
-                if self.current.map_or(true, |c| entry.timestamp > c.timestamp) {
+                if self.current.is_none_or(|c| entry.timestamp > c.timestamp) {
                     self.current = Some(entry);
                 }
             }
@@ -156,13 +156,25 @@ mod tests {
         let mut r = Replica::new(Behavior::Correct);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(r.deliver_read(&mut rng), None);
-        r.deliver_write(Entry { timestamp: 1, value: 10 });
-        r.deliver_write(Entry { timestamp: 3, value: 30 });
+        r.deliver_write(Entry {
+            timestamp: 1,
+            value: 10,
+        });
+        r.deliver_write(Entry {
+            timestamp: 3,
+            value: 30,
+        });
         // An older write must not overwrite a newer one.
-        r.deliver_write(Entry { timestamp: 2, value: 20 });
+        r.deliver_write(Entry {
+            timestamp: 2,
+            value: 20,
+        });
         assert_eq!(
             r.deliver_read(&mut rng),
-            Some(Entry { timestamp: 3, value: 30 })
+            Some(Entry {
+                timestamp: 3,
+                value: 30
+            })
         );
         assert_eq!(r.accesses(), 5);
     }
@@ -171,7 +183,10 @@ mod tests {
     fn crashed_replica_never_replies() {
         let mut r = Replica::new(Behavior::Crashed);
         let mut rng = StdRng::seed_from_u64(0);
-        r.deliver_write(Entry { timestamp: 1, value: 10 });
+        r.deliver_write(Entry {
+            timestamp: 1,
+            value: 10,
+        });
         assert_eq!(r.deliver_read(&mut rng), None);
         assert!(!r.is_responsive());
         assert_eq!(r.stored(), None);
@@ -183,7 +198,10 @@ mod tests {
             ByzantineStrategy::FabricateHighTimestamp { value: 666 },
         ));
         let mut rng = StdRng::seed_from_u64(0);
-        r.deliver_write(Entry { timestamp: 5, value: 50 });
+        r.deliver_write(Entry {
+            timestamp: 5,
+            value: 50,
+        });
         let reply = r.deliver_read(&mut rng).unwrap();
         assert_eq!(reply.value, 666);
         assert_eq!(reply.timestamp, Timestamp::MAX);
@@ -194,11 +212,20 @@ mod tests {
     fn stale_replay_reports_first_write() {
         let mut r = Replica::new(Behavior::Byzantine(ByzantineStrategy::StaleReplay));
         let mut rng = StdRng::seed_from_u64(0);
-        r.deliver_write(Entry { timestamp: 1, value: 11 });
-        r.deliver_write(Entry { timestamp: 9, value: 99 });
+        r.deliver_write(Entry {
+            timestamp: 1,
+            value: 11,
+        });
+        r.deliver_write(Entry {
+            timestamp: 9,
+            value: 99,
+        });
         assert_eq!(
             r.deliver_read(&mut rng),
-            Some(Entry { timestamp: 1, value: 11 })
+            Some(Entry {
+                timestamp: 1,
+                value: 11
+            })
         );
     }
 
@@ -209,7 +236,10 @@ mod tests {
         let a = r.deliver_read(&mut rng);
         let b = r.deliver_read(&mut rng);
         assert!(a.is_some() && b.is_some());
-        assert_ne!(a, b, "equivocation should vary (with overwhelming probability)");
+        assert_ne!(
+            a, b,
+            "equivocation should vary (with overwhelming probability)"
+        );
     }
 
     #[test]

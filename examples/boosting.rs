@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(11);
     let mut report = |name: String, composed: &dyn QuorumSystem, outer_load: f64| {
         let n = composed.universe_size();
-        let is = 1 /* regular outer IS */ * inner.min_intersection();
+        let is = inner.min_intersection();
         let load = outer_load * inner.analytic_load();
         let lower = byzantine_quorums::core::bounds::load_lower_bound_universal(n, b);
         // Empirically validate the 2b+1 intersections on sampled quorum pairs.

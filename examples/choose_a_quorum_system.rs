@@ -12,8 +12,6 @@
 use byzantine_quorums::analysis::scenario::{build_scenario, render_scenario, SCENARIO_P};
 use byzantine_quorums::analysis::TextTable;
 use byzantine_quorums::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== The Section 8 scenario: n = 1024, target load ~ 1/4, p = 1/8 ==\n");
@@ -23,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let best = rows
         .iter()
         .filter(|r| r.fp_bound_is_upper)
-        .min_by(|a, b| a.fp_monte_carlo.partial_cmp(&b.fp_monte_carlo).unwrap())
+        .min_by(|a, b| a.fp_value().partial_cmp(&b.fp_value()).unwrap())
         .expect("scenario always has rows with upper bounds");
     println!(
         "best availability at p = {SCENARIO_P}: {} (the paper reaches the same conclusion:\n\
@@ -33,23 +31,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // How does the picture change as p grows towards 1/2? The M-Grid and boostFPP
     // degrade (boostFPP needs p < 1/4), while M-Path keeps working for any p < 1/2.
+    // One Evaluator answers for every system: exact closed forms for M-Grid and
+    // RT, parallel Monte-Carlo for boostFPP and M-Path.
     println!("== availability as the per-server crash probability grows ==\n");
-    let mut rng = StdRng::seed_from_u64(99);
-    let mut table = TextTable::new(["p", "M-Grid(1024,b=15)", "RT(4,3,h=5)", "boostFPP(3,19)", "M-Path(1024,b=7)"]);
+    let evaluator = Evaluator::new().with_trials(400).with_seed(99);
+    let mpath_evaluator = evaluator.clone().with_trials(120);
+    let mut table = TextTable::new([
+        "p",
+        "M-Grid(1024,b=15)",
+        "RT(4,3,h=5)",
+        "boostFPP(3,19)",
+        "M-Path(1024,b=7)",
+    ]);
     let mgrid = MGridSystem::new(32, 15)?;
     let rt = RtSystem::new(4, 3, 5)?;
     let boost = BoostFppSystem::new(3, 19)?;
     let mpath = MPathSystem::new(32, 7)?;
     for &p in &[0.05, 0.125, 0.2, 0.3, 0.4] {
-        let fp = |sys: &dyn QuorumSystem, trials: usize, rng: &mut StdRng| {
-            monte_carlo_crash_probability(sys, p, trials, rng).mean
-        };
         table.push_row([
             format!("{p:.3}"),
-            format!("{:.3}", fp(&mgrid, 400, &mut rng)),
-            format!("{:.3}", fp(&rt, 400, &mut rng)),
-            format!("{:.3}", fp(&boost, 400, &mut rng)),
-            format!("{:.3}", fp(&mpath, 120, &mut rng)),
+            format!("{:.3}", evaluator.crash_probability(&mgrid, p).value),
+            format!("{:.3}", evaluator.crash_probability(&rt, p).value),
+            format!("{:.3}", evaluator.crash_probability(&boost, p).value),
+            format!("{:.3}", mpath_evaluator.crash_probability(&mpath, p).value),
         ]);
     }
     println!("{}", table.render());

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let plan = FaultPlan::none(n)
-        .with_byzantine(7, ByzantineStrategy::FabricateHighTimestamp { value: 0xBAD })
+        .with_byzantine(
+            7,
+            ByzantineStrategy::FabricateHighTimestamp { value: 0xBAD },
+        )
         .with_crashed(12)
         .with_crashed(29);
     println!("fault plan: 1 fabricating Byzantine server, 2 crashes\n");

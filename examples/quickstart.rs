@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("safety violations  : {}", report.safety_violations);
     println!("unavailable ops    : {}", report.unavailable_operations);
     println!("empirical max load : {:.4}", report.max_empirical_load());
-    assert!(report.is_safe(), "masking must hold with <= b Byzantine servers");
+    assert!(
+        report.is_safe(),
+        "masking must hold with <= b Byzantine servers"
+    );
     println!("\nthe register stayed consistent despite 3 Byzantine servers and a crash");
     Ok(())
 }

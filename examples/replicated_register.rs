@@ -53,19 +53,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Within the masking bound: all constructions must report zero violations.
     println!("-- attacks within the design bound (b Byzantine, few crashes) --");
     let thresh = ThresholdSystem::minimal_masking(3)?; // n = 13
-    run_case("Threshold(10-of-13), b=3", thresh.clone(), 3, attack_plan(13, 3, 1, 1));
+    run_case(
+        "Threshold(10-of-13), b=3",
+        thresh.clone(),
+        3,
+        attack_plan(13, 3, 1, 1),
+    );
 
     let mgrid = MGridSystem::new(7, 3)?; // n = 49
-    run_case("M-Grid(49), b=3", mgrid.clone(), 3, attack_plan(49, 3, 4, 2));
+    run_case(
+        "M-Grid(49), b=3",
+        mgrid.clone(),
+        3,
+        attack_plan(49, 3, 4, 2),
+    );
 
     let rt = RtSystem::new(4, 3, 3)?; // n = 64, b = 3
-    run_case("RT(4,3) depth 3, b=3", rt.clone(), 3, attack_plan(64, 3, 6, 3));
+    run_case(
+        "RT(4,3) depth 3, b=3",
+        rt.clone(),
+        3,
+        attack_plan(64, 3, 6, 3),
+    );
 
     let boost = BoostFppSystem::new(3, 3)?; // n = 169, b = 3
-    run_case("boostFPP(q=3, b=3)", boost.clone(), 3, attack_plan(169, 3, 20, 4));
+    run_case(
+        "boostFPP(q=3, b=3)",
+        boost.clone(),
+        3,
+        attack_plan(169, 3, 20, 4),
+    );
 
     let mpath = MPathSystem::new(9, 4)?; // n = 81, b = 4
-    run_case("M-Path(81), b=4", mpath.clone(), 4, attack_plan(81, 4, 5, 5));
+    run_case(
+        "M-Path(81), b=4",
+        mpath.clone(),
+        4,
+        attack_plan(81, 4, 5, 5),
+    );
 
     // Beyond the masking bound: fabricated values can reach the safety threshold.
     println!("\n-- attack beyond the design bound (2b+1 colluding fabricators) --");
@@ -79,7 +104,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Crashes beyond the resilience: safety holds but operations stall.
     println!("\n-- crashes beyond the resilience (availability loss, never unsafety) --");
     let small = ThresholdSystem::minimal_masking(1)?; // n = 5, tolerates 1 crash
-    run_case("Threshold(4-of-5), b=1, 2 crash", small, 1, attack_plan(5, 0, 2, 7));
+    run_case(
+        "Threshold(4-of-5), b=1, 2 crash",
+        small,
+        1,
+        attack_plan(5, 0, 2, 7),
+    );
 
     println!("\ninterpretation:");
     println!(" * within the bound, every construction masks the attack (0 violations);");

@@ -9,15 +9,19 @@
 //!
 //! This crate is a facade that re-exports the workspace members:
 //!
-//! | Re-export | Crate | Contents |
+//! | Re-export | Crate (path) | Contents |
 //! |---|---|---|
-//! | [`core`] | `bqs-core` | quorum systems, measures (`c`, `IS`, `MT`, load, `F_p`), masking, composition, lower bounds |
-//! | [`constructions`] | `bqs-constructions` | Threshold, Grid, M-Grid, RT(k, ℓ), FPP, boostFPP, M-Path and regular baselines |
-//! | [`analysis`] | `bqs-analysis` | Table 2, the Section 8 scenario, load/availability sweeps, ablations |
-//! | [`sim`] | `bqs-sim` | the [MR98a] masking read/write register with fault injection |
-//! | [`combinatorics`] | `bqs-combinatorics` | binomials, finite fields, projective planes |
-//! | [`lp`] | `bqs-lp` | the simplex solver behind exact load computation |
-//! | [`graph`] | `bqs-graph` | triangulated grids, max-flow, percolation (M-Path substrate) |
+//! | [`core`] | `bqs-core` (`crates/core`) | the [`core::quorum::QuorumSystem`] trait and explicit systems, measures (`c`, `IS`, `MT`, load via LP, `F_p`), masking, composition, lower bounds, and the [`core::eval::Evaluator`] — the shared allocation-free, parallel crash-probability engine |
+//! | [`constructions`] | `bqs-constructions` (`crates/constructions`) | Threshold, Grid, M-Grid, RT(k, ℓ), FPP, boostFPP, M-Path and the regular baselines, each with closed-form analytics (and exact closed-form `F_p` where the structure admits one) |
+//! | [`analysis`] | `bqs-analysis` (`crates/analysis`) | Table 2, the Section 8 scenario, load/availability sweeps and ablations, all driven by one shared `Evaluator` |
+//! | [`sim`] | `bqs-sim` (`crates/sim`) | the masking read/write register protocol with Byzantine and crash fault injection |
+//! | [`combinatorics`] | `bqs-combinatorics` (`crates/combinatorics`) | binomials, finite fields, prime powers, projective planes |
+//! | [`lp`] | `bqs-lp` (`crates/lp`) | the simplex solver behind exact load computation |
+//! | [`graph`] | `bqs-graph` (`crates/graph`) | triangulated grids, max-flow, percolation (the M-Path substrate) |
+//!
+//! The `bqs-bench` crate (`crates/bench`, not re-exported: binaries only)
+//! regenerates the paper's tables and figures and emits `BENCH_fp.json`, the
+//! machine-readable performance trajectory of the evaluation engine.
 //!
 //! # Quickstart
 //!
@@ -36,12 +40,18 @@
 //! // Its load is optimal to within a small constant (√2 asymptotically, Prop. 5.2).
 //! let (load, _strategy) = optimal_load(explicit.quorums(), 25)?;
 //! assert!(load <= 1.5 * load_lower_bound_universal(25, 2) + 1e-9);
+//!
+//! // Crash probability through the shared evaluation engine: closed form for
+//! // the M-Grid (exact at any n), parallel enumeration or Monte-Carlo otherwise.
+//! let fp = Evaluator::new().crash_probability(&system, 0.125);
+//! assert_eq!(fp.method, FpMethod::ClosedForm);
+//! assert!(fp.value > 0.0 && fp.value < 1.0);
 //! # Ok::<(), byzantine_quorums::core::QuorumError>(())
 //! ```
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
-//! `bqs-bench` crate for the harnesses that regenerate every table and figure of the
-//! paper (documented in `EXPERIMENTS.md`).
+//! README for the full experiment catalogue (every table and figure of the
+//! paper has a binary in `bqs-bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -92,9 +92,15 @@ fn analytic_loads_match_lp_loads() {
         assert!(achieved <= lp + 1e-6, "{name}");
         // And Theorem 4.1 holds.
         let b = masking_level(explicit.quorums(), n).unwrap();
-        let bound =
-            byzantine_quorums::core::bounds::load_lower_bound(n, b, min_quorum_size(explicit.quorums()));
-        assert!(lp + 1e-9 >= bound, "{name}: load {lp} below Theorem 4.1 bound {bound}");
+        let bound = byzantine_quorums::core::bounds::load_lower_bound(
+            n,
+            b,
+            min_quorum_size(explicit.quorums()),
+        );
+        assert!(
+            lp + 1e-9 >= bound,
+            "{name}: load {lp} below Theorem 4.1 bound {bound}"
+        );
     }
 }
 

@@ -22,10 +22,7 @@ fn assert_safe<Q: QuorumSystem + Clone>(system: Q, b: usize, plan: FaultPlan, se
         },
         &mut rng,
     );
-    assert!(
-        report.is_safe(),
-        "safety violated: {report:?}"
-    );
+    assert!(report.is_safe(), "safety violated: {report:?}");
 }
 
 #[test]
@@ -38,7 +35,9 @@ fn threshold_register_is_safe_under_full_byzantine_budget() {
             n,
             b,
             0,
-            ByzantineStrategy::FabricateHighTimestamp { value: u64::MAX / 2 },
+            ByzantineStrategy::FabricateHighTimestamp {
+                value: u64::MAX / 2,
+            },
             &mut rng,
         );
         assert_safe(sys, b, plan, 100 + b as u64);

@@ -1,0 +1,74 @@
+//! Regression: the protocol simulator's empirical load converges to the
+//! LP-optimal system load `L(Q)`.
+//!
+//! For a *fair* system under its uniform access strategy, Proposition 3.9 says
+//! the load is `c(Q)/n`, and the exact LP of `bqs-core::load` computes the same
+//! value from first principles. The simulator samples quorums through that very
+//! strategy, so in a failure-free run the busiest server's empirical access
+//! frequency ([`SimReport::max_empirical_load`]) must converge to the
+//! LP-optimal `L(Q)` — pinning down that the simulator's accounting, the
+//! access strategy and the LP all describe the same quantity.
+
+use byzantine_quorums::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn lp_optimal_load(quorums: &[ServerSet], n: usize) -> f64 {
+    let (load, _strategy) = optimal_load(quorums, n).expect("LP solves on these instances");
+    load
+}
+
+#[test]
+fn threshold_empirical_load_converges_to_lp_optimal() {
+    // Thresh(7 of 9): fair, so L = 7/9; the LP agrees and the simulator must too.
+    let sys = ThresholdSystem::minimal_masking(2).unwrap();
+    let n = sys.universe_size();
+    let lp = lp_optimal_load(sys.to_explicit(1_000).unwrap().quorums(), n);
+    assert!((lp - 7.0 / 9.0).abs() < 1e-6, "LP sanity: {lp}");
+
+    let mut rng = StdRng::seed_from_u64(0x10ad);
+    let report = run_workload(
+        sys,
+        2,
+        FaultPlan::none(n),
+        WorkloadConfig {
+            operations: 6_000,
+            write_fraction: 0.5,
+        },
+        &mut rng,
+    );
+    assert!(report.is_safe());
+    assert_eq!(report.unavailable_operations, 0);
+    let empirical = report.max_empirical_load();
+    assert!(
+        (empirical - lp).abs() < 0.04,
+        "empirical {empirical} vs LP-optimal {lp}"
+    );
+}
+
+#[test]
+fn mgrid_empirical_load_converges_to_lp_optimal() {
+    // M-Grid(5x5, b=2): fair with c = 2*2*5 - 4 = 16, so L(Q) = 16/25 = 0.64.
+    let sys = MGridSystem::new(5, 2).unwrap();
+    let n = sys.universe_size();
+    let lp = lp_optimal_load(sys.to_explicit(20_000).unwrap().quorums(), n);
+    assert!((lp - sys.analytic_load()).abs() < 1e-6, "LP sanity: {lp}");
+
+    let mut rng = StdRng::seed_from_u64(0x10ad + 1);
+    let report = run_workload(
+        sys,
+        2,
+        FaultPlan::none(n),
+        WorkloadConfig {
+            operations: 6_000,
+            write_fraction: 0.5,
+        },
+        &mut rng,
+    );
+    assert!(report.is_safe());
+    let empirical = report.max_empirical_load();
+    assert!(
+        (empirical - lp).abs() < 0.05,
+        "empirical {empirical} vs LP-optimal {lp}"
+    );
+}

@@ -1,0 +1,355 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset the workspace's integration tests use: the
+//! [`proptest!`] macro with `pattern in strategy` bindings and a
+//! `#![proptest_config(...)]` header, range strategies over the primitive
+//! numeric types, [`collection::btree_set`], and the
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`] macros.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed, there is **no shrinking** (a failing case is reported
+//! as-is), and strategies are plain value generators rather than value trees.
+//! Swap in the real crate when a registry is available; no source changes
+//! should be required.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) cases before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a generated case did not count as a success.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should be regenerated.
+    Reject(String),
+    /// An assertion failed; the test must fail.
+    Fail(String),
+}
+
+/// Result type threaded through generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of test values, mirroring (a tiny part of) proptest's
+/// `Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.gen_range_u64(0, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.gen_range_u64(0, span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.gen::<f32>() * (self.end - self.start)
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{BTreeSet, Range, StdRng, Strategy};
+
+    /// Strategy producing `BTreeSet`s with sizes drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates btree sets whose elements come from `element` and whose size
+    /// is drawn uniformly from `size`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.generate(rng);
+            let mut out = BTreeSet::new();
+            // Insertions can collide; bound the attempts so a narrow element
+            // domain cannot loop forever.
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-test, per-case seed.
+    #[must_use]
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// Defines property tests, mirroring proptest's macro of the same name.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::__proptest_run!(config, $name, ($($pat in $strategy),+) $body);
+            }
+        )*
+    };
+    // Without a config header.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($($pat in $strategy),+) $body )*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ($config:expr, $name:ident, ($($pat:pat in $strategy:expr),+) $body:block) => {{
+        use $crate::__rt::SeedableRng as _;
+        let mut successes: u32 = 0;
+        let mut rejects: u32 = 0;
+        let mut draw: u32 = 0;
+        while successes < $config.cases {
+            let mut rng = $crate::__rt::StdRng::seed_from_u64($crate::__rt::case_seed(
+                concat!(module_path!(), "::", stringify!($name)),
+                draw,
+            ));
+            draw += 1;
+            let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            match result {
+                ::std::result::Result::Ok(()) => successes += 1,
+                ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= $config.max_global_rejects,
+                        "too many prop_assume! rejections in {}",
+                        stringify!($name)
+                    );
+                }
+                ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                    panic!("property {} failed at case {}: {}", stringify!($name), draw - 1, msg);
+                }
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a property body, mirroring proptest's macro.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body, mirroring proptest's macro.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property body, mirroring proptest's macro.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (regenerating it), mirroring proptest's macro.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_respect_bounds(x in 3usize..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y), "y out of range: {y}");
+        }
+
+        fn sets_respect_domain(s in crate::collection::btree_set(0usize..10, 0..5)) {
+            prop_assert!(s.len() < 5);
+            for v in &s {
+                prop_assert!(*v < 10);
+            }
+        }
+
+        fn assume_rejects_cases(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[should_panic(expected = "property")]
+        fn failures_panic(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+}
