@@ -10,11 +10,14 @@
 //! * [`exact_vs_monte_carlo`] — the ablation of DESIGN.md: exact enumeration against
 //!   the Monte-Carlo estimator on small instances.
 //!
-//! All sweeps consume the shared [`Evaluator`] instead of hand-rolled
-//! estimation loops: structure-aware constructions (Threshold, Grid, M-Grid,
-//! RT) report *exact* closed-form values, small universes are enumerated in
-//! parallel, and only the remaining systems (boostFPP, M-Path) fall back to
-//! Monte-Carlo with per-thread RNG streams.
+//! All sweeps run through [`Evaluator::sweep`] on its persistent worker pool:
+//! each system's `(p)` grid is evaluated as one batch (thread spawn paid once
+//! per sweep, points overlapped on multicore hosts). Structure-aware
+//! constructions report *exact* values — closed forms for Threshold, Grid,
+//! M-Grid, RT and now boostFPP (survivor-profile composition), the
+//! transfer-matrix DP for M-Path up to the side-6 gate — small universes are
+//! enumerated in parallel, and only the remaining large M-Path instances fall
+//! back to Monte-Carlo with per-thread RNG streams.
 
 use bqs_constructions::prelude::*;
 use bqs_core::availability::CrashEstimate;
@@ -39,20 +42,24 @@ pub struct AvailabilityPoint {
     pub fp_lower_bound: Option<f64>,
 }
 
-fn measure(
+/// Sweeps one system over the whole `p` grid on the evaluator's persistent
+/// worker pool and appends a point per grid value.
+fn sweep_into(
     points: &mut Vec<AvailabilityPoint>,
     evaluator: &Evaluator,
     sys: &dyn AnalyzedConstruction,
-    p: f64,
+    ps: &[f64],
 ) {
-    points.push(AvailabilityPoint {
-        system: sys.name(),
-        n: sys.universe_size(),
-        p,
-        fp: evaluator.crash_probability(sys, p),
-        fp_upper_bound: sys.crash_probability_upper_bound(p),
-        fp_lower_bound: sys.crash_probability_lower_bound(p),
-    });
+    for (est, &p) in evaluator.sweep(sys, ps).iter().zip(ps) {
+        points.push(AvailabilityPoint {
+            system: sys.name(),
+            n: sys.universe_size(),
+            p,
+            fp: *est,
+            fp_upper_bound: sys.crash_probability_upper_bound(p),
+            fp_lower_bound: sys.crash_probability_lower_bound(p),
+        });
+    }
 }
 
 /// Sweeps `F_p` over the given `p` values for the standard comparison set of
@@ -66,9 +73,10 @@ pub fn fp_vs_p(
     seed: u64,
 ) -> Vec<AvailabilityPoint> {
     let evaluator = Evaluator::new().with_trials(trials.max(1)).with_seed(seed);
-    // M-Path availability runs a max-flow per configuration, so exhaustive
-    // enumeration is never worth it in a sweep: force Monte-Carlo (capped
-    // effort), matching the pre-engine behavior.
+    // Large M-Path grids are past the transfer-matrix DP gate, and running a
+    // max-flow per enumerated configuration is never worth it in a sweep:
+    // force Monte-Carlo there with capped effort. (Sides within the gate
+    // dispatch to the exact DP before this policy is consulted.)
     let mpath_evaluator = evaluator
         .clone()
         .with_trials(trials.clamp(1, 300))
@@ -83,22 +91,20 @@ pub fn fp_vs_p(
         .min_by_key(|&q| ((q * q + q + 1) as usize).abs_diff(copies))
         .unwrap_or(2);
 
-    for &p in ps {
-        if let Ok(sys) = ThresholdSystem::masking(n, b) {
-            measure(&mut points, &evaluator, &sys, p);
-        }
-        if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
-            measure(&mut points, &evaluator, &sys, p);
-        }
-        if let Ok(sys) = RtSystem::new(4, 3, depth) {
-            measure(&mut points, &evaluator, &sys, p);
-        }
-        if let Ok(sys) = BoostFppSystem::new(q, b) {
-            measure(&mut points, &evaluator, &sys, p);
-        }
-        if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
-            measure(&mut points, &mpath_evaluator, &sys, p);
-        }
+    if let Ok(sys) = ThresholdSystem::masking(n, b) {
+        sweep_into(&mut points, &evaluator, &sys, ps);
+    }
+    if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
+        sweep_into(&mut points, &evaluator, &sys, ps);
+    }
+    if let Ok(sys) = RtSystem::new(4, 3, depth) {
+        sweep_into(&mut points, &evaluator, &sys, ps);
+    }
+    if let Ok(sys) = BoostFppSystem::new(q, b) {
+        sweep_into(&mut points, &evaluator, &sys, ps);
+    }
+    if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
+        sweep_into(&mut points, &mpath_evaluator, &sys, ps);
     }
     points
 }
@@ -120,17 +126,18 @@ pub fn fp_vs_n(
         .with_trials(trials.clamp(1, 300))
         .with_exact_limit(0);
     let mut points = Vec::new();
+    let ps = [p];
     for &side in sides {
         if let Ok(sys) = MGridSystem::new(side, b.min(MGridSystem::max_b(side))) {
-            measure(&mut points, &evaluator, &sys, p);
+            sweep_into(&mut points, &evaluator, &sys, &ps);
         }
         let n = side * side;
         let depth = ((n as f64).ln() / 4f64.ln()).round().max(1.0) as u32;
         if let Ok(sys) = RtSystem::new(4, 3, depth) {
-            measure(&mut points, &evaluator, &sys, p);
+            sweep_into(&mut points, &evaluator, &sys, &ps);
         }
         if let Ok(sys) = MPathSystem::new(side, b.min(MPathSystem::max_b(side))) {
-            measure(&mut points, &mpath_evaluator, &sys, p);
+            sweep_into(&mut points, &mpath_evaluator, &sys, &ps);
         }
     }
     points

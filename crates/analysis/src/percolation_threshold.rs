@@ -11,8 +11,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use bqs_graph::crossing_dp::{crossing_probability_exact, DEFAULT_DP_STATE_BUDGET};
 use bqs_graph::grid::Axis;
 use bqs_graph::percolation::PercolationEstimator;
+
+/// Largest grid side for which [`exact_crossing_curve`] runs the
+/// transfer-matrix DP (the `k = 1` sweep of [`bqs_graph::crossing_dp`]);
+/// side 7 already takes tens of seconds per point.
+pub const EXACT_CURVE_MAX_SIDE: usize = 6;
 
 /// One point of the crossing-probability curve.
 #[derive(Debug, Clone, Copy)]
@@ -21,7 +27,7 @@ pub struct CrossingPoint {
     pub p: f64,
     /// Estimated probability that an open left-right crossing exists.
     pub crossing_probability: f64,
-    /// 95% confidence half-width.
+    /// 95% confidence half-width (zero for exact points).
     pub ci95: f64,
 }
 
@@ -38,6 +44,28 @@ pub fn crossing_curve(side: usize, ps: &[f64], trials: usize, seed: u64) -> Vec<
                 crossing_probability: e.mean,
                 ci95: e.ci95_half_width(),
             }
+        })
+        .collect()
+}
+
+/// The **exact** crossing-probability curve by the transfer-matrix DP —
+/// no sampling error, so finite-size effects around `p_c = 1/2` are visible
+/// without Monte-Carlo noise. Returns `None` when `side >`
+/// [`EXACT_CURVE_MAX_SIDE`] (use [`crossing_curve`] there).
+#[must_use]
+pub fn exact_crossing_curve(side: usize, ps: &[f64]) -> Option<Vec<CrossingPoint>> {
+    if side > EXACT_CURVE_MAX_SIDE {
+        return None;
+    }
+    ps.iter()
+        .map(|&p| {
+            crossing_probability_exact(side, p, Axis::LeftRight, DEFAULT_DP_STATE_BUDGET).map(|c| {
+                CrossingPoint {
+                    p,
+                    crossing_probability: c,
+                    ci95: 0.0,
+                }
+            })
         })
         .collect()
 }
@@ -112,6 +140,27 @@ mod tests {
         }
         assert!(curve[0].crossing_probability > 0.95);
         assert!(curve[4].crossing_probability < 0.05);
+    }
+
+    #[test]
+    fn exact_curve_brackets_monte_carlo_and_passes_through_half() {
+        let ps = [0.2, 0.5, 0.75];
+        let exact = exact_crossing_curve(5, &ps).expect("side within the DP gate");
+        let mc = crossing_curve(5, &ps, 400, 7);
+        for (e, m) in exact.iter().zip(&mc) {
+            assert_eq!(e.ci95, 0.0);
+            assert!(
+                (e.crossing_probability - m.crossing_probability).abs() <= m.ci95 + 0.03,
+                "p={}: exact {} vs mc {}",
+                e.p,
+                e.crossing_probability,
+                m.crossing_probability
+            );
+        }
+        // Self-duality of the triangular lattice: exactly 1/2 at p = 1/2.
+        assert!((exact[1].crossing_probability - 0.5).abs() < 1e-12);
+        // Past the gate the exact curve declines.
+        assert!(exact_crossing_curve(12, &ps).is_none());
     }
 
     #[test]

@@ -1,20 +1,32 @@
 //! Machine-readable crash-probability benchmark: times the evaluation engine
 //! across constructions, universe sizes and crash probabilities, and emits
-//! `BENCH_fp.json` so future changes have a performance trajectory to compare
-//! against.
+//! `BENCH_fp.json` (schema v2) so future changes have a performance
+//! trajectory to compare against.
 //!
-//! Also measures the headline speedup of the engine refactor: exact `F_p` on
-//! the `n = 25` Grid, new allocation-free parallel engine versus the old
-//! scalar loop that heap-allocated a `ServerSet` per crash configuration
-//! (`exact_crash_probability_naive`).
+//! Schema v2 records, beyond the v1 per-point rows:
 //!
-//! Run with: `cargo run --release -p bqs-bench --bin bench_fp [output.json]`
+//! * the dispatch method per row (`closed_form` / `dp` / `exact` /
+//!   `monte_carlo`) plus the 95% Wilson upper bound for Monte-Carlo rows (a
+//!   zero-hit row is no longer a silent `0e0`);
+//! * per-method timings for the two constructions this engine made exact —
+//!   boostFPP (survivor-profile closed form) and M-Path (transfer-matrix DP)
+//!   — against the Monte-Carlo estimator they replaced;
+//! * sweep-mode timing: the same `(system, p)` grid through
+//!   [`Evaluator::sweep_systems`]'s persistent worker pool versus one
+//!   `crash_probability` call at a time.
+//!
+//! Run with: `cargo run --release -p bqs-bench --bin bench_fp [--quick] [output.json]`
+//!
+//! `--quick` runs a reduced matrix **and asserts the dispatch table**: if an
+//! exact-method construction (boostFPP at paper scale, M-Path at the DP gate)
+//! silently degrades to Monte-Carlo, the process exits non-zero — the CI
+//! smoke step runs this mode on every push.
 
 use std::time::Instant;
 
 use bqs_constructions::prelude::*;
 use bqs_core::availability::exact_crash_probability_naive;
-use bqs_core::eval::{Evaluator, FpMethod};
+use bqs_core::eval::{Evaluator, FpEstimate, FpMethod};
 use bqs_core::quorum::QuorumSystem;
 
 struct Row {
@@ -23,6 +35,7 @@ struct Row {
     p: f64,
     method: &'static str,
     fp: f64,
+    fp_upper95: Option<f64>,
     seconds: f64,
 }
 
@@ -32,24 +45,23 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-fn method_name(m: FpMethod) -> &'static str {
-    match m {
-        FpMethod::ClosedForm => "closed_form",
-        FpMethod::Exact => "exact",
-        FpMethod::MonteCarlo => "monte_carlo",
-    }
-}
-
-fn measure(rows: &mut Vec<Row>, evaluator: &Evaluator, sys: &dyn QuorumSystem, p: f64) {
-    let (fp, seconds) = time(|| evaluator.crash_probability(sys, p));
+fn push_row(rows: &mut Vec<Row>, sys: &dyn QuorumSystem, p: f64, fp: FpEstimate, seconds: f64) {
     rows.push(Row {
         construction: sys.name(),
         n: sys.universe_size(),
         p,
-        method: method_name(fp.method),
+        method: fp.method.label(),
         fp: fp.value,
+        fp_upper95: (!fp.is_exact()).then(|| fp.ci95_upper_bound()),
         seconds,
     });
+}
+
+fn measure(rows: &mut Vec<Row>, evaluator: &Evaluator, sys: &dyn QuorumSystem, p: f64) -> FpMethod {
+    let (fp, seconds) = time(|| evaluator.crash_probability(sys, p));
+    let method = fp.method;
+    push_row(rows, sys, p, fp, seconds);
+    method
 }
 
 /// Forces enumeration (no closed form) through the engine, for timing.
@@ -61,8 +73,56 @@ fn measure_exact(rows: &mut Vec<Row>, evaluator: &Evaluator, sys: &dyn QuorumSys
         p,
         method: "exact",
         fp,
+        fp_upper95: None,
         seconds,
     });
+}
+
+/// Times the exact dispatch against the Monte-Carlo estimator it replaced.
+struct MethodSpeedup {
+    construction: String,
+    p: f64,
+    exact_method: &'static str,
+    exact_fp: f64,
+    exact_seconds: f64,
+    mc_trials: usize,
+    mc_fp: f64,
+    mc_upper95: f64,
+    mc_seconds: f64,
+    ratio: f64,
+}
+
+fn method_speedup(
+    evaluator: &Evaluator,
+    sys: &dyn QuorumSystem,
+    p: f64,
+    mc_trials: usize,
+) -> MethodSpeedup {
+    let (exact, exact_seconds) = time(|| evaluator.crash_probability(sys, p));
+    assert!(
+        exact.is_exact(),
+        "{} did not dispatch to an exact method",
+        sys.name()
+    );
+    let (mc, mc_seconds) = time(|| evaluator.monte_carlo_with(sys, p, mc_trials));
+    let mc_est = FpEstimate {
+        value: mc.mean,
+        std_error: Some(mc.std_error),
+        trials: Some(mc.trials),
+        method: FpMethod::MonteCarlo,
+    };
+    MethodSpeedup {
+        construction: sys.name(),
+        p,
+        exact_method: exact.method.label(),
+        exact_fp: exact.value,
+        exact_seconds,
+        mc_trials,
+        mc_fp: mc.mean,
+        mc_upper95: mc_est.ci95_upper_bound(),
+        mc_seconds,
+        ratio: mc_seconds / exact_seconds.max(1e-12),
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -70,108 +130,290 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
-    let output = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_fp.json".to_string());
+    let mut quick = false;
+    let mut output = "BENCH_fp.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            output = arg;
+        }
+    }
     let evaluator = Evaluator::new().with_trials(20_000).with_seed(0xBE7C);
-    let ps = [0.05, 0.125, 0.25];
+    let ps: &[f64] = if quick {
+        &[0.125]
+    } else {
+        &[0.05, 0.125, 0.25]
+    };
     let mut rows: Vec<Row> = Vec::new();
+    let mut dispatch_failures: Vec<String> = Vec::new();
+    let mut expect = |name: &str, got: FpMethod, want: FpMethod| {
+        if got != want {
+            dispatch_failures.push(format!(
+                "{name}: expected {} dispatch, got {}",
+                want.label(),
+                got.label()
+            ));
+        }
+    };
 
-    eprintln!("timing closed forms and exact enumeration across the matrix...");
-    for &p in &ps {
-        // Closed forms at paper scale (n ~ 1024): exact at any size, microseconds.
-        measure(
+    // The paper-scale instances (Section 8): every construction, including
+    // the two this engine made exact, answers without sampling.
+    let boost = BoostFppSystem::new(3, 19).unwrap();
+    let mpath_dp = MPathSystem::new(6, 3).unwrap();
+    eprintln!("timing the dispatch matrix ({} p values)...", ps.len());
+    for &p in ps {
+        let m = measure(
             &mut rows,
             &evaluator,
             &ThresholdSystem::masking(1024, 255).unwrap(),
             p,
         );
-        measure(&mut rows, &evaluator, &GridSystem::new(32, 10).unwrap(), p);
-        measure(&mut rows, &evaluator, &MGridSystem::new(32, 15).unwrap(), p);
-        measure(&mut rows, &evaluator, &RtSystem::new(4, 3, 5).unwrap(), p);
-        // Monte-Carlo fallback for the constructions without closed forms.
-        measure(
-            &mut rows,
-            &evaluator,
-            &BoostFppSystem::new(3, 19).unwrap(),
-            p,
-        );
-        // Exact enumeration at n = 16 and n = 25 (the engine's parallel path).
-        measure_exact(&mut rows, &evaluator, &GridSystem::new(4, 1).unwrap(), p);
-        measure_exact(&mut rows, &evaluator, &GridSystem::new(5, 1).unwrap(), p);
-        measure_exact(&mut rows, &evaluator, &MGridSystem::new(4, 1).unwrap(), p);
-        measure_exact(&mut rows, &evaluator, &MGridSystem::new(5, 2).unwrap(), p);
-        measure_exact(
-            &mut rows,
-            &evaluator,
-            &ThresholdSystem::masking(25, 5).unwrap(),
-            p,
-        );
+        expect("Threshold(1024)", m, FpMethod::ClosedForm);
+        let m = measure(&mut rows, &evaluator, &GridSystem::new(32, 10).unwrap(), p);
+        expect("Grid(1024)", m, FpMethod::ClosedForm);
+        let m = measure(&mut rows, &evaluator, &MGridSystem::new(32, 15).unwrap(), p);
+        expect("M-Grid(1024)", m, FpMethod::ClosedForm);
+        let m = measure(&mut rows, &evaluator, &RtSystem::new(4, 3, 5).unwrap(), p);
+        expect("RT(1024)", m, FpMethod::ClosedForm);
+        // boostFPP at n = 1001: previously the slowest, least accurate row
+        // (Monte-Carlo, literally 0e0 at p = 0.05); now an exact closed form.
+        let m = measure(&mut rows, &evaluator, &boost, p);
+        expect("boostFPP(q=3, b=19)", m, FpMethod::ClosedForm);
+        // M-Path at the DP gate (n = 36 — beyond the 2^25 enumeration limit).
+        let m = measure(&mut rows, &evaluator, &mpath_dp, p);
+        expect("M-Path(side=6)", m, FpMethod::Dp);
     }
 
-    // The acceptance measurement: n = 25 Grid, engine versus the historical
-    // allocating scalar loop, at the Section 8 crash probability.
-    let grid25 = GridSystem::new(5, 1).unwrap();
-    let p = 0.125;
-    eprintln!("measuring the n = 25 Grid speedup (this runs the old scalar loop once)...");
-    let (engine_fp, engine_secs) = time(|| evaluator.exact(&grid25, p).unwrap());
-    let (naive_fp, naive_secs) = time(|| exact_crash_probability_naive(&grid25, p).unwrap());
-    let ratio = naive_secs / engine_secs.max(1e-12);
-    assert!(
-        (engine_fp - naive_fp).abs() < 1e-9,
-        "engine {engine_fp} disagrees with naive {naive_fp}"
+    if !quick {
+        // Paper-scale M-Path (side 32): exact crossing probabilities at this
+        // width are beyond every known transfer-matrix state space, so the
+        // engine samples — now with a Wilson upper bound instead of a bare 0.
+        let mpath32 = MPathSystem::new(32, 7).unwrap();
+        let mc_eval = evaluator.clone().with_trials(500).with_exact_limit(0);
+        for &p in ps {
+            measure(&mut rows, &mc_eval, &mpath32, p);
+        }
+        // Exact enumeration at n = 16 and n = 25 (the engine's parallel path).
+        for &p in ps {
+            measure_exact(&mut rows, &evaluator, &GridSystem::new(4, 1).unwrap(), p);
+            measure_exact(&mut rows, &evaluator, &GridSystem::new(5, 1).unwrap(), p);
+            measure_exact(&mut rows, &evaluator, &MGridSystem::new(4, 1).unwrap(), p);
+            measure_exact(&mut rows, &evaluator, &MGridSystem::new(5, 2).unwrap(), p);
+            measure_exact(
+                &mut rows,
+                &evaluator,
+                &ThresholdSystem::masking(25, 5).unwrap(),
+                p,
+            );
+        }
+    }
+
+    // Per-method timings for the constructions this engine made exact, vs the
+    // Monte-Carlo estimator they replaced (same effort as the v1 benchmark).
+    eprintln!("timing exact methods vs the Monte-Carlo they replaced...");
+    let mc_trials = if quick { 2_000 } else { 20_000 };
+    let boost_speedup = method_speedup(&evaluator, &boost, 0.125, mc_trials);
+    let mpath_speedup = method_speedup(
+        &evaluator,
+        &mpath_dp,
+        0.125,
+        if quick { 500 } else { 5_000 },
     );
+
+    // Sweep-mode timing: the same grid of points through the persistent pool
+    // versus one call at a time. (On a single-core runner the pool's win is
+    // spawn amortisation only; on multicore it also overlaps the points.)
+    eprintln!("timing batched sweep vs one-call-at-a-time...");
+    let sweep_ps: Vec<f64> = if quick {
+        (1..=4).map(|i| f64::from(i) * 0.06).collect()
+    } else {
+        (1..=8).map(|i| f64::from(i) * 0.05).collect()
+    };
+    let thresh_sweep = ThresholdSystem::masking(1024, 255).unwrap();
+    let sweep_systems: Vec<&dyn QuorumSystem> = vec![&boost, &thresh_sweep, &mpath_dp];
+    let sweep_eval = evaluator.clone().with_trials(2_000);
+    let (batched, batched_seconds) = time(|| sweep_eval.sweep_systems(&sweep_systems, &sweep_ps));
+    // The honest baseline: one `crash_probability` call per point with the
+    // *default* (fully parallel) evaluator — what a caller without the sweep
+    // API would write. Every method in this grid (closed form, DP,
+    // Monte-Carlo) is bit-identical at any thread count, so the timing run
+    // doubles as the parity check.
+    let (serial, serial_seconds) = time(|| {
+        sweep_systems
+            .iter()
+            .map(|sys| {
+                sweep_ps
+                    .iter()
+                    .map(|&p| sweep_eval.crash_probability(*sys, p))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    for (b_row, s_row) in batched.iter().zip(&serial) {
+        for (b, s) in b_row.iter().zip(s_row) {
+            assert_eq!(
+                b.value.to_bits(),
+                s.value.to_bits(),
+                "sweep result diverged from single-point evaluation"
+            );
+        }
+    }
+    let sweep_points = sweep_systems.len() * sweep_ps.len();
+    let sweep_ratio = serial_seconds / batched_seconds.max(1e-12);
+
+    // The v1 acceptance measurement, kept for trajectory continuity: n = 25
+    // Grid, engine versus the historical allocating scalar loop.
+    let grid25 = GridSystem::new(5, 1).unwrap();
+    let p25 = 0.125;
+    let (grid25_speedup, engine_fp, naive_secs, engine_secs) = if quick {
+        (None, 0.0, 0.0, 0.0)
+    } else {
+        eprintln!("measuring the n = 25 Grid speedup (this runs the old scalar loop once)...");
+        let (engine_fp, engine_secs) = time(|| evaluator.exact(&grid25, p25).unwrap());
+        let (naive_fp, naive_secs) = time(|| exact_crash_probability_naive(&grid25, p25).unwrap());
+        assert!(
+            (engine_fp - naive_fp).abs() < 1e-9,
+            "engine {engine_fp} disagrees with naive {naive_fp}"
+        );
+        (
+            Some(naive_secs / engine_secs.max(1e-12)),
+            engine_fp,
+            naive_secs,
+            engine_secs,
+        )
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"bench_fp/v1\",\n  \"threads\": {},\n  \"results\": [\n",
-        evaluator.threads()
+        "  \"schema\": \"bench_fp/v2\",\n  \"threads\": {},\n  \"quick\": {},\n  \"results\": [\n",
+        evaluator.threads(),
+        quick
     ));
     for (i, r) in rows.iter().enumerate() {
+        let upper = r
+            .fp_upper95
+            .map(|u| format!(", \"fp_upper95\": {u:e}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"construction\": \"{}\", \"n\": {}, \"p\": {}, \"method\": \"{}\", \"fp\": {:e}, \"seconds\": {:e}}}{}\n",
+            "    {{\"construction\": \"{}\", \"n\": {}, \"p\": {}, \"method\": \"{}\", \"fp\": {:e}{}, \"seconds\": {:e}}}{}\n",
             json_escape(&r.construction),
             r.n,
             r.p,
             r.method,
             r.fp,
+            upper,
             r.seconds,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"exact_method_speedups\": {\n");
+    for (key, s, last) in [
+        ("boostfpp", &boost_speedup, false),
+        ("mpath", &mpath_speedup, true),
+    ] {
+        json.push_str(&format!(
+            "    \"{key}\": {{\"construction\": \"{}\", \"p\": {}, \"method\": \"{}\", \"exact_fp\": {:e}, \"exact_seconds\": {:e}, \"mc_trials\": {}, \"mc_fp\": {:e}, \"mc_upper95\": {:e}, \"mc_seconds\": {:e}, \"ratio\": {:.2}}}{}\n",
+            json_escape(&s.construction),
+            s.p,
+            s.exact_method,
+            s.exact_fp,
+            s.exact_seconds,
+            s.mc_trials,
+            s.mc_fp,
+            s.mc_upper95,
+            s.mc_seconds,
+            s.ratio,
+            if last { "" } else { "," }
+        ));
+    }
+    json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"grid25_speedup\": {{\"construction\": \"{}\", \"p\": {}, \"fp\": {:e}, \"naive_seconds\": {:e}, \"engine_seconds\": {:e}, \"ratio\": {:.2}}}\n",
-        json_escape(&grid25.name()),
-        p,
-        engine_fp,
-        naive_secs,
-        engine_secs,
-        ratio
+        "  \"sweep\": {{\"points\": {sweep_points}, \"batched_seconds\": {batched_seconds:e}, \"one_at_a_time_seconds\": {serial_seconds:e}, \"ratio\": {sweep_ratio:.2}}}"
     ));
+    if let Some(ratio) = grid25_speedup {
+        json.push_str(&format!(
+            ",\n  \"grid25_speedup\": {{\"construction\": \"{}\", \"p\": {}, \"fp\": {:e}, \"naive_seconds\": {:e}, \"engine_seconds\": {:e}, \"ratio\": {:.2}}}\n",
+            json_escape(&grid25.name()),
+            p25,
+            engine_fp,
+            naive_secs,
+            engine_secs,
+            ratio
+        ));
+    } else {
+        json.push('\n');
+    }
     json.push_str("}\n");
     std::fs::write(&output, &json).expect("write benchmark output");
 
     println!(
-        "{:<28} {:>4} {:>7} {:>12} {:>14} {:>12}",
-        "construction", "n", "p", "method", "Fp", "seconds"
+        "{:<24} {:>4} {:>7} {:>12} {:>14} {:>14} {:>12}",
+        "construction", "n", "p", "method", "Fp", "Fp upper95", "seconds"
     );
     for r in &rows {
         println!(
-            "{:<28} {:>4} {:>7} {:>12} {:>14.6e} {:>12.6}",
-            r.construction, r.n, r.p, r.method, r.fp, r.seconds
+            "{:<24} {:>4} {:>7} {:>12} {:>14.6e} {:>14} {:>12.6}",
+            r.construction,
+            r.n,
+            r.p,
+            r.method,
+            r.fp,
+            r.fp_upper95
+                .map(|u| format!("{u:.3e}"))
+                .unwrap_or_else(|| "-".into()),
+            r.seconds
         );
     }
     println!();
+    for s in [&boost_speedup, &mpath_speedup] {
+        println!(
+            "{} at p = {}: {} {:.6}s (exact fp {:.6e}) vs {}-trial Monte-Carlo {:.6}s -> {:.2}x",
+            s.construction,
+            s.p,
+            s.exact_method,
+            s.exact_seconds,
+            s.exact_fp,
+            s.mc_trials,
+            s.mc_seconds,
+            s.ratio
+        );
+    }
     println!(
-        "n = 25 Grid exact F_p at p = {p}: engine {engine_secs:.3}s vs naive {naive_secs:.3}s -> {ratio:.1}x speedup"
+        "sweep of {sweep_points} points: batched {batched_seconds:.4}s vs one-at-a-time {serial_seconds:.4}s -> {sweep_ratio:.2}x"
     );
+    if let Some(ratio) = grid25_speedup {
+        println!(
+            "n = 25 Grid exact F_p at p = {p25}: engine {engine_secs:.3}s vs naive {naive_secs:.3}s -> {ratio:.1}x speedup"
+        );
+    }
     println!("wrote {output}");
-    if ratio < 5.0 {
-        // Fail the process (after writing the JSON) so the CI perf-smoke step
-        // goes red when the engine regresses below the acceptance threshold.
-        eprintln!("ERROR: speedup {ratio:.1}x is below the 5x acceptance threshold");
+
+    // Fail the process (after writing the JSON) so the CI smoke step goes red
+    // when dispatch or the engine regresses.
+    let mut failed = false;
+    if !dispatch_failures.is_empty() {
+        for f in &dispatch_failures {
+            eprintln!("ERROR: dispatch regression: {f}");
+        }
+        failed = true;
+    }
+    if boost_speedup.ratio < 20.0 {
+        eprintln!(
+            "ERROR: boostFPP exact path is only {:.1}x faster than Monte-Carlo (need >= 20x)",
+            boost_speedup.ratio
+        );
+        failed = true;
+    }
+    if let Some(ratio) = grid25_speedup {
+        if ratio < 5.0 {
+            eprintln!("ERROR: grid25 speedup {ratio:.1}x is below the 5x acceptance threshold");
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

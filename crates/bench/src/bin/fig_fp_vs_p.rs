@@ -35,9 +35,10 @@ fn main() {
             format!("{:.2}", pt.p),
             format!("{:.4}", pt.fp.value),
             if pt.fp.is_exact() {
-                "exact".to_string()
+                format!("exact ({})", pt.fp.method.label())
             } else {
-                format!("±{:.4}", pt.fp.ci95_half_width())
+                let (lower, upper) = pt.fp.ci95_bounds();
+                format!("[{lower:.4}, {upper:.4}]")
             },
             format_optional_probability(pt.fp_upper_bound),
             format_optional_probability(pt.fp_lower_bound),

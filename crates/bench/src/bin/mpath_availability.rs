@@ -6,9 +6,12 @@
 //!
 //! Run with: `cargo run --release -p bqs-bench --bin mpath_availability [side] [trials]`
 
-use bqs_analysis::percolation_threshold::{crossing_curve, estimate_critical_probability};
+use bqs_analysis::percolation_threshold::{
+    crossing_curve, estimate_critical_probability, exact_crossing_curve, EXACT_CURVE_MAX_SIDE,
+};
 use bqs_analysis::TextTable;
-use bqs_constructions::mpath::MPathSystem;
+use bqs_constructions::mpath::{MPathSystem, EXACT_DP_MAX_SIDE};
+use bqs_core::eval::Evaluator;
 use bqs_core::quorum::QuorumSystem;
 use bqs_graph::grid::Axis;
 use bqs_graph::percolation::PercolationEstimator;
@@ -22,13 +25,23 @@ fn main() {
 
     println!("== site percolation on the {side}x{side} triangulated grid ==\n");
     let ps: Vec<f64> = (1..=9).map(|i| i as f64 * 0.1).collect();
+    let exact_curve = exact_crossing_curve(side, &ps);
     let curve = crossing_curve(side, &ps, trials, 0xA11);
-    let mut t1 = TextTable::new(["p (closed prob.)", "P[open LR crossing]", "95% CI"]);
-    for pt in &curve {
+    let mut t1 = TextTable::new([
+        "p (closed prob.)",
+        "P[open LR crossing]",
+        "95% CI",
+        "exact (DP)",
+    ]);
+    for (i, pt) in curve.iter().enumerate() {
         t1.push_row([
             format!("{:.1}", pt.p),
             format!("{:.4}", pt.crossing_probability),
             format!("±{:.4}", pt.ci95),
+            exact_curve
+                .as_ref()
+                .map(|c| format!("{:.6}", c[i].crossing_probability))
+                .unwrap_or_else(|| format!("- (side > {EXACT_CURVE_MAX_SIDE})")),
         ]);
     }
     println!("{}\n", t1.render());
@@ -49,10 +62,19 @@ fn main() {
         "p",
         "P[>= k disjoint LR crossings]",
         "Fp(M-Path) Monte-Carlo",
+        "Fp exact (DP)",
         "counting bound (Sec. 8 style)",
     ]);
     let flow_trials = trials.min(300);
-    for &p in &[0.05, 0.125, 0.2, 0.3, 0.4, 0.45, 0.55] {
+    let sweep_ps = [0.05, 0.125, 0.2, 0.3, 0.4, 0.45, 0.55];
+    // The exact column runs the transfer-matrix sweep through the batched
+    // engine (one persistent pool for all seven points).
+    let exact_fps = if side <= EXACT_DP_MAX_SIDE {
+        Some(Evaluator::new().sweep(&sys, &sweep_ps))
+    } else {
+        None
+    };
+    for (i, &p) in sweep_ps.iter().enumerate() {
         let disjoint = est.estimate_disjoint_crossings_probability(
             p,
             Axis::LeftRight,
@@ -65,6 +87,10 @@ fn main() {
             format!("{p:.3}"),
             format!("{:.4}", disjoint.mean),
             format!("{:.4} ± {:.4}", fp.mean, fp.ci95_half_width()),
+            exact_fps
+                .as_ref()
+                .map(|f| format!("{:.3e} ({})", f[i].value, f[i].method.label()))
+                .unwrap_or_else(|| format!("- (side > {EXACT_DP_MAX_SIDE})")),
             sys.crash_probability_counting_bound(p)
                 .map(bqs_analysis::report::format_probability)
                 .unwrap_or_else(|| "- (needs p < 1/3)".to_string()),

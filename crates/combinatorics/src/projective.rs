@@ -13,6 +13,11 @@
 
 use crate::gf::{GfElem, GfField};
 
+/// Largest point count for which [`ProjectivePlane::line_free_profile`] runs its
+/// one-time `2^n` subset enumeration (`q² + q + 1 ≤ 22` admits `q ∈ {2, 3, 4}`;
+/// the next plane order, `q = 5`, already has 31 points).
+pub const LINE_FREE_PROFILE_MAX_POINTS: usize = 22;
+
 /// A finite projective plane of order `q`, stored as an explicit point/line incidence
 /// structure.
 #[derive(Debug, Clone)]
@@ -102,6 +107,47 @@ impl ProjectivePlane {
     #[must_use]
     pub fn point_coordinates(&self, i: usize) -> [GfElem; 3] {
         self.points[i]
+    }
+
+    /// Counts, for every subset size `m`, how many `m`-subsets of the points
+    /// contain **no complete line** — the *line-free profile* `N_0, ..., N_n`.
+    ///
+    /// This is the combinatorial heart of the exact FPP crash probability: if
+    /// each point survives independently with probability `1 − r`, then
+    ///
+    /// `F_r(FPP) = Σ_m N_m (1 − r)^m r^{n − m}`
+    ///
+    /// because the system is unavailable exactly when the surviving point set
+    /// contains no line. The profile depends only on the plane, so one
+    /// enumeration of the `2^n` point subsets (feasible for
+    /// `n = q² + q + 1 ≤` [`LINE_FREE_PROFILE_MAX_POINTS`], i.e. `q ≤ 4`)
+    /// yields a closed form evaluable in `O(n)` for every `r` thereafter.
+    ///
+    /// Returns `None` when the plane has more than
+    /// [`LINE_FREE_PROFILE_MAX_POINTS`] points, where the one-time `2^n`
+    /// enumeration is no longer worth it.
+    #[must_use]
+    pub fn line_free_profile(&self) -> Option<Vec<u64>> {
+        let n = self.num_points();
+        if n > LINE_FREE_PROFILE_MAX_POINTS {
+            return None;
+        }
+        let line_masks: Vec<u64> = self
+            .lines
+            .iter()
+            .map(|l| l.iter().fold(0u64, |m, &p| m | (1u64 << p)))
+            .collect();
+        let min_line = self.q as u32 + 1;
+        let mut profile = vec![0u64; n + 1];
+        for mask in 0u64..(1u64 << n) {
+            // A subset smaller than a line trivially contains none.
+            let contains_line =
+                mask.count_ones() >= min_line && line_masks.iter().any(|&l| l & !mask == 0);
+            if !contains_line {
+                profile[mask.count_ones() as usize] += 1;
+            }
+        }
+        Some(profile)
     }
 
     /// Checks the defining axioms of a projective plane on this incidence structure:
@@ -247,6 +293,33 @@ mod tests {
         assert!(ProjectivePlane::new(10).is_err());
         assert!(ProjectivePlane::new(0).is_err());
         assert!(ProjectivePlane::new(1).is_err());
+    }
+
+    #[test]
+    fn fano_line_free_profile_matches_hand_count() {
+        let plane = ProjectivePlane::new(2).unwrap();
+        // m <= 2: every subset is line-free. m = 3: C(7,3) - 7 lines = 28.
+        // m = 4: a 4-set contains a line iff it is a line plus one point
+        // (7 * 4 = 28 sets, no double counting since two lines span 5 points),
+        // leaving 35 - 28 = 7. m >= 5: the 2-point complement never meets all
+        // 7 lines (two points cover at most 5), so every 5-set contains a line.
+        assert_eq!(
+            plane.line_free_profile().unwrap(),
+            vec![1, 7, 21, 28, 7, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn line_free_profile_gated_by_point_count() {
+        // q = 4 (21 points) is within the gate; q = 5 (31 points) is not.
+        assert!(ProjectivePlane::new(4)
+            .unwrap()
+            .line_free_profile()
+            .is_some());
+        assert!(ProjectivePlane::new(5)
+            .unwrap()
+            .line_free_profile()
+            .is_none());
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! This is the paper's "boosting" technique at work: any regular quorum system can be
 //! made Byzantine-tolerant by composing it over a masking threshold; the FPP is the
 //! load-optimal choice of outer system.
+//!
+//! Crash-probability evaluation is **exact** for `q ≤ 4` (which includes the
+//! paper's Section 8 instance `boostFPP(3, 19)` at `n = 1001`): Theorem 4.7
+//! gives `F_p = F_{r(p)}(FPP)` with `r(p)` the inner threshold's binomial
+//! tail, and the FPP factor is evaluated through the plane's line-free
+//! survivor profile — see [`BoostFppSystem::crash_probability_exact`].
 
 use rand::RngCore;
 
@@ -88,9 +94,28 @@ impl BoostFppSystem {
         (self.b + 1) * (self.q as usize + 1)
     }
 
+    /// Exact crash probability via Theorem 4.7's composition law:
+    /// `F_p(boostFPP) = F_{r(p)}(FPP)` with `r(p)` the exact crash probability
+    /// of the inner `Thresh(3b+1 of 4b+1)` (a binomial tail) and the outer FPP
+    /// evaluated through its line-free survivor profile. Exact for **any** `b`
+    /// whenever the plane is small enough to profile (`q ≤ 4` — which covers
+    /// the paper's Section 8 instance `boostFPP(q=3, b=19)` at `n = 1001`);
+    /// `None` for larger plane orders.
+    #[must_use]
+    pub fn crash_probability_exact(&self, p: f64) -> Option<f64> {
+        self.composed.crash_probability_closed_form(p)
+    }
+
     /// The Chernoff-based upper bound of Proposition 6.3:
-    /// `F_p ≤ (q+1) e^{−b(1−4p)²/2}` for `p < 1/4`; `None` when `p ≥ 1/4` (where in
-    /// fact `F_p → 1`).
+    /// `F_p ≤ (q+1) e^{−b(1−4p)²/2}`.
+    ///
+    /// Returns `None` if and only if `p ≥ 1/4`: the bound's exponent
+    /// `−b(1−4p)²/2` stops decaying there, and in fact `F_p → 1` for
+    /// `p > 1/4` (the inner threshold needs fewer than a quarter of each
+    /// copy's servers to crash), so no sub-unit upper bound of this shape
+    /// exists. Callers wanting a value at every `p` can fall back to
+    /// [`BoostFppSystem::crash_probability_exact`] (exact, `q ≤ 4`) or the
+    /// trivial bound `1`.
     #[must_use]
     pub fn crash_probability_prop_6_3_bound(&self, p: f64) -> Option<f64> {
         if p >= 0.25 {
@@ -125,6 +150,10 @@ impl QuorumSystem for BoostFppSystem {
 
     fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
         self.composed.find_live_quorum(alive)
+    }
+
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        self.crash_probability_exact(p)
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -235,6 +264,102 @@ mod tests {
             dead.remove(copy * 5 + 1);
         }
         assert!(!sys.is_available(&dead));
+    }
+
+    #[test]
+    fn exact_closed_form_matches_enumeration_on_smallest_instance() {
+        // boostFPP(q=2, b=0) composes FPP(2) over the trivial 1-of-1 threshold:
+        // 7 servers, fully enumerable.
+        let sys = BoostFppSystem::new(2, 0).unwrap();
+        assert_eq!(sys.universe_size(), 7);
+        for &p in &[0.0, 0.05, 0.125, 0.3, 0.5, 0.8, 1.0] {
+            let closed = sys.crash_probability_exact(p).unwrap();
+            let enumerated = exact_crash_probability(&sys, p).unwrap();
+            assert!(
+                (closed - enumerated).abs() < 1e-12,
+                "p={p}: closed {closed} vs enumerated {enumerated}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_closed_form_consistent_with_monte_carlo() {
+        // n = 35 is beyond enumeration; the closed form must sit inside the
+        // Monte-Carlo confidence interval of the same system.
+        let sys = BoostFppSystem::new(2, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for &p in &[0.1, 0.2, 0.35] {
+            let closed = sys.crash_probability_exact(p).unwrap();
+            let est = monte_carlo_crash_probability(&sys, p, 3000, &mut rng);
+            assert!(
+                (closed - est.mean).abs() <= est.ci95_half_width() + 0.02,
+                "p={p}: closed {closed} vs mc {} ± {}",
+                est.mean,
+                est.ci95_half_width()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_closed_form_respects_paper_bounds_across_p_grid() {
+        // The exact value must sit inside the paper's analytic envelope:
+        // below the Proposition 6.3 numeric/Chernoff bounds (p < 1/4) and
+        // above the resilience lower bound p^MT (Proposition 4.3).
+        for (q, b) in [(2u64, 2usize), (3, 5), (3, 19)] {
+            let sys = BoostFppSystem::new(q, b).unwrap();
+            for i in 1..20 {
+                let p = i as f64 * 0.05;
+                let exact = sys.crash_probability_exact(p).unwrap();
+                assert!((0.0..=1.0).contains(&exact), "q={q} b={b} p={p}");
+                if p < 0.25 {
+                    let numeric = sys.crash_probability_numeric_bound(p);
+                    let chernoff = sys.crash_probability_prop_6_3_bound(p).unwrap();
+                    assert!(
+                        exact <= numeric + 1e-12,
+                        "q={q} b={b} p={p}: exact {exact} above numeric bound {numeric}"
+                    );
+                    assert!(exact <= chernoff + 1e-12, "q={q} b={b} p={p}");
+                }
+                let lower = bqs_core::bounds::crash_probability_lower_bound_resilience(
+                    p,
+                    sys.min_transversal(),
+                );
+                assert!(
+                    exact >= lower - 1e-12,
+                    "q={q} b={b} p={p}: exact {exact} below lower bound {lower}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_closed_form_gated_for_large_plane_orders() {
+        // q = 5's plane has 31 points: no survivor profile, no closed form.
+        let sys = BoostFppSystem::new(5, 2).unwrap();
+        assert!(sys.crash_probability_exact(0.1).is_none());
+    }
+
+    #[test]
+    fn section8_exact_value_fixes_the_zero_hit_rows() {
+        // The Section 8 instance the benchmark previously reported as `0e0`
+        // (no Monte-Carlo trial hit the tail at p = 0.05): the exact value is
+        // tiny but positive, and still below the paper's p = 1/8 bound.
+        let sys = BoostFppSystem::new(3, 19).unwrap();
+        let fp_low = sys.crash_probability_exact(0.05).unwrap();
+        assert!(fp_low > 0.0, "fp={fp_low}");
+        assert!(fp_low < 1e-6, "fp={fp_low}");
+        let fp_paper = sys.crash_probability_exact(0.125).unwrap();
+        assert!(fp_paper <= 0.372, "fp={fp_paper}");
+    }
+
+    #[test]
+    fn prop_6_3_bound_none_exactly_at_one_quarter() {
+        let sys = BoostFppSystem::new(3, 4).unwrap();
+        // The documented None condition is p >= 1/4 — inclusive at the edge.
+        assert!(sys.crash_probability_prop_6_3_bound(0.25).is_none());
+        assert!(sys.crash_probability_prop_6_3_bound(0.2499).is_some());
+        assert!(sys.crash_probability_prop_6_3_bound(1.0).is_none());
+        assert!(sys.crash_probability_prop_6_3_bound(0.0).is_some());
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! The FPP's availability is poor — `MT = q + 1` and in fact `F_p(FPP) → 1` as
 //! `n → ∞` [RST92, Woo96] — which is also inherited, and is why boostFPP needs
 //! `p < 1/4`.
+//!
+//! For enumerable planes (`q ≤ 4`) the crash probability is computed
+//! **exactly** from the plane's line-free survivor profile
+//! ([`FppSystem::crash_probability_exact`]) — the outer factor of boostFPP's
+//! exact evaluation via Theorem 4.7.
+
+use std::sync::OnceLock;
 
 use rand::RngCore;
 
@@ -25,6 +32,10 @@ use crate::AnalyzedConstruction;
 pub struct FppSystem {
     plane: ProjectivePlane,
     lines: Vec<ServerSet>,
+    /// Lazily-computed line-free profile of the plane (`None` inside means the
+    /// plane is too large for the one-time enumeration); shared by every
+    /// closed-form evaluation so sweeps pay the `2^n` cost at most once.
+    line_free_profile: OnceLock<Option<Vec<u64>>>,
 }
 
 impl FppSystem {
@@ -42,7 +53,37 @@ impl FppSystem {
             .lines()
             .map(|l| ServerSet::from_indices(n, l.iter().copied()))
             .collect();
-        Ok(FppSystem { plane, lines })
+        Ok(FppSystem {
+            plane,
+            lines,
+            line_free_profile: OnceLock::new(),
+        })
+    }
+
+    /// Exact crash probability of the FPP: the system is unavailable iff the
+    /// surviving point set contains no complete line, so with `N_m` the number
+    /// of line-free `m`-subsets ([`ProjectivePlane::line_free_profile`]),
+    ///
+    /// `F_p(FPP) = Σ_m N_m (1 − p)^m p^{n − m}`.
+    ///
+    /// Returns `None` for planes whose one-time profile enumeration is gated
+    /// out (`q ≥ 5`); the profile is cached, so sweeps over many `p` values
+    /// pay the `2^n` enumeration at most once per system.
+    #[must_use]
+    pub fn crash_probability_exact(&self, p: f64) -> Option<f64> {
+        let profile = self
+            .line_free_profile
+            .get_or_init(|| self.plane.line_free_profile())
+            .as_ref()?;
+        let p = p.clamp(0.0, 1.0);
+        let q = 1.0 - p;
+        let n = self.universe_size() as i32;
+        let fp: f64 = profile
+            .iter()
+            .enumerate()
+            .map(|(m, &count)| count as f64 * q.powi(m as i32) * p.powi(n - m as i32))
+            .sum();
+        Some(fp.clamp(0.0, 1.0))
     }
 
     /// The plane order `q`.
@@ -102,6 +143,10 @@ impl QuorumSystem for FppSystem {
 
     fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
         self.lines.iter().find(|l| l.is_subset_of(alive)).cloned()
+    }
+
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        self.crash_probability_exact(p)
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -206,6 +251,32 @@ mod tests {
             let q = fpp.sample_quorum(&mut rng);
             assert!(fpp.lines().contains(&q));
         }
+    }
+
+    #[test]
+    fn exact_closed_form_matches_enumeration() {
+        // The survivor-profile closed form must track full 2^n enumeration to
+        // 1e-12 on every plane small enough to enumerate.
+        for q in [2u64, 3] {
+            let fpp = FppSystem::new(q).unwrap();
+            for &p in &[0.0, 0.05, 0.125, 0.3, 0.5, 0.8, 1.0] {
+                let closed = fpp.crash_probability_exact(p).unwrap();
+                let enumerated = exact_crash_probability(&fpp, p).unwrap();
+                assert!(
+                    (closed - enumerated).abs() < 1e-12,
+                    "q={q} p={p}: closed {closed} vs enumerated {enumerated}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_closed_form_gated_for_large_planes() {
+        // q = 5 has 31 points: the one-time 2^31 enumeration is gated out and
+        // the engine falls back to its usual dispatch.
+        let fpp = FppSystem::new(5).unwrap();
+        assert!(fpp.crash_probability_exact(0.1).is_none());
+        assert!(fpp.crash_probability_closed_form(0.1).is_none());
     }
 
     #[test]

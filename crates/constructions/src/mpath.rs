@@ -13,17 +13,39 @@
 //! Operationally, quorum discovery under failures uses max-flow (Menger) on the
 //! node-split grid from the `bqs-graph` crate; the load-optimal sampling strategy
 //! uses straight rows and columns only, exactly as in the proof of Proposition 7.2.
+//!
+//! Crash-probability evaluation is **exact** up to grid side
+//! [`EXACT_DP_MAX_SIDE`] via the transfer-matrix DP of
+//! [`bqs_graph::crossing_dp`] (dispatched through
+//! [`QuorumSystem::crash_probability_closed_form`] and tagged
+//! [`FpMethod::Dp`]); larger grids fall back to Monte-Carlo, since exact
+//! crossing probabilities are exponential in `√n` for every known method.
 
 use rand::RngCore;
 
 use bqs_core::bitset::ServerSet;
 use bqs_core::error::QuorumError;
+use bqs_core::eval::FpMethod;
 use bqs_core::quorum::QuorumSystem;
+use bqs_graph::crossing_dp::mpath_crash_probability_exact;
 use bqs_graph::disjoint_paths::{find_disjoint_paths, find_straight_disjoint_paths};
 use bqs_graph::grid::{Axis, TriangulatedGrid};
 use bqs_graph::maxflow::max_vertex_disjoint_paths;
 
 use crate::AnalyzedConstruction;
+
+/// Largest grid side for which [`MPathSystem::crash_probability_exact`] runs
+/// the transfer-matrix sweep of [`bqs_graph::crossing_dp`] by default. The
+/// DP's interface-state count is exponential in the side (like every known
+/// exact method for crossing probabilities); up to side 6 (`n = 36`, already
+/// beyond the `2^25` enumeration limit) a sweep point costs milliseconds to a
+/// few seconds, while side 7 crosses into minutes.
+pub const EXACT_DP_MAX_SIDE: usize = 6;
+
+/// Interface-state budget handed to the transfer-matrix sweep; at
+/// [`EXACT_DP_MAX_SIDE`] the worst case (`k = 4`, `p ≈ 1/2`) stays well
+/// within it.
+pub const EXACT_DP_STATE_BUDGET: usize = 4_000_000;
 
 /// The M-Path(b) quorum system over a triangulated `side × side` grid.
 #[derive(Debug, Clone)]
@@ -136,14 +158,47 @@ impl MPathSystem {
             .collect()
     }
 
+    /// Exact crash probability by the boundary-interface transfer-matrix DP of
+    /// [`bqs_graph::crossing_dp`]: the probability that the grid does not
+    /// simultaneously contain `⌈√(2b+1)⌉` vertex-disjoint alive left-right
+    /// crossings and as many top-bottom crossings, computed by a column sweep
+    /// over capped shortest-blocking-path matrices (exact to floating-point
+    /// rounding; see the module docs for the self-matching duality it rests
+    /// on).
+    ///
+    /// Returns `None` when `side >` [`EXACT_DP_MAX_SIDE`] or the sweep
+    /// exceeds its state budget — the DP, like every known exact method for
+    /// percolation crossing probabilities, is exponential in `√n`, so large
+    /// grids still need Monte-Carlo.
+    #[must_use]
+    pub fn crash_probability_exact(&self, p: f64) -> Option<f64> {
+        if self.grid.side() > EXACT_DP_MAX_SIDE {
+            return None;
+        }
+        mpath_crash_probability_exact(self.grid.side(), self.paths, p, EXACT_DP_STATE_BUDGET)
+    }
+
     /// The percolation-flavoured crash-probability upper bound used in the worked
     /// example of Section 8: combine the counting bound on the crossing probability
     /// (remark after Theorem B.1, valid for `p' < 1/3`) with the ACCFR interior-event
     /// inequality (Theorem B.3) at an intermediate `p < p' < 1/3`, and take the union
-    /// bound over the two directions. Returns `None` when `p` is too close to `1/3`
-    /// for this elementary estimate to be meaningful (the asymptotic result of
-    /// Proposition 7.3 still holds for all `p < 1/2`, but needs the full
-    /// Menshikov-type theorem rather than a computable constant).
+    /// bound over the two directions.
+    ///
+    /// Returns `None` in exactly two situations:
+    ///
+    /// 1. **`p ≥ 1/3`** — the counting bound on the crossing probability (the
+    ///    remark after Theorem B.1) needs `3p' < 1` at some intermediate
+    ///    `p' > p`, so no admissible `p'` exists at all;
+    /// 2. **the counting bound is vacuous at every admissible `p'`** — on
+    ///    small grids (or `p` close to `1/3`) the estimate
+    ///    `1 − √n (3p')^{√n} / (1 − 3p')` can clamp to `0` for the whole
+    ///    optimisation grid, e.g. `side = 3` at `p = 0.2`, leaving no finite
+    ///    candidate.
+    ///
+    /// The asymptotic Proposition 7.3 still holds for all `p < 1/2`, but
+    /// needs the full Menshikov-type theorem rather than a computable
+    /// constant; callers wanting true values where the bound degenerates can
+    /// use [`MPathSystem::crash_probability_exact`] on small grids.
     #[must_use]
     pub fn crash_probability_counting_bound(&self, p: f64) -> Option<f64> {
         if p >= 1.0 / 3.0 {
@@ -246,6 +301,16 @@ impl QuorumSystem for MPathSystem {
             }
         }
         Some(out)
+    }
+
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        self.crash_probability_exact(p)
+    }
+
+    fn closed_form_method(&self) -> FpMethod {
+        // The "closed form" is the transfer-matrix sweep, not an algebraic
+        // expression — tag it so dispatch tables and benchmarks can tell.
+        FpMethod::Dp
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -369,6 +434,97 @@ mod tests {
         let q = q.unwrap();
         assert!(q.is_subset_of(&alive));
         assert!(m.contains_quorum(&q));
+    }
+
+    #[test]
+    fn exact_dp_matches_enumeration_on_small_instances() {
+        // Bit-level parity of the transfer-matrix sweep against the engine's
+        // full 2^n enumeration (which checks availability by max-flow), for
+        // every feasible (side <= 4, b) instance.
+        let eval = Evaluator::new();
+        // Full p-grid on side 3; side 4 costs 2^16 max-flow availability
+        // checks per point, so sample the grid more sparsely there.
+        let cases: &[(usize, usize, &[f64])] = &[
+            (3, 0, &[0.05, 0.125, 0.3, 0.5, 0.85]),
+            (3, 1, &[0.05, 0.125, 0.3, 0.5, 0.85]),
+            (4, 0, &[0.125, 0.5]),
+            (4, 1, &[0.125, 0.5]),
+        ];
+        for &(side, b, ps) in cases {
+            let m = MPathSystem::new(side, b).unwrap();
+            for &p in ps {
+                let dp = m.crash_probability_exact(p).unwrap();
+                let enumerated = eval.exact(&m, p).unwrap();
+                assert!(
+                    (dp - enumerated).abs() < 1e-12,
+                    "side={side} b={b} p={p}: dp {dp} vs enumerated {enumerated}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_dispatches_mpath_to_dp() {
+        let m = MPathSystem::new(4, 1).unwrap();
+        let fp = Evaluator::new().crash_probability(&m, 0.125);
+        assert_eq!(fp.method, FpMethod::Dp);
+        assert!(fp.is_exact());
+        assert_eq!(fp.method.label(), "dp");
+        // Beyond the DP gate the closed form declines and the engine samples.
+        let big = MPathSystem::new(12, 3).unwrap();
+        assert!(big.crash_probability_exact(0.125).is_none());
+        let fp_big = Evaluator::new()
+            .with_trials(50)
+            .with_exact_limit(0)
+            .crash_probability(&big, 0.125);
+        assert_eq!(fp_big.method, FpMethod::MonteCarlo);
+    }
+
+    #[test]
+    fn exact_dp_respects_paper_bounds_across_p_grid() {
+        // The exact value must sit inside the paper's analytic envelope:
+        // under the counting upper bound where that bound applies, and above
+        // the resilience lower bound p^MT everywhere.
+        for (side, b) in [(4usize, 1usize), (5, 1), (5, 2)] {
+            let m = MPathSystem::new(side, b).unwrap();
+            for i in [1usize, 3, 5, 7, 9, 13] {
+                let p = i as f64 * 0.05;
+                let exact = m.crash_probability_exact(p).unwrap();
+                assert!((0.0..=1.0).contains(&exact), "side={side} b={b} p={p}");
+                if let Some(upper) = m.crash_probability_counting_bound(p) {
+                    assert!(
+                        exact <= upper + 1e-12,
+                        "side={side} b={b} p={p}: exact {exact} above bound {upper}"
+                    );
+                }
+                let lower = bqs_core::bounds::crash_probability_lower_bound_resilience(
+                    p,
+                    m.min_transversal(),
+                );
+                assert!(
+                    exact >= lower - 1e-12,
+                    "side={side} b={b} p={p}: exact {exact} below lower bound {lower}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counting_bound_none_edges_are_documented_ones() {
+        let m = MPathSystem::new(32, 7).unwrap();
+        // Condition 1: p >= 1/3, inclusive at the edge.
+        assert!(m.crash_probability_counting_bound(1.0 / 3.0).is_none());
+        assert!(m.crash_probability_counting_bound(0.34).is_none());
+        // Condition 2a: p < 1/3 but so close that the Theorem B.1 estimate
+        // clamps to zero for every admissible intermediate p' — even on the
+        // Section 8 grid (at p = 0.3 every p' in (0.3, 1/3) has
+        // 32·(3p')³² / (1 − 3p') > 1).
+        assert!(m.crash_probability_counting_bound(0.3).is_none());
+        assert!(m.crash_probability_counting_bound(0.2).is_some());
+        // Condition 2b: grids too small for the estimate at moderate p.
+        let tiny = MPathSystem::new(3, 1).unwrap();
+        assert!(tiny.crash_probability_counting_bound(0.2).is_none());
+        assert!(tiny.crash_probability_counting_bound(0.01).is_some());
     }
 
     #[test]

@@ -44,16 +44,62 @@ pub struct CrashEstimate {
 
 impl CrashEstimate {
     /// Half-width of the 95% normal-approximation confidence interval.
+    ///
+    /// Degenerates to zero when no (or every) trial failed; use
+    /// [`CrashEstimate::wilson_ci95`] for bounds that stay meaningful at the
+    /// extremes.
     #[must_use]
     pub fn ci95_half_width(&self) -> f64 {
         1.96 * self.std_error
     }
 
-    /// Whether `value` lies within the 95% confidence interval.
+    /// The 95% Wilson score interval `(lower, upper)` for the estimated
+    /// probability. Unlike the normal approximation, it does not collapse at
+    /// zero observed failures: with `0` of `n` trials failing the upper bound
+    /// is `z²/(n + z²) ≈ 3.84/n` (the classical "rule of three" up to the
+    /// choice of `z`), which is what a sweep should report instead of a
+    /// degenerate `0 ± 0`.
+    #[must_use]
+    pub fn wilson_ci95(&self) -> (f64, f64) {
+        wilson_score_interval(self.mean, self.trials)
+    }
+
+    /// Whether `value` lies within the 95% Wilson confidence interval.
+    ///
+    /// (Formerly used the normal approximation, under which an estimate with
+    /// zero observed failures was "inconsistent" with every positive value —
+    /// exactly the regime where rare-event sweeps need the opposite verdict.)
     #[must_use]
     pub fn is_consistent_with(&self, value: f64) -> bool {
-        (value - self.mean).abs() <= self.ci95_half_width() + 1e-12
+        let (lower, upper) = self.wilson_ci95();
+        value >= lower - 1e-12 && value <= upper + 1e-12
     }
+}
+
+/// The 95% Wilson score interval for a binomial proportion observed as
+/// `mean` over `trials` trials (`z = 1.96`).
+#[must_use]
+pub fn wilson_score_interval(mean: f64, trials: usize) -> (f64, f64) {
+    let n = trials.max(1) as f64;
+    let p = mean.clamp(0.0, 1.0);
+    let z = 1.96f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // Snap the boundary cases exactly: at p = 0 (resp. 1) center and half are
+    // equal up to rounding, and the bound must not leak a ±1e-19 residue.
+    let lower = if p == 0.0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let upper = if p == 1.0 {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    (lower, upper)
 }
 
 /// Exact crash probability by enumerating every crash configuration.
@@ -256,6 +302,49 @@ mod tests {
         assert_eq!(est.trials, 1000);
         assert!(est.std_error > 0.0);
         assert!(est.ci95_half_width() < 0.05);
+    }
+
+    #[test]
+    fn zero_hit_estimate_reports_rule_of_three_upper_bound() {
+        // 0 failures in 2000 trials: the point estimate is 0, but the Wilson
+        // upper bound ~ 3.84/2000 stays informative and the estimate is
+        // consistent with small positive truths (the boostFPP p = 0.05 case
+        // that used to be reported as a bare `0e0`).
+        let est = CrashEstimate {
+            mean: 0.0,
+            std_error: 0.0,
+            trials: 2000,
+        };
+        let (lower, upper) = est.wilson_ci95();
+        assert_eq!(lower, 0.0);
+        assert!((upper - 1.96f64.powi(2) / (2000.0 + 1.96f64.powi(2))).abs() < 1e-12);
+        assert!(
+            upper > 1.0 / 2000.0 && upper < 3.0 / 1000.0,
+            "upper={upper}"
+        );
+        assert!(est.is_consistent_with(1e-4));
+        assert!(!est.is_consistent_with(0.01));
+        // All-failures mirror image.
+        let all = CrashEstimate {
+            mean: 1.0,
+            std_error: 0.0,
+            trials: 2000,
+        };
+        let (lo, hi) = all.wilson_ci95();
+        assert_eq!(hi, 1.0);
+        assert!(lo < 1.0 && lo > 0.99);
+    }
+
+    #[test]
+    fn wilson_interval_tracks_normal_approximation_mid_range() {
+        let est = CrashEstimate {
+            mean: 0.5,
+            std_error: (0.25f64 / 1000.0).sqrt(),
+            trials: 1000,
+        };
+        let (lower, upper) = est.wilson_ci95();
+        assert!((lower - (0.5 - est.ci95_half_width())).abs() < 2e-3);
+        assert!((upper - (0.5 + est.ci95_half_width())).abs() < 2e-3);
     }
 
     #[test]

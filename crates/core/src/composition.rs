@@ -124,6 +124,17 @@ impl<S: QuorumSystem, R: QuorumSystem> QuorumSystem for ComposedSystem<S, R> {
         Some(out)
     }
 
+    /// Theorem 4.7: the copies of `R` fail independently with probability
+    /// `r(p) = F_p(R)`, and the composed system is unavailable exactly when
+    /// the surviving copies contain no quorum of `S`, so
+    /// `F_p(S ∘ R) = F_{r(p)}(S)`. When both components answer in closed form
+    /// the composition does too — this is what makes boostFPP (FPP over a
+    /// threshold) exactly evaluable at `n ≈ 1000` in microseconds.
+    fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+        let r = self.inner.crash_probability_closed_form(p)?;
+        self.outer.crash_probability_closed_form(r.clamp(0.0, 1.0))
+    }
+
     fn min_quorum_size(&self) -> usize {
         self.outer.min_quorum_size() * self.inner.min_quorum_size()
     }
@@ -339,6 +350,61 @@ mod tests {
         assert_eq!(p.min_intersection, 3);
         assert_eq!(p.min_transversal, 6);
         assert!((p.load - 12.0 / 35.0).abs() < 1e-12);
+    }
+
+    /// A threshold-like test double with a closed form (majority-of-3).
+    struct ClosedMajority3;
+    impl QuorumSystem for ClosedMajority3 {
+        fn universe_size(&self) -> usize {
+            3
+        }
+        fn name(&self) -> String {
+            "2-of-3-closed".into()
+        }
+        fn sample_quorum(&self, _rng: &mut dyn RngCore) -> ServerSet {
+            ServerSet::from_indices(3, [0, 1])
+        }
+        fn find_live_quorum(&self, alive: &ServerSet) -> Option<ServerSet> {
+            if alive.len() >= 2 {
+                Some(ServerSet::from_indices(3, alive.iter().take(2)))
+            } else {
+                None
+            }
+        }
+        fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+            // Fails iff >= 2 of 3 crash.
+            Some(3.0 * p * p * (1.0 - p) + p * p * p)
+        }
+        fn min_quorum_size(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn composed_closed_form_matches_enumeration() {
+        // F_p(S∘R) = s(r(p)) in closed form, validated against exact
+        // enumeration of the materialised 9-server composition.
+        use crate::availability::exact_crash_probability;
+        let explicit = compose_explicit(&k_of_n_system(3, 2), &k_of_n_system(3, 2), 1000).unwrap();
+        let lazy = ComposedSystem::new(ClosedMajority3, ClosedMajority3);
+        for &p in &[0.0, 0.1, 0.3, 0.5, 0.9, 1.0] {
+            let closed = lazy.crash_probability_closed_form(p).unwrap();
+            let direct = exact_crash_probability(&explicit, p).unwrap();
+            assert!(
+                (closed - direct).abs() < 1e-12,
+                "p={p}: closed {closed} vs enumerated {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn composed_closed_form_requires_both_components() {
+        // Explicit systems expose no closed form, so neither does the
+        // composition built from them.
+        let lazy = ComposedSystem::new(k_of_n_system(3, 2), k_of_n_system(3, 2));
+        assert!(lazy.crash_probability_closed_form(0.2).is_none());
+        let half = ComposedSystem::new(ClosedMajority3, k_of_n_system(3, 2));
+        assert!(half.crash_probability_closed_form(0.2).is_none());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * **Parallel by default.** Mask ranges are chunked across a scoped thread
 //!   pool; Monte-Carlo trials run on independent per-thread RNG streams
 //!   (deterministic for a fixed seed, regardless of thread count).
+//! * **Batched sweeps.** [`Evaluator::sweep`] / [`Evaluator::sweep_systems`]
+//!   evaluate whole `(system, p)` grids on one persistent worker pool,
+//!   amortising thread-spawn cost across points and overlapping expensive
+//!   points (Monte-Carlo, the M-Path transfer-matrix DP) in wall-clock time.
 //!
 //! Small universes (`2^n` below [`PARALLEL_MASK_THRESHOLD`]) are evaluated on
 //! the calling thread in ascending mask order, which keeps the result
@@ -47,10 +51,26 @@ pub const PARALLEL_MASK_THRESHOLD: u64 = 1 << 17;
 pub enum FpMethod {
     /// A structure-aware closed form (exact, any `n`).
     ClosedForm,
+    /// A structure-aware transfer-matrix dynamic program (exact; feasibility
+    /// depends on the instance, e.g. the M-Path boundary-interface sweep).
+    Dp,
     /// Exhaustive enumeration of all `2^n` crash configurations (exact).
     Exact,
     /// Monte-Carlo estimation (unbiased, with sampling error).
     MonteCarlo,
+}
+
+impl FpMethod {
+    /// The snake_case label used in benchmark JSON and dispatch tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FpMethod::ClosedForm => "closed_form",
+            FpMethod::Dp => "dp",
+            FpMethod::Exact => "exact",
+            FpMethod::MonteCarlo => "monte_carlo",
+        }
+    }
 }
 
 /// A crash-probability answer, tagged with how it was obtained.
@@ -68,22 +88,49 @@ pub struct FpEstimate {
 
 impl FpEstimate {
     /// Half-width of the 95% confidence interval (zero for exact methods).
+    ///
+    /// For Monte-Carlo estimates with zero observed failures this degenerates
+    /// to zero; [`FpEstimate::ci95_bounds`] stays informative there.
     #[must_use]
     pub fn ci95_half_width(&self) -> f64 {
         1.96 * self.std_error.unwrap_or(0.0)
     }
 
-    /// Whether the estimate is exact (closed form or full enumeration).
+    /// The 95% confidence bounds `(lower, upper)` on the crash probability:
+    /// the value itself for exact methods, the Wilson score interval for
+    /// Monte-Carlo. In particular a sampled estimate that observed **no**
+    /// failure in `n` trials reports the rule-of-three-style upper bound
+    /// `≈ 3.84/n` instead of a degenerate `0 ± 0`.
+    #[must_use]
+    pub fn ci95_bounds(&self) -> (f64, f64) {
+        match (self.method, self.trials) {
+            (FpMethod::MonteCarlo, Some(trials)) => {
+                crate::availability::wilson_score_interval(self.value, trials)
+            }
+            _ => (self.value, self.value),
+        }
+    }
+
+    /// The 95% upper confidence bound (the value itself for exact methods).
+    #[must_use]
+    pub fn ci95_upper_bound(&self) -> f64 {
+        self.ci95_bounds().1
+    }
+
+    /// Whether the estimate is exact (closed form, DP or full enumeration).
     #[must_use]
     pub fn is_exact(&self) -> bool {
         self.method != FpMethod::MonteCarlo
     }
 
-    /// Whether `value` lies within the 95% confidence interval (exact methods
-    /// compare with a small absolute tolerance).
+    /// Whether `value` lies within the 95% confidence interval — the Wilson
+    /// interval for Monte-Carlo (so a zero-failure estimate remains
+    /// consistent with small positive truths), a small absolute tolerance for
+    /// exact methods.
     #[must_use]
     pub fn is_consistent_with(&self, value: f64) -> bool {
-        (value - self.value).abs() <= self.ci95_half_width() + 1e-12
+        let (lower, upper) = self.ci95_bounds();
+        value >= lower - 1e-12 && value <= upper + 1e-12
     }
 }
 
@@ -194,7 +241,7 @@ impl Evaluator {
                 value,
                 std_error: None,
                 trials: None,
-                method: FpMethod::ClosedForm,
+                method: system.closed_form_method(),
             };
         }
         match self.exact(system, p) {
@@ -259,6 +306,73 @@ impl Evaluator {
                 .sum()
         });
         Ok(crash_prob.clamp(0.0, 1.0))
+    }
+
+    /// Evaluates `F_p(Q)` at every point of `ps` on a persistent scoped
+    /// worker pool: the pool is spawned **once** for the whole sweep and the
+    /// `(system, p)` points are pulled off a shared atomic counter, so the
+    /// per-call thread-spawn cost of [`Evaluator::crash_probability`] is paid
+    /// once instead of once per point, and expensive points (Monte-Carlo,
+    /// M-Path's transfer-matrix DP) run concurrently across sweep points
+    /// rather than sequentially.
+    ///
+    /// Threads are split between the two levels: with `j` jobs and `t`
+    /// configured threads, `min(j, t)` pool workers each evaluate points with
+    /// a `⌊t / workers⌋`-thread per-point policy — so a one-point sweep keeps
+    /// the full intra-point parallelism of [`Evaluator::crash_probability`],
+    /// and a wide grid runs one point per core. Results are deterministic for
+    /// a fixed evaluator configuration and job grid; when the grid has at
+    /// least `t` points every point runs single-threaded and matches
+    /// `self.with_threads(1).crash_probability(system, p)` bit-for-bit.
+    /// (Closed-form, DP and Monte-Carlo answers are bit-identical at *any*
+    /// thread count; only parallel exact enumeration's summation order
+    /// depends on it.)
+    pub fn sweep(&self, system: &dyn QuorumSystem, ps: &[f64]) -> Vec<FpEstimate> {
+        self.sweep_systems(&[system], ps).pop().unwrap_or_default()
+    }
+
+    /// The many-systems variant of [`Evaluator::sweep`]: evaluates the full
+    /// `systems × ps` grid on one persistent worker pool and returns the
+    /// estimates as `out[system_index][p_index]`.
+    pub fn sweep_systems(&self, systems: &[&dyn QuorumSystem], ps: &[f64]) -> Vec<Vec<FpEstimate>> {
+        let jobs: Vec<(usize, f64)> = systems
+            .iter()
+            .enumerate()
+            .flat_map(|(i, _)| ps.iter().map(move |&p| (i, p)))
+            .collect();
+        let workers = self.threads.min(jobs.len()).max(1);
+        // Leftover cores go to the points themselves (see [`Evaluator::sweep`]).
+        let per_point = self.clone().with_threads(self.threads / workers);
+        if workers <= 1 {
+            return systems
+                .iter()
+                .map(|sys| {
+                    ps.iter()
+                        .map(|&p| per_point.crash_probability(*sys, p))
+                        .collect()
+                })
+                .collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::OnceLock<FpEstimate>> =
+            jobs.iter().map(|_| std::sync::OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(sys_idx, p)) = jobs.get(i) else {
+                        break;
+                    };
+                    let est = per_point.crash_probability(systems[sys_idx], p);
+                    let _ = slots[i].set(est);
+                });
+            }
+        });
+        let mut out: Vec<Vec<FpEstimate>> = vec![Vec::with_capacity(ps.len()); systems.len()];
+        for (slot, &(sys_idx, _)) in slots.iter().zip(&jobs) {
+            out[sys_idx].push(*slot.get().expect("pool completed every job"));
+        }
+        out
     }
 
     /// Monte-Carlo `F_p(Q)` with `self.trials()` trials fanned out over
@@ -528,6 +642,71 @@ mod tests {
                 est.mean
             );
         }
+    }
+
+    #[test]
+    fn sweep_matches_single_point_evaluation_bit_for_bit() {
+        let sys = k_of_n_system(9, 6);
+        let mc_sys = {
+            // A 30-server explicit system forces the Monte-Carlo path.
+            let quorums: Vec<ServerSet> = (0..4)
+                .map(|i| ServerSet::from_indices(30, (0..16).map(|j| (i + j) % 30)))
+                .collect();
+            ExplicitQuorumSystem::new(30, quorums).unwrap()
+        };
+        let ps = [0.05, 0.125, 0.25, 0.4];
+        let eval = Evaluator::new()
+            .with_trials(2000)
+            .with_seed(23)
+            .with_threads(4);
+        let serial = eval.clone().with_threads(1);
+        let grid = eval.sweep_systems(&[&sys, &mc_sys], &ps);
+        assert_eq!(grid.len(), 2);
+        for (s, sys) in [(&grid[0], &sys as &dyn QuorumSystem), (&grid[1], &mc_sys)] {
+            assert_eq!(s.len(), ps.len());
+            for (est, &p) in s.iter().zip(&ps) {
+                let direct = serial.crash_probability(sys, p);
+                assert_eq!(est.method, direct.method);
+                assert_eq!(est.value.to_bits(), direct.value.to_bits(), "p={p}");
+            }
+        }
+        // The single-system convenience wrapper agrees with the grid form.
+        let single = eval.sweep(&sys, &ps);
+        for (a, b) in single.iter().zip(&grid[0]) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single_point_inputs() {
+        let sys = k_of_n_system(5, 3);
+        assert!(Evaluator::new().sweep(&sys, &[]).is_empty());
+        let one = Evaluator::new().sweep(&sys, &[0.2]);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].is_exact());
+        let none: Vec<Vec<FpEstimate>> = Evaluator::new().sweep_systems(&[], &[0.1, 0.2]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn monte_carlo_zero_hits_reports_wilson_upper_bound() {
+        // A majority-of-30 system at p = 0.05 essentially never fails in 2000
+        // trials (F_p ~ 1e-12): the estimate must still carry a usable upper
+        // bound.
+        let sys = CheapMajority { n: 30 };
+        let fp = Evaluator::new()
+            .with_trials(2000)
+            .with_seed(3)
+            .crash_probability(&sys, 0.05);
+        assert_eq!(fp.method, FpMethod::MonteCarlo);
+        assert_eq!(fp.value, 0.0);
+        let (lower, upper) = fp.ci95_bounds();
+        assert_eq!(lower, 0.0);
+        assert!(upper > 0.0 && upper < 0.003, "upper={upper}");
+        assert_eq!(fp.ci95_upper_bound(), upper);
+        // Consistent with tiny positive truths, not with large ones.
+        assert!(fp.is_consistent_with(1e-6));
+        assert!(!fp.is_consistent_with(0.05));
     }
 
     #[test]

@@ -77,6 +77,15 @@ pub trait QuorumSystem: Send + Sync {
         None
     }
 
+    /// How [`QuorumSystem::crash_probability_closed_form`] answers are
+    /// obtained, for the engine's method tagging: an algebraic closed form by
+    /// default; constructions whose "closed form" is really a structure-aware
+    /// exact dynamic program (M-Path's boundary-interface sweep) override this
+    /// to [`crate::eval::FpMethod::Dp`].
+    fn closed_form_method(&self) -> crate::eval::FpMethod {
+        crate::eval::FpMethod::ClosedForm
+    }
+
     /// The cardinality `c(Q)` of the smallest quorum.
     fn min_quorum_size(&self) -> usize;
 }

@@ -1,0 +1,602 @@
+//! Exact crossing probabilities on the triangulated grid by transfer-matrix DP.
+//!
+//! The M-Path availability event is *`k` vertex-disjoint alive left-right
+//! crossings AND `k` vertex-disjoint alive top-bottom crossings*. Evaluating
+//! its probability by enumeration costs `2^n` max-flow runs; Monte-Carlo gives
+//! only sampled estimates (and literal zeros in the low-`p` tail). This module
+//! computes the probability **exactly** with a column-sweep dynamic program
+//! over boundary-interface states.
+//!
+//! # The duality that makes a sweep possible
+//!
+//! The triangular lattice is *self-matching*: a set of vertices blocks every
+//! left-right path iff it contains a top-bottom path in the **same**
+//! adjacency. Combined with Menger's theorem this turns both flow values into
+//! shortest-path quantities over the *same* random configuration:
+//!
+//! * `maxflow_LR(alive) = min over top-bottom paths π of #alive vertices on π`
+//! * `maxflow_TB(alive) = min over left-right paths π of #alive vertices on π`
+//!
+//! (Weak direction: any TB path meets any LR path in a vertex, so the alive
+//! vertices of a TB path form an LR cut; strong direction: a minimum LR vertex
+//! cut, together with the dead vertices, contains a TB path because the
+//! lattice is self-matching. [`min_crossing_cost`] lets the test suite pin
+//! this identity against the Dinic max-flow in [`crate::maxflow`]
+//! configuration by configuration.)
+//!
+//! # The interface state
+//!
+//! Shortest-path costs through a region interact with the outside *only*
+//! through the region's boundary: the matrix of pairwise capped shortest-path
+//! costs between boundary nodes is a sufficient statistic, no matter how
+//! often an optimal path weaves in and out of the region. The sweep therefore
+//! adds one cell at a time (column-major) and maintains, per state,
+//!
+//! * the capped all-pairs cost matrix over `{T, B, L} ∪ frontier` where `T`,
+//!   `B`, `L` are virtual terminals for the top, bottom and left sides and
+//!   the frontier holds one cell per row (the staircase between the processed
+//!   and unprocessed cells), and
+//! * the aliveness of the frontier cells.
+//!
+//! Costs count **alive interior vertices** (dead vertices are free for a
+//! blocking path) and saturate at `k`: the events only ask whether a crossing
+//! of cost `< k` exists, so every value `≥ k` is equivalent and the state
+//! space collapses accordingly. Two states that agree on the capped matrix
+//! and the frontier bits are merged, summing their probabilities.
+//!
+//! The number of reachable states still grows quickly with the side length —
+//! the DP is exponential in `√n`, like every known exact method for crossing
+//! probabilities — so the entry points take a state budget and return `None`
+//! when it is exceeded. Within the budget (sides up to ~7–8 at practical
+//! budgets) the result is exact to floating-point rounding, which extends
+//! exact M-Path evaluation well past the `2^25` enumeration limit
+//! (side 5): a side-7 grid has `2^49` configurations.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
+
+use crate::grid::{Axis, TriangulatedGrid};
+
+/// Deterministically-seeded hashing for the state maps: with the std
+/// `RandomState`, state iteration (and hence the f64 accumulation order)
+/// would differ between processes, making DP results reproducible only up to
+/// the last ulp. A fixed-key SipHash keeps every run bit-identical.
+type StateMap = HashMap<Vec<u8>, f64, BuildHasherDefault<std::hash::DefaultHasher>>;
+
+/// Default cap on the number of simultaneous interface states before the DP
+/// gives up and returns `None`. 2 million states × ~100-byte keys keeps the
+/// worst case in the hundreds of megabytes and well under a second per state
+/// generation on commodity hardware.
+pub const DEFAULT_DP_STATE_BUDGET: usize = 2_000_000;
+
+/// Minimum alive-vertex count over all crossing paths of `axis` (dead
+/// vertices cost nothing). By the self-matching duality this equals the
+/// maximum number of vertex-disjoint alive crossings of the *perpendicular*
+/// axis — the identity the tests pin against [`crate::maxflow`].
+///
+/// Implemented as a multi-source 0-1 BFS; the grid is connected, so a
+/// crossing path (possibly through dead vertices) always exists.
+#[must_use]
+pub fn min_crossing_cost(grid: &TriangulatedGrid, alive: &[bool], axis: Axis) -> usize {
+    let n = grid.num_vertices();
+    assert_eq!(alive.len(), n, "alive mask must cover every vertex");
+    let mut dist = vec![usize::MAX; n];
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    for s in grid.sources(axis) {
+        let c = usize::from(alive[s]);
+        if c < dist[s] {
+            dist[s] = c;
+            if c == 0 {
+                deque.push_front(s);
+            } else {
+                deque.push_back(s);
+            }
+        }
+    }
+    while let Some(v) = deque.pop_front() {
+        for u in grid.neighbors(v) {
+            let c = usize::from(alive[u]);
+            let nd = dist[v] + c;
+            if nd < dist[u] {
+                dist[u] = nd;
+                if c == 0 {
+                    deque.push_front(u);
+                } else {
+                    deque.push_back(u);
+                }
+            }
+        }
+    }
+    grid.sinks(axis)
+        .into_iter()
+        .map(|t| dist[t])
+        .min()
+        .expect("grid has at least one sink")
+}
+
+/// Outcome distribution of one DP sweep: the probabilities of the three
+/// "blocked" events, from which both the joint M-Path crash probability and
+/// single-direction crossing probabilities follow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SweepOutcome {
+    /// `P[maxflow_LR < k or maxflow_TB < k]` — the M-Path crash probability.
+    either_blocked: f64,
+    /// `P[maxflow_LR < k]` alone.
+    lr_blocked: f64,
+}
+
+/// Exact M-Path crash probability: the probability that the grid does **not**
+/// contain `k` vertex-disjoint alive left-right crossings and `k`
+/// vertex-disjoint alive top-bottom crossings simultaneously, when every
+/// vertex crashes independently with probability `p`.
+///
+/// Returns `None` when the interface-state count exceeds `max_states`
+/// (the DP is exponential in `side`; see the module docs), when `side == 0`,
+/// or when `k` is not in `1..=side` (with `k > side` no configuration has
+/// `k` disjoint crossings, so the crash probability is trivially 1 — callers
+/// should not need a sweep for that).
+#[must_use]
+pub fn mpath_crash_probability_exact(
+    side: usize,
+    k: usize,
+    p: f64,
+    max_states: usize,
+) -> Option<f64> {
+    run_sweep(side, k, p, max_states).map(|o| o.either_blocked)
+}
+
+/// Exact probability of an alive crossing along `axis` (`k = 1` flow event)
+/// when every vertex crashes independently with probability `p`. By the
+/// square grid's transpose symmetry the two axes give the same value; the
+/// parameter exists for call-site clarity.
+///
+/// Returns `None` under the same conditions as
+/// [`mpath_crash_probability_exact`].
+#[must_use]
+pub fn crossing_probability_exact(
+    side: usize,
+    p: f64,
+    _axis: Axis,
+    max_states: usize,
+) -> Option<f64> {
+    run_sweep(side, 1, p, max_states).map(|o| 1.0 - o.lr_blocked)
+}
+
+/// Node layout of the interface matrix: three virtual terminals, then one
+/// frontier slot per row.
+const T: usize = 0;
+const B: usize = 1;
+const L: usize = 2;
+const CELLS: usize = 3;
+
+/// The interface matrix plus frontier aliveness, in unpacked working form.
+#[derive(Clone)]
+struct State {
+    /// Full symmetric `n_nodes × n_nodes` capped cost matrix (diagonal 0).
+    d: Vec<u8>,
+    /// Bit `r` set iff the frontier cell of row `r` is alive.
+    alive: u32,
+}
+
+fn run_sweep(side: usize, k: usize, p: f64, max_states: usize) -> Option<SweepOutcome> {
+    if side == 0 || k == 0 || k > side || side > 31 {
+        return None;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let kcap = u8::try_from(k).ok()?;
+    let n_nodes = CELLS + side;
+    let initial = State {
+        // No region yet: every pair is "unreachable", which the cap folds
+        // into the same class as "cost >= k".
+        d: init_matrix(n_nodes, kcap),
+        alive: 0,
+    };
+    let mut states = StateMap::default();
+    states.insert(pack(&initial, n_nodes), 1.0);
+
+    // Reusable scratch for the unpacked base state, the mutated successor and
+    // its packed key: the innermost loop runs (states × cells) times and must
+    // not allocate per transition.
+    let mut base = State {
+        d: vec![0; n_nodes * n_nodes],
+        alive: 0,
+    };
+    let mut scratch = base.clone();
+    let mut keybuf: Vec<u8> = Vec::with_capacity(n_nodes * (n_nodes - 1) / 2 + 4);
+    let mut newrow = vec![0u8; n_nodes];
+    for col in 0..side {
+        for row in 0..side {
+            let mut next =
+                StateMap::with_capacity_and_hasher(states.len().saturating_mul(2), <_>::default());
+            for (key, prob) in &states {
+                unpack_into(key, n_nodes, &mut base);
+                for cell_alive in [false, true] {
+                    let weight = if cell_alive { 1.0 - p } else { p };
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    scratch.d.copy_from_slice(&base.d);
+                    scratch.alive = base.alive;
+                    add_cell(&mut scratch, side, kcap, row, col, cell_alive, &mut newrow);
+                    pack_into(&scratch, n_nodes, &mut keybuf);
+                    // Only a first-seen successor pays a key allocation.
+                    if let Some(mass) = next.get_mut(keybuf.as_slice()) {
+                        *mass += prob * weight;
+                    } else {
+                        next.insert(keybuf.clone(), prob * weight);
+                    }
+                }
+            }
+            if next.len() > max_states {
+                return None;
+            }
+            states = next;
+        }
+    }
+
+    let mut either_blocked = 0.0;
+    let mut lr_blocked = 0.0;
+    for (key, prob) in &states {
+        unpack_into(key, n_nodes, &mut base);
+        let st = &base;
+        // Self-matching duality: maxflow_LR = min TB-path cost, maxflow_TB =
+        // min LR-path cost. The final frontier is exactly the right column,
+        // where LR blocking paths terminate (paying their own aliveness).
+        let min_tb_cost = st.d[T * n_nodes + B];
+        let min_lr_cost = (0..side)
+            .map(|r| st.d[L * n_nodes + CELLS + r].saturating_add((st.alive >> r & 1) as u8))
+            .min()
+            .unwrap_or(kcap)
+            .min(kcap);
+        if min_tb_cost < kcap {
+            lr_blocked += prob;
+        }
+        if min_tb_cost < kcap || min_lr_cost < kcap {
+            either_blocked += prob;
+        }
+    }
+    Some(SweepOutcome {
+        either_blocked: either_blocked.clamp(0.0, 1.0),
+        lr_blocked: lr_blocked.clamp(0.0, 1.0),
+    })
+}
+
+fn init_matrix(n_nodes: usize, kcap: u8) -> Vec<u8> {
+    let mut d = vec![kcap; n_nodes * n_nodes];
+    for i in 0..n_nodes {
+        d[i * n_nodes + i] = 0;
+    }
+    d
+}
+
+/// Packs the upper triangle of the (symmetric) matrix plus the frontier bits
+/// into a canonical hash key.
+fn pack(state: &State, n_nodes: usize) -> Vec<u8> {
+    let mut key = Vec::with_capacity(n_nodes * (n_nodes - 1) / 2 + 4);
+    pack_into(state, n_nodes, &mut key);
+    key
+}
+
+/// [`pack`] into a reused buffer (cleared first) — the hot-loop variant.
+fn pack_into(state: &State, n_nodes: usize, key: &mut Vec<u8>) {
+    key.clear();
+    for i in 0..n_nodes {
+        for j in (i + 1)..n_nodes {
+            key.push(state.d[i * n_nodes + j]);
+        }
+    }
+    key.extend_from_slice(&state.alive.to_le_bytes());
+}
+
+/// Rehydrates a packed key into a reused full-matrix `State`.
+fn unpack_into(key: &[u8], n_nodes: usize, out: &mut State) {
+    let mut pos = 0;
+    for i in 0..n_nodes {
+        out.d[i * n_nodes + i] = 0;
+        for j in (i + 1)..n_nodes {
+            out.d[i * n_nodes + j] = key[pos];
+            out.d[j * n_nodes + i] = key[pos];
+            pos += 1;
+        }
+    }
+    out.alive = u32::from_le_bytes(key[pos..pos + 4].try_into().expect("key length"));
+}
+
+/// Extends the region by cell `(row, col)`, replacing the frontier slot of
+/// `row` (which held `(row, col - 1)`, about to lose its last unprocessed
+/// neighbour) and restoring the capped metric closure.
+///
+/// Costs are *interior*: an entry excludes both endpoints' aliveness, which
+/// lets segments be concatenated by adding the junction vertex's cost once.
+/// Terminals are virtual (cost 0, endpoints only): they are never used as
+/// intermediates, so a path cannot "teleport" along the top row through `T`.
+/// `newrow` is caller-provided scratch of length `n_nodes` (the hot loop must
+/// not allocate per transition); its contents on entry are irrelevant.
+#[allow(clippy::too_many_arguments)]
+fn add_cell(
+    state: &mut State,
+    side: usize,
+    kcap: u8,
+    row: usize,
+    col: usize,
+    cell_alive: bool,
+    newrow: &mut [u8],
+) {
+    let n_nodes = CELLS + side;
+    let v = CELLS + row;
+    let d = &mut state.d;
+
+    // Region nodes adjacent to the new cell. In column-major insertion order
+    // the triangulated grid's neighbours of (row, col) inside the region are
+    // (row-1, col) [this column, vertical], (row, col-1) [previous column,
+    // horizontal — currently in slot `row`], and (row+1, col-1) [previous
+    // column, anti-diagonal].
+    let mut adj_cells: [usize; 3] = [usize::MAX; 3];
+    let mut n_adj = 0;
+    if row > 0 {
+        adj_cells[n_adj] = CELLS + row - 1;
+        n_adj += 1;
+    }
+    if col > 0 {
+        adj_cells[n_adj] = CELLS + row; // (row, col-1): the slot being replaced
+        n_adj += 1;
+        if row + 1 < side {
+            adj_cells[n_adj] = CELLS + row + 1;
+            n_adj += 1;
+        }
+    }
+
+    // New row of the matrix: shortest interior costs from v to every node,
+    // before v replaces the old slot content.
+    newrow.fill(kcap);
+    newrow[v] = 0;
+    for &a in &adj_cells[..n_adj] {
+        newrow[a] = 0;
+        let ca = (state.alive >> (a - CELLS) & 1) as u8;
+        for x in 0..n_nodes {
+            let via = ca.saturating_add(d[a * n_nodes + x]).min(kcap);
+            if via < newrow[x] {
+                newrow[x] = via;
+            }
+        }
+    }
+    // Virtual terminals adjacent to v (endpoints only — no composition
+    // through them).
+    if row == 0 {
+        newrow[T] = 0;
+    }
+    if row == side - 1 {
+        newrow[B] = 0;
+    }
+    if col == 0 {
+        newrow[L] = 0;
+    }
+    newrow[v] = 0;
+
+    for x in 0..n_nodes {
+        d[v * n_nodes + x] = newrow[x];
+        d[x * n_nodes + v] = newrow[x];
+    }
+    if cell_alive {
+        state.alive |= 1 << row;
+    } else {
+        state.alive &= !(1 << row);
+    }
+
+    // Single-pivot closure update: with non-negative costs a shortest walk
+    // uses the one new vertex at most once.
+    let cv = u8::from(cell_alive);
+    for i in 0..n_nodes {
+        if i == v {
+            continue;
+        }
+        let div = d[i * n_nodes + v];
+        if div >= kcap {
+            continue;
+        }
+        let through = div.saturating_add(cv);
+        for j in 0..n_nodes {
+            let cand = through.saturating_add(d[v * n_nodes + j]).min(kcap);
+            if cand < d[i * n_nodes + j] {
+                d[i * n_nodes + j] = cand;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::max_vertex_disjoint_paths;
+    use crate::percolation::PercolationEstimator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The load-bearing identity: on the self-matching triangulated grid the
+    /// max number of vertex-disjoint alive crossings equals the min number of
+    /// alive vertices on a blocking path of the perpendicular direction.
+    /// Exhaustive on side 3 (512 configurations), randomized on sides 5–7.
+    #[test]
+    fn duality_matches_maxflow_exhaustively_side_3() {
+        let g = TriangulatedGrid::new(3);
+        for mask in 0u32..(1 << 9) {
+            let alive: Vec<bool> = (0..9).map(|i| mask >> i & 1 == 1).collect();
+            let flow_lr = max_vertex_disjoint_paths(&g, &alive, Axis::LeftRight);
+            let flow_tb = max_vertex_disjoint_paths(&g, &alive, Axis::TopBottom);
+            assert_eq!(
+                flow_lr,
+                min_crossing_cost(&g, &alive, Axis::TopBottom),
+                "mask={mask:#b}"
+            );
+            assert_eq!(
+                flow_tb,
+                min_crossing_cost(&g, &alive, Axis::LeftRight),
+                "mask={mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn duality_matches_maxflow_randomized_larger_sides() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for side in [4usize, 5, 6, 7] {
+            let g = TriangulatedGrid::new(side);
+            for _ in 0..60 {
+                let p: f64 = 0.1 + 0.8 * rng.gen::<f64>();
+                let alive: Vec<bool> = (0..g.num_vertices())
+                    .map(|_| rng.gen::<f64>() >= p)
+                    .collect();
+                assert_eq!(
+                    max_vertex_disjoint_paths(&g, &alive, Axis::LeftRight),
+                    min_crossing_cost(&g, &alive, Axis::TopBottom),
+                    "side={side}"
+                );
+                assert_eq!(
+                    max_vertex_disjoint_paths(&g, &alive, Axis::TopBottom),
+                    min_crossing_cost(&g, &alive, Axis::LeftRight),
+                    "side={side}"
+                );
+            }
+        }
+    }
+
+    /// Brute-force reference: joint crash probability by summing over all
+    /// `2^n` configurations with max-flow availability checks.
+    fn brute_force_crash_probability(side: usize, k: usize, p: f64) -> f64 {
+        let g = TriangulatedGrid::new(side);
+        let n = g.num_vertices();
+        let mut total = 0.0;
+        for mask in 0u64..(1 << n) {
+            let alive: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            let ok = max_vertex_disjoint_paths(&g, &alive, Axis::LeftRight) >= k
+                && max_vertex_disjoint_paths(&g, &alive, Axis::TopBottom) >= k;
+            if !ok {
+                let a = mask.count_ones() as i32;
+                total += (1.0 - p).powi(a) * p.powi(n as i32 - a);
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_grids() {
+        for side in [1usize, 2, 3] {
+            for k in 1..=side {
+                for &p in &[0.0, 0.1, 0.33, 0.5, 0.77, 1.0] {
+                    let dp = mpath_crash_probability_exact(side, k, p, 1 << 22).unwrap();
+                    let brute = brute_force_crash_probability(side, k, p);
+                    assert!(
+                        (dp - brute).abs() < 1e-12,
+                        "side={side} k={k} p={p}: dp {dp} vs brute {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_side_4() {
+        // 2^16 max-flow evaluations per (k, p) point: keep the grid of points
+        // small but cover every k the M-Path construction can ask for.
+        for k in [1usize, 2, 3] {
+            for &p in &[0.125, 0.4] {
+                let dp = mpath_crash_probability_exact(4, k, p, 1 << 22).unwrap();
+                let brute = brute_force_crash_probability(4, k, p);
+                assert!(
+                    (dp - brute).abs() < 1e-12,
+                    "k={k} p={p}: dp {dp} vs brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_extremes_and_monotonicity() {
+        for side in [3usize, 5] {
+            for k in [1usize, 2] {
+                assert_eq!(
+                    mpath_crash_probability_exact(side, k, 0.0, 1 << 22).unwrap(),
+                    0.0
+                );
+                assert_eq!(
+                    mpath_crash_probability_exact(side, k, 1.0, 1 << 22).unwrap(),
+                    1.0
+                );
+                let mut prev = 0.0;
+                for i in 0..=10 {
+                    let p = f64::from(i) / 10.0;
+                    let fp = mpath_crash_probability_exact(side, k, p, 1 << 22).unwrap();
+                    assert!(fp >= prev - 1e-12, "side={side} k={k} p={p}");
+                    prev = fp;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_probability_matches_monte_carlo() {
+        let est = PercolationEstimator::new(6);
+        let mut rng = StdRng::seed_from_u64(9);
+        for &p in &[0.15, 0.5, 0.8] {
+            let exact = crossing_probability_exact(6, p, Axis::LeftRight, 1 << 22).unwrap();
+            let mc = est.estimate_crossing_probability(p, Axis::LeftRight, 2000, &mut rng);
+            assert!(
+                (exact - mc.mean).abs() <= mc.ci95_half_width() + 0.02,
+                "p={p}: exact {exact} vs mc {} ± {}",
+                mc.mean,
+                mc.ci95_half_width()
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_probability_is_self_dual_at_one_half() {
+        // Site percolation on the triangular lattice is self-dual: an alive
+        // LR crossing exists iff no dead TB crossing does, so at p = 1/2 the
+        // crossing probability is exactly 1/2 on a square patch.
+        for side in [2usize, 4, 6] {
+            let c = crossing_probability_exact(side, 0.5, Axis::LeftRight, 1 << 22).unwrap();
+            assert!((c - 0.5).abs() < 1e-12, "side={side}: {c}");
+        }
+    }
+
+    #[test]
+    #[ignore = "state-space probe for tuning the dispatch gate; run with --ignored --nocapture"]
+    fn probe_state_growth() {
+        for side in 5..=10usize {
+            for k in [2usize, 3, 4] {
+                if k > side {
+                    continue;
+                }
+                let start = std::time::Instant::now();
+                let fp = mpath_crash_probability_exact(side, k, 0.125, 8_000_000);
+                println!(
+                    "side={side} k={k}: fp={fp:?} in {:.3}s",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "k=1 state-space probe for the crossing-curve gate; run with --ignored --nocapture"]
+    fn probe_state_growth_k1() {
+        for side in [6usize, 8, 10, 12] {
+            let start = std::time::Instant::now();
+            let c = crossing_probability_exact(side, 0.125, Axis::LeftRight, 4_000_000);
+            println!(
+                "side={side}: P(cross)={c:?} in {:.3}s",
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_and_budget_give_none() {
+        assert!(mpath_crash_probability_exact(0, 1, 0.1, 1 << 20).is_none());
+        assert!(mpath_crash_probability_exact(4, 0, 0.1, 1 << 20).is_none());
+        assert!(mpath_crash_probability_exact(4, 5, 0.1, 1 << 20).is_none());
+        // A budget of 1 state cannot hold the distribution at p in (0, 1).
+        assert!(mpath_crash_probability_exact(5, 2, 0.3, 1).is_none());
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`disjoint_paths`] — extraction of explicit disjoint paths from a flow,
 //! * [`percolation`] — Monte-Carlo site percolation on the triangulated grid, used to
 //!   reproduce the availability results of Section 7 / Appendix B,
+//! * [`crossing_dp`] — **exact** crossing and M-Path crash probabilities by a
+//!   column-sweep transfer-matrix DP over boundary-interface states, built on the
+//!   self-matching duality `maxflow = min blocking-path cost`,
 //! * [`union_find`] — disjoint-set forest for fast connectivity / cluster analysis.
 //!
 //! # Example
@@ -29,12 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crossing_dp;
 pub mod disjoint_paths;
 pub mod grid;
 pub mod maxflow;
 pub mod percolation;
 pub mod union_find;
 
+pub use crossing_dp::{
+    crossing_probability_exact, min_crossing_cost, mpath_crash_probability_exact,
+};
 pub use grid::{Axis, TriangulatedGrid};
 pub use maxflow::{
     max_vertex_disjoint_lr_paths, max_vertex_disjoint_paths, max_vertex_disjoint_tb_paths,
