@@ -5,8 +5,10 @@
 //!
 //! * [`comparison`] — Table 2 (the construction-by-construction comparison);
 //! * [`scenario`] — the Section 8 worked example (`n = 1024`, `L ≈ 1/4`, `p = 1/8`);
-//! * [`load_analysis`] — load-versus-n sweeps, the Theorem 4.1 envelope, and the
-//!   LP-versus-closed-form ablation;
+//! * [`load_analysis`] — load-versus-n sweeps, the certified column-generation
+//!   sweep `lp_load_vs_n` (pinning closed-form loads against the LP up to
+//!   `n = 1024`), the Theorem 4.1 envelope, and the LP-versus-closed-form
+//!   ablation;
 //! * [`availability_analysis`] — `F_p` versus `p` and versus `n`, the RT fixed-point
 //!   sweep, and the exact-versus-Monte-Carlo ablation;
 //! * [`percolation_threshold`] — the finite-size percolation estimates behind the
@@ -31,7 +33,10 @@ pub mod scenario;
 pub use ablation::{mpath_discovery_ablation, transversal_ablation};
 pub use availability_analysis::{exact_vs_monte_carlo, fp_vs_n, fp_vs_p, rt_fixed_point_sweep};
 pub use comparison::{build_table2, render_table2, Table2Row};
-pub use load_analysis::{load_vs_n, lower_bound_envelope, lp_vs_fair_load};
+pub use load_analysis::{
+    boost_fpp_order_for, certified_constructions, load_vs_n, lower_bound_envelope, lp_load_vs_n,
+    lp_vs_fair_load, CertifiableConstruction, CertifiedLoadPoint,
+};
 pub use percolation_threshold::{crossing_curve, estimate_critical_probability};
 pub use report::TextTable;
 pub use scenario::{build_scenario, render_scenario, ScenarioRow};

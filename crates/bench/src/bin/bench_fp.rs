@@ -1,6 +1,6 @@
 //! Machine-readable crash-probability benchmark: times the evaluation engine
 //! across constructions, universe sizes and crash probabilities, and emits
-//! `BENCH_fp.json` (schema v2) so future changes have a performance
+//! `BENCH_fp.json` (schema v3) so future changes have a performance
 //! trajectory to compare against.
 //!
 //! Schema v2 records, beyond the v1 per-point rows:
@@ -15,6 +15,16 @@
 //!   [`Evaluator::sweep_systems`]'s persistent worker pool versus one
 //!   `crash_probability` call at a time.
 //!
+//! Schema v3 adds:
+//!
+//! * `available_parallelism` at the top level, and an honest single-core
+//!   annotation of the sweep comparison: on a one-core container batching
+//!   cannot beat serial wall-clock, so the serial baseline is skipped there
+//!   instead of recording a misleading `1.00` ratio;
+//! * `mpath_dp_sweep`: the amortised cost of extra `p`-points under the
+//!   batched transfer-matrix sweep (the state enumeration is shared across
+//!   the grid), versus the single-point cost it previously paid per point.
+//!
 //! Run with: `cargo run --release -p bqs-bench --bin bench_fp [--quick] [output.json]`
 //!
 //! `--quick` runs a reduced matrix **and asserts the dispatch table**: if an
@@ -22,8 +32,7 @@
 //! silently degrades to Monte-Carlo, the process exits non-zero — the CI
 //! smoke step runs this mode on every push.
 
-use std::time::Instant;
-
+use bqs_bench::{json_escape, time};
 use bqs_constructions::prelude::*;
 use bqs_core::availability::exact_crash_probability_naive;
 use bqs_core::eval::{Evaluator, FpEstimate, FpMethod};
@@ -37,12 +46,6 @@ struct Row {
     fp: f64,
     fp_upper95: Option<f64>,
     seconds: f64,
-}
-
-fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
 }
 
 fn push_row(rows: &mut Vec<Row>, sys: &dyn QuorumSystem, p: f64, fp: FpEstimate, seconds: f64) {
@@ -123,10 +126,6 @@ fn method_speedup(
         mc_seconds,
         ratio: mc_seconds / exact_seconds.max(1e-12),
     }
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
@@ -221,10 +220,32 @@ fn main() {
         if quick { 500 } else { 5_000 },
     );
 
+    // The amortised M-Path DP sweep: the batched transfer-matrix sweep
+    // shares one interface-state enumeration across the whole p-grid, so
+    // each extra point costs a few multiply-adds per transition instead of a
+    // fresh enumeration.
+    eprintln!("timing the batched M-Path DP p-grid against per-point sweeps...");
+    let dp_ps: Vec<f64> = (1..=4).map(|i| f64::from(i) * 0.06).collect();
+    let dp_eval = evaluator.clone();
+    let (single_fp, dp_single_seconds) = time(|| dp_eval.crash_probability(&mpath_dp, dp_ps[0]));
+    let (dp_batch, dp_batch_seconds) = time(|| dp_eval.sweep(&mpath_dp, &dp_ps));
+    assert_eq!(
+        dp_batch[0].value.to_bits(),
+        single_fp.value.to_bits(),
+        "batched DP sweep diverged from single-point evaluation"
+    );
+    let dp_extra_points = dp_ps.len() - 1;
+    let dp_per_extra_point =
+        (dp_batch_seconds - dp_single_seconds).max(1e-12) / dp_extra_points as f64;
+    let dp_sweep_speedup = dp_single_seconds / dp_per_extra_point;
+
     // Sweep-mode timing: the same grid of points through the persistent pool
-    // versus one call at a time. (On a single-core runner the pool's win is
-    // spawn amortisation only; on multicore it also overlaps the points.)
-    eprintln!("timing batched sweep vs one-call-at-a-time...");
+    // versus one call at a time. The serial pass always runs — it is the
+    // bit-identity parity check for the batched engine — but on a
+    // single-core runner the pool cannot overlap points, so the wall-clock
+    // *comparison* is skipped there (recording a ~1.00 ratio would read as
+    // a regression).
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let sweep_ps: Vec<f64> = if quick {
         (1..=4).map(|i| f64::from(i) * 0.06).collect()
     } else {
@@ -233,6 +254,14 @@ fn main() {
     let thresh_sweep = ThresholdSystem::masking(1024, 255).unwrap();
     let sweep_systems: Vec<&dyn QuorumSystem> = vec![&boost, &thresh_sweep, &mpath_dp];
     let sweep_eval = evaluator.clone().with_trials(2_000);
+    eprintln!(
+        "timing batched sweep{}...",
+        if cores > 1 {
+            " vs one-call-at-a-time"
+        } else {
+            " (single core: parity checked, wall-clock comparison skipped)"
+        }
+    );
     let (batched, batched_seconds) = time(|| sweep_eval.sweep_systems(&sweep_systems, &sweep_ps));
     // The honest baseline: one `crash_probability` call per point with the
     // *default* (fully parallel) evaluator — what a caller without the sweep
@@ -259,8 +288,9 @@ fn main() {
             );
         }
     }
+    let serial_timing =
+        (cores > 1).then(|| (serial_seconds, serial_seconds / batched_seconds.max(1e-12)));
     let sweep_points = sweep_systems.len() * sweep_ps.len();
-    let sweep_ratio = serial_seconds / batched_seconds.max(1e-12);
 
     // The v1 acceptance measurement, kept for trajectory continuity: n = 25
     // Grid, engine versus the historical allocating scalar loop.
@@ -287,7 +317,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"bench_fp/v2\",\n  \"threads\": {},\n  \"quick\": {},\n  \"results\": [\n",
+        "  \"schema\": \"bench_fp/v3\",\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"quick\": {},\n  \"results\": [\n",
         evaluator.threads(),
         quick
     ));
@@ -331,8 +361,18 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"sweep\": {{\"points\": {sweep_points}, \"batched_seconds\": {batched_seconds:e}, \"one_at_a_time_seconds\": {serial_seconds:e}, \"ratio\": {sweep_ratio:.2}}}"
+        "  \"mpath_dp_sweep\": {{\"construction\": \"{}\", \"points\": {}, \"single_point_seconds\": {dp_single_seconds:e}, \"batched_seconds\": {dp_batch_seconds:e}, \"per_extra_point_seconds\": {dp_per_extra_point:e}, \"speedup_per_extra_point\": {dp_sweep_speedup:.2}}},\n",
+        json_escape(&mpath_dp.name()),
+        dp_ps.len()
     ));
+    match serial_timing {
+        Some((serial_seconds, sweep_ratio)) => json.push_str(&format!(
+            "  \"sweep\": {{\"points\": {sweep_points}, \"batched_seconds\": {batched_seconds:e}, \"one_at_a_time_seconds\": {serial_seconds:e}, \"ratio\": {sweep_ratio:.2}}}"
+        )),
+        None => json.push_str(&format!(
+            "  \"sweep\": {{\"points\": {sweep_points}, \"batched_seconds\": {batched_seconds:e}, \"comparison_skipped\": \"single-core container: parity vs per-point evaluation verified, wall-clock comparison meaningless without cross-point overlap\"}}"
+        )),
+    }
     if let Some(ratio) = grid25_speedup {
         json.push_str(&format!(
             ",\n  \"grid25_speedup\": {{\"construction\": \"{}\", \"p\": {}, \"fp\": {:e}, \"naive_seconds\": {:e}, \"engine_seconds\": {:e}, \"ratio\": {:.2}}}\n",
@@ -382,8 +422,17 @@ fn main() {
         );
     }
     println!(
-        "sweep of {sweep_points} points: batched {batched_seconds:.4}s vs one-at-a-time {serial_seconds:.4}s -> {sweep_ratio:.2}x"
+        "M-Path DP p-grid of {} points: single point {dp_single_seconds:.3}s, batched {dp_batch_seconds:.3}s -> {dp_per_extra_point:.4}s per extra point ({dp_sweep_speedup:.1}x)",
+        dp_ps.len()
     );
+    match serial_timing {
+        Some((serial_seconds, sweep_ratio)) => println!(
+            "sweep of {sweep_points} points: batched {batched_seconds:.4}s vs one-at-a-time {serial_seconds:.4}s -> {sweep_ratio:.2}x"
+        ),
+        None => println!(
+            "sweep of {sweep_points} points: batched {batched_seconds:.4}s, parity vs per-point verified (single core: wall-clock comparison skipped)"
+        ),
+    }
     if let Some(ratio) = grid25_speedup {
         println!(
             "n = 25 Grid exact F_p at p = {p25}: engine {engine_secs:.3}s vs naive {naive_secs:.3}s -> {ratio:.1}x speedup"
@@ -398,6 +447,12 @@ fn main() {
         for f in &dispatch_failures {
             eprintln!("ERROR: dispatch regression: {f}");
         }
+        failed = true;
+    }
+    if dp_sweep_speedup < 5.0 {
+        eprintln!(
+            "ERROR: batched M-Path DP sweep only {dp_sweep_speedup:.1}x cheaper per extra point (need >= 5x)"
+        );
         failed = true;
     }
     if boost_speedup.ratio < 20.0 {

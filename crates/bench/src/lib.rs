@@ -1,0 +1,41 @@
+//! Shared plumbing for the benchmark binaries (`bench_fp`, `bench_load`):
+//! wall-clock timing and the hand-rolled JSON string escaping both emitters
+//! use, kept in one place so the two machine-readable outputs cannot drift.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the elapsed wall-clock seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Escapes a construction name for embedding in a JSON string literal
+/// (backslashes and quotes; the workspace's names contain nothing else that
+/// needs escaping).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("M-Grid(n=49, b=3)"), "M-Grid(n=49, b=3)");
+    }
+
+    #[test]
+    fn time_reports_result_and_duration() {
+        let (v, secs) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

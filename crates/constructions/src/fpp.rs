@@ -23,6 +23,7 @@ use rand::RngCore;
 use bqs_combinatorics::projective::ProjectivePlane;
 use bqs_core::bitset::ServerSet;
 use bqs_core::error::QuorumError;
+use bqs_core::oracle::MinWeightQuorumOracle;
 use bqs_core::quorum::{ExplicitQuorumSystem, QuorumSystem};
 
 use crate::AnalyzedConstruction;
@@ -154,6 +155,31 @@ impl QuorumSystem for FppSystem {
     }
 }
 
+impl MinWeightQuorumOracle for FppSystem {
+    /// Exact pricing by scanning the `q² + q + 1` lines — the quorum list of
+    /// an FPP is polynomial in `n`, so the scan *is* the structure-aware
+    /// oracle (`O(n·(q+1))` per call).
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        assert_eq!(
+            prices.len(),
+            self.universe_size(),
+            "one price per server required"
+        );
+        self.lines
+            .iter()
+            .map(|l| (l, l.iter().map(|u| prices[u]).sum::<f64>()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, v)| (l.clone(), v))
+    }
+
+    /// The uniform mixture over all lines: every point lies on exactly
+    /// `q + 1` of the `q² + q + 1` lines, so it equalises loads at
+    /// `(q+1)/n` — the regular-system optimum of [NW98].
+    fn symmetric_strategy_hint(&self) -> Option<(Vec<ServerSet>, Vec<f64>)> {
+        Some((self.lines.clone(), vec![1.0; self.lines.len()]))
+    }
+}
+
 impl AnalyzedConstruction for FppSystem {
     fn masking_b(&self) -> usize {
         0 // IS = 1: a regular quorum system
@@ -277,6 +303,24 @@ mod tests {
         let fpp = FppSystem::new(5).unwrap();
         assert!(fpp.crash_probability_exact(0.1).is_none());
         assert!(fpp.crash_probability_closed_form(0.1).is_none());
+    }
+
+    #[test]
+    fn pricing_oracle_picks_the_cheapest_line() {
+        let fpp = FppSystem::new(3).unwrap();
+        let prices: Vec<f64> = (0..13).map(|i| ((i * 19 + 3) % 29) as f64 / 29.0).collect();
+        let (q, v) = fpp.min_weight_quorum(&prices).unwrap();
+        assert!(fpp.lines().contains(&q));
+        let best: f64 = fpp
+            .lines()
+            .iter()
+            .map(|l| l.iter().map(|u| prices[u]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        assert!((v - best).abs() < 1e-12);
+        // Certified load equals the fair closed form (q+1)/n.
+        let certified = optimal_load_oracle(&fpp).unwrap();
+        assert!((certified.load - fpp.analytic_load()).abs() <= 1e-9);
+        assert!(certified.gap <= 1e-9);
     }
 
     #[test]

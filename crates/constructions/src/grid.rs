@@ -11,9 +11,10 @@ use rand::RngCore;
 
 use bqs_core::bitset::ServerSet;
 use bqs_core::error::QuorumError;
+use bqs_core::oracle::MinWeightQuorumOracle;
 use bqs_core::quorum::{ExplicitQuorumSystem, QuorumSystem};
 
-use crate::square::SquareGrid;
+use crate::square::{min_price_rows_and_columns, SquareGrid};
 use crate::AnalyzedConstruction;
 
 /// The [MR98a] Grid b-masking quorum system over a `side × side` universe.
@@ -168,6 +169,31 @@ impl QuorumSystem for GridSystem {
     }
 }
 
+impl MinWeightQuorumOracle for GridSystem {
+    /// Exact pricing of the cheapest `2b+1` rows + one column union via
+    /// [`min_price_rows_and_columns`]: with the single column enumerated
+    /// (only `side` candidates), the best rows for each are a greedy
+    /// selection of adjusted row sums.
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        let side = self.grid.side();
+        let (rows, cols, price) =
+            min_price_rows_and_columns(side, prices, 2 * self.b + 1, 1, u128::MAX)?;
+        Some((self.grid.union_of(&rows, &cols), price))
+    }
+
+    /// All cyclic-(2b+1)-row-window × single-column pairs
+    /// ([`crate::square::balanced_line_family`]): a perfectly balanced
+    /// `side²`-quorum family whose uniform mixture achieves `c(Q)/n` exactly.
+    fn symmetric_strategy_hint(&self) -> Option<(Vec<ServerSet>, Vec<f64>)> {
+        Some(crate::square::balanced_line_strategy(
+            self.grid.side(),
+            2 * self.b + 1,
+            1,
+            |rows, cols| self.grid.union_of(rows, cols),
+        ))
+    }
+}
+
 impl AnalyzedConstruction for GridSystem {
     fn masking_b(&self) -> usize {
         self.b
@@ -306,6 +332,37 @@ mod tests {
                 "mask={mask:#x}"
             );
         }
+    }
+
+    #[test]
+    fn pricing_oracle_matches_explicit_scan() {
+        let g = GridSystem::new(4, 1).unwrap();
+        let e = g.to_explicit(10_000).unwrap();
+        for seed in 0..4u64 {
+            let prices: Vec<f64> = (0..16)
+                .map(|i| ((i as u64 * 29 + seed * 13 + 7) % 23) as f64 / 23.0)
+                .collect();
+            let (q, v) = g.min_weight_quorum(&prices).unwrap();
+            let (_, v_ref) = e.min_weight_quorum(&prices).unwrap();
+            assert!((v - v_ref).abs() < 1e-12, "seed={seed}: {v} vs {v_ref}");
+            let recomputed: f64 = q.iter().map(|u| prices[u]).sum();
+            assert!((recomputed - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn certified_load_matches_analytic_at_scale() {
+        // n = 1024 (Section 8 scale): certified column-generation load
+        // equals the fair-system closed form c/n.
+        let g = GridSystem::new(32, 10).unwrap();
+        let certified = optimal_load_oracle(&g).unwrap();
+        assert!(
+            (certified.load - g.analytic_load()).abs() <= 1e-9,
+            "certified {} vs analytic {}",
+            certified.load,
+            g.analytic_load()
+        );
+        assert!(certified.gap <= 1e-9);
     }
 
     #[test]

@@ -14,9 +14,10 @@ use rand::RngCore;
 
 use bqs_core::bitset::ServerSet;
 use bqs_core::error::QuorumError;
+use bqs_core::oracle::MinWeightQuorumOracle;
 use bqs_core::quorum::{ExplicitQuorumSystem, QuorumSystem};
 
-use crate::square::SquareGrid;
+use crate::square::{min_price_rows_and_columns, SquareGrid};
 use crate::threshold::ThresholdSystem;
 use crate::AnalyzedConstruction;
 
@@ -73,6 +74,17 @@ impl QuorumSystem for MajoritySystem {
 
     fn min_quorum_size(&self) -> usize {
         self.inner.min_quorum_size()
+    }
+}
+
+impl MinWeightQuorumOracle for MajoritySystem {
+    /// Delegates to the threshold prefix-sum oracle (`⌊n/2⌋ + 1` cheapest).
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        self.inner.min_weight_quorum(prices)
+    }
+
+    fn symmetric_strategy_hint(&self) -> Option<(Vec<ServerSet>, Vec<f64>)> {
+        self.inner.symmetric_strategy_hint()
     }
 }
 
@@ -165,6 +177,26 @@ impl QuorumSystem for RegularGridSystem {
     }
 }
 
+impl MinWeightQuorumOracle for RegularGridSystem {
+    /// Exact pricing of the cheapest one-row + one-column union.
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        let (rows, cols, price) =
+            min_price_rows_and_columns(self.grid.side(), prices, 1, 1, u128::MAX)?;
+        Some((self.grid.union_of(&rows, &cols), price))
+    }
+
+    /// All row × column pairs: the uniform mixture loads every cell at
+    /// exactly `(2·side − 1)/side²`.
+    fn symmetric_strategy_hint(&self) -> Option<(Vec<ServerSet>, Vec<f64>)> {
+        Some(crate::square::balanced_line_strategy(
+            self.grid.side(),
+            1,
+            1,
+            |rows, cols| self.grid.union_of(rows, cols),
+        ))
+    }
+}
+
 impl AnalyzedConstruction for RegularGridSystem {
     fn masking_b(&self) -> usize {
         0
@@ -235,6 +267,14 @@ impl QuorumSystem for SingletonSystem {
 
     fn min_quorum_size(&self) -> usize {
         1
+    }
+}
+
+impl MinWeightQuorumOracle for SingletonSystem {
+    /// The only quorum is `{0}`, whatever the prices.
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        assert_eq!(prices.len(), self.n, "one price per server required");
+        Some((ServerSet::from_indices(self.n, [0]), prices[0]))
     }
 }
 
@@ -339,6 +379,24 @@ mod tests {
         assert!(!s.is_available(&ServerSet::from_indices(5, [1, 2, 3, 4])));
         assert_eq!(s.analytic_load(), 1.0);
         assert!(SingletonSystem::new(0).is_err());
+    }
+
+    #[test]
+    fn baseline_oracles_certify_their_fair_loads() {
+        let m = MajoritySystem::new(101).unwrap();
+        let certified = optimal_load_oracle(&m).unwrap();
+        assert!((certified.load - m.analytic_load()).abs() <= 1e-9);
+        assert!(certified.gap <= 1e-9);
+
+        let g = RegularGridSystem::new(12).unwrap();
+        let certified = optimal_load_oracle(&g).unwrap();
+        assert!((certified.load - g.analytic_load()).abs() <= 1e-9);
+        assert!(certified.gap <= 1e-9);
+
+        let s = SingletonSystem::new(5).unwrap();
+        let certified = optimal_load_oracle(&s).unwrap();
+        assert!((certified.load - 1.0).abs() <= 1e-12);
+        assert!(certified.lower_bound >= 1.0 - 1e-9);
     }
 
     #[test]

@@ -26,9 +26,12 @@ use rand::RngCore;
 use bqs_core::bitset::ServerSet;
 use bqs_core::error::QuorumError;
 use bqs_core::eval::FpMethod;
+use bqs_core::oracle::MinWeightQuorumOracle;
 use bqs_core::quorum::QuorumSystem;
 use bqs_graph::crossing_dp::mpath_crash_probability_exact;
-use bqs_graph::disjoint_paths::{find_disjoint_paths, find_straight_disjoint_paths};
+use bqs_graph::disjoint_paths::{
+    find_disjoint_paths, find_straight_disjoint_paths, min_price_crossing,
+};
 use bqs_graph::grid::{Axis, TriangulatedGrid};
 use bqs_graph::maxflow::max_vertex_disjoint_paths;
 
@@ -156,6 +159,25 @@ impl MPathSystem {
         (0..self.grid.num_vertices())
             .map(|v| set.contains(v))
             .collect()
+    }
+
+    /// The straight-line quorum made of the given rows (LR crossings) and
+    /// columns (TB crossings) — the quorum shape of Proposition 7.2's
+    /// access strategy, shared by the pricing oracle and the warm-start
+    /// family.
+    fn straight_union(&self, rows: &[usize], cols: &[usize]) -> ServerSet {
+        let mut out = ServerSet::new(self.universe_size());
+        for &r in rows {
+            for v in self.grid.straight_path(Axis::LeftRight, r) {
+                out.insert(v);
+            }
+        }
+        for &c in cols {
+            for v in self.grid.straight_path(Axis::TopBottom, c) {
+                out.insert(v);
+            }
+        }
+        out
     }
 
     /// Exact crash probability by the boundary-interface transfer-matrix DP of
@@ -307,6 +329,22 @@ impl QuorumSystem for MPathSystem {
         self.crash_probability_exact(p)
     }
 
+    fn crash_probability_closed_form_batch(&self, ps: &[f64]) -> Option<Vec<f64>> {
+        if self.grid.side() > EXACT_DP_MAX_SIDE {
+            return None;
+        }
+        // One transfer-matrix sweep for the whole grid: the interface state
+        // space depends only on (side, k), so every point shares the
+        // enumeration and pays only its own multiply-adds. Bit-identical to
+        // per-point evaluation (pinned in bqs-graph's tests).
+        bqs_graph::crossing_dp::mpath_crash_probability_exact_grid(
+            self.grid.side(),
+            self.paths,
+            ps,
+            EXACT_DP_STATE_BUDGET,
+        )
+    }
+
     fn closed_form_method(&self) -> FpMethod {
         // The "closed form" is the transfer-matrix sweep, not an algebraic
         // expression — tag it so dispatch tables and benchmarks can tell.
@@ -318,6 +356,53 @@ impl QuorumSystem for MPathSystem {
         // paths² cells; shortest possible quorums use shortest crossings, which on
         // the triangulated grid are exactly the straight lines.
         2 * self.paths * self.grid.side() - self.paths * self.paths
+    }
+}
+
+impl MinWeightQuorumOracle for MPathSystem {
+    /// Exact pricing over the **straight-line quorum family** of
+    /// Proposition 7.2 — the `⌈√(2b+1)⌉` rows × `⌈√(2b+1)⌉` columns unions
+    /// that the load-optimal access strategy actually uses — via the same
+    /// enumeration as the M-Grid oracle.
+    ///
+    /// Restricting the family loses nothing for load purposes: Theorem 4.1
+    /// lower-bounds the *full* system's load by `c(Q)/n`, the straight-line
+    /// family's uniform strategy achieves exactly that, and adding the
+    /// (longer) bent-path quorums can only leave the optimum unchanged — so
+    /// the certified value over this family **is** `L(M-Path)`. Bent paths
+    /// are also individually dominated under any price vector down to the
+    /// overlap term: `k ·` [`min_price_crossing`] (Dijkstra over the priced
+    /// triangular lattice) lower-bounds any quorum's one-directional path
+    /// system, which the tests pin against this oracle's answers.
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        let side = self.grid.side();
+        let (rows, cols, price) = crate::square::min_price_rows_and_columns(
+            side,
+            prices,
+            self.paths,
+            self.paths,
+            crate::mgrid::ORACLE_SUBSET_BUDGET,
+        )?;
+        debug_assert!(
+            price + 1e-9
+                >= self.paths as f64
+                    * min_price_crossing(&self.grid, prices, Axis::LeftRight)
+                        .max(min_price_crossing(&self.grid, prices, Axis::TopBottom)),
+            "straight-line oracle undercut the Dijkstra crossing bound"
+        );
+        Some((self.straight_union(&rows, &cols), price))
+    }
+
+    /// All cyclic row-window × column-window straight-line quorums — the
+    /// explicit form of Proposition 7.2's access strategy, balanced so the
+    /// uniform mixture achieves `c(Q)/n` exactly.
+    fn symmetric_strategy_hint(&self) -> Option<(Vec<ServerSet>, Vec<f64>)> {
+        Some(crate::square::balanced_line_strategy(
+            self.grid.side(),
+            self.paths,
+            self.paths,
+            |rows, cols| self.straight_union(rows, cols),
+        ))
     }
 }
 
@@ -464,6 +549,27 @@ mod tests {
     }
 
     #[test]
+    fn batched_dp_sweep_is_bit_identical_to_per_point() {
+        // The p-grid sweep shares one interface-state enumeration across the
+        // whole grid; every lane must still equal its solo evaluation to the
+        // last bit, both directly and through the Evaluator sweep.
+        let m = MPathSystem::new(4, 1).unwrap();
+        let ps = [0.05, 0.125, 0.3, 0.5];
+        let batch = m.crash_probability_closed_form_batch(&ps).unwrap();
+        let eval = Evaluator::new();
+        let swept = eval.sweep(&m, &ps);
+        for ((&p, &b), est) in ps.iter().zip(&batch).zip(&swept) {
+            let single = m.crash_probability_exact(p).unwrap();
+            assert_eq!(b.to_bits(), single.to_bits(), "p={p}");
+            assert_eq!(est.value.to_bits(), single.to_bits(), "p={p}");
+            assert_eq!(est.method, FpMethod::Dp);
+        }
+        // Beyond the DP gate the batch declines as a whole.
+        let big = MPathSystem::new(12, 3).unwrap();
+        assert!(big.crash_probability_closed_form_batch(&ps).is_none());
+    }
+
+    #[test]
     fn engine_dispatches_mpath_to_dp() {
         let m = MPathSystem::new(4, 1).unwrap();
         let fp = Evaluator::new().crash_probability(&m, 0.125);
@@ -551,6 +657,62 @@ mod tests {
         assert!(fp <= 0.001, "fp={fp}");
         let load = m.analytic_load();
         assert!((load - 0.25).abs() < 0.05, "load={load}");
+    }
+
+    #[test]
+    fn pricing_oracle_matches_straight_family_scan_and_crossing_bound() {
+        // Reference: brute-force over all (rows, cols) straight unions.
+        let m = MPathSystem::new(5, 2).unwrap(); // paths = ceil(sqrt(5)) = 3
+        let k = m.paths_per_direction();
+        let n = m.universe_size();
+        for seed in 0..4u64 {
+            let prices: Vec<f64> = (0..n)
+                .map(|i| ((i as u64 * 43 + seed * 17 + 9) % 37) as f64 / 37.0)
+                .collect();
+            let (q, v) = m.min_weight_quorum(&prices).unwrap();
+            let recomputed: f64 = q.iter().map(|u| prices[u]).sum();
+            assert!((recomputed - v).abs() < 1e-12);
+            let mut best = f64::INFINITY;
+            for rows in bqs_combinatorics::subsets::KSubsets::new(5, k) {
+                for cols in bqs_combinatorics::subsets::KSubsets::new(5, k) {
+                    let mut total = 0.0;
+                    for r in 0..5 {
+                        for c in 0..5 {
+                            if rows.contains(&r) || cols.contains(&c) {
+                                total += prices[r * 5 + c];
+                            }
+                        }
+                    }
+                    best = best.min(total);
+                }
+            }
+            assert!((v - best).abs() < 1e-12, "seed={seed}: {v} vs {best}");
+            // The Dijkstra bound over the priced lattice never exceeds the
+            // straight-line optimum (bent paths only help the bound).
+            let dij = min_price_crossing(m.grid(), &prices, Axis::LeftRight)
+                .max(min_price_crossing(m.grid(), &prices, Axis::TopBottom));
+            assert!(k as f64 * dij <= v + 1e-9, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn certified_load_matches_proposition_7_2_at_section8_scale() {
+        // n = 1024, b = 7 (Section 8): Theorem 4.1 gives L >= c/n and the
+        // straight-line strategy achieves it; the certified LP must land on
+        // exactly that value.
+        let m = MPathSystem::new(32, 7).unwrap();
+        let certified = optimal_load_oracle(&m).unwrap();
+        assert!(
+            (certified.load - m.analytic_load()).abs() <= 1e-9,
+            "certified {} vs analytic {}",
+            certified.load,
+            m.analytic_load()
+        );
+        assert!(certified.gap <= 1e-9, "gap={}", certified.gap);
+        // Every strategy quorum must be a genuine M-Path quorum.
+        for q in &certified.quorums {
+            assert!(m.contains_quorum(q));
+        }
     }
 
     #[test]

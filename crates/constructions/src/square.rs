@@ -170,6 +170,153 @@ impl SquareGrid {
     }
 }
 
+/// The uniform-weight strategy over [`balanced_line_family`], with each
+/// `(rows, cols)` pair materialised by the construction-specific `union`
+/// (full grid lines for Grid/M-Grid/RegularGrid, straight triangulated-grid
+/// crossings for M-Path) — the shared body of those constructions'
+/// `symmetric_strategy_hint` implementations.
+#[must_use]
+pub fn balanced_line_strategy(
+    side: usize,
+    num_rows: usize,
+    num_cols: usize,
+    union: impl Fn(&[usize], &[usize]) -> ServerSet,
+) -> (Vec<ServerSet>, Vec<f64>) {
+    let family = balanced_line_family(side, num_rows, num_cols);
+    let quorums: Vec<ServerSet> = family
+        .iter()
+        .map(|(rows, cols)| union(rows, cols))
+        .collect();
+    let weights = vec![1.0; quorums.len()];
+    (quorums, weights)
+}
+
+/// Exact minimum-price selection of `num_rows` full rows and `num_cols` full
+/// columns of a `side × side` grid — the pricing oracle shared by every
+/// construction whose quorums are unions of grid lines (Grid, M-Grid, the
+/// regular row+column grid, and M-Path's straight-line strategy family).
+///
+/// The price of a union counts each cell once:
+///
+/// ```text
+/// price(R, C) = Σ_{r∈R} rowsum(r) + Σ_{c∈C} colsum(c) − Σ_{r∈R, c∈C} p[r][c],
+/// ```
+///
+/// which couples the two choices through the overlap term. The minimum is
+/// found *exactly* by enumerating every size-`num_cols` (or size-`num_rows`,
+/// whichever axis has fewer subsets) line set and selecting the best
+/// complementary lines greedily — optimal because, with one axis fixed, the
+/// other axis' contributions `rowsum(r) − Σ_{c∈C} p[r][c]` are independent
+/// across lines. Ties break towards smaller indices, keeping the oracle
+/// deterministic.
+///
+/// Returns `(rows, columns, price)`, or `None` when the enumerated axis has
+/// more than `max_subsets` subsets (callers fall back to the explicit LP) or
+/// the requested line counts do not fit the grid.
+#[must_use]
+pub fn min_price_rows_and_columns(
+    side: usize,
+    prices: &[f64],
+    num_rows: usize,
+    num_cols: usize,
+    max_subsets: u128,
+) -> Option<(Vec<usize>, Vec<usize>, f64)> {
+    assert_eq!(prices.len(), side * side, "one price per grid cell");
+    if num_rows == 0 || num_cols == 0 || num_rows > side || num_cols > side {
+        return None;
+    }
+    // Enumerate the axis needing fewer subsets. C(side, k) is unimodal in k
+    // (not monotonic), so compare the actual subset counts rather than the
+    // line counts: for e.g. side = 40, rows = 36, cols = 6 the *row* axis is
+    // the cheap one (C(40, 36) = C(40, 4) « C(40, 6)).
+    let subsets = |k: usize| bqs_combinatorics::binomial::binomial(side as u64, k as u64);
+    let transpose = subsets(num_rows) < subsets(num_cols);
+    let (k_enum, k_pick) = if transpose {
+        (num_rows, num_cols)
+    } else {
+        (num_cols, num_rows)
+    };
+    if subsets(k_enum) > max_subsets {
+        return None;
+    }
+    // `cell(i, j)`: price of the cell on picked-axis line i, enumerated-axis
+    // line j (rows are the picked axis unless transposed).
+    let cell = |i: usize, j: usize| -> f64 {
+        if transpose {
+            prices[j * side + i]
+        } else {
+            prices[i * side + j]
+        }
+    };
+    let pick_sums: Vec<f64> = (0..side)
+        .map(|i| (0..side).map(|j| cell(i, j)).sum())
+        .collect();
+    let enum_sums: Vec<f64> = (0..side)
+        .map(|j| (0..side).map(|i| cell(i, j)).sum())
+        .collect();
+
+    let mut best: Option<(Vec<usize>, Vec<usize>, f64)> = None;
+    let mut adjusted: Vec<(f64, usize)> = vec![(0.0, 0); side];
+    for enum_set in bqs_combinatorics::subsets::KSubsets::new(side, k_enum) {
+        let base: f64 = enum_set.iter().map(|&j| enum_sums[j]).sum();
+        for i in 0..side {
+            let overlap: f64 = enum_set.iter().map(|&j| cell(i, j)).sum();
+            adjusted[i] = (pick_sums[i] - overlap, i);
+        }
+        adjusted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let price: f64 = base + adjusted[..k_pick].iter().map(|&(v, _)| v).sum::<f64>();
+        if best.as_ref().is_none_or(|(_, _, b)| price < *b) {
+            let picked: Vec<usize> = adjusted[..k_pick].iter().map(|&(_, i)| i).collect();
+            best = Some(if transpose {
+                (enum_set.clone(), picked, price)
+            } else {
+                (picked, enum_set.clone(), price)
+            });
+        }
+    }
+    best.map(|(mut rows, mut cols, price)| {
+        rows.sort_unstable();
+        cols.sort_unstable();
+        (rows, cols, price)
+    })
+}
+
+/// The perfectly balanced line family behind the grid constructions'
+/// symmetric strategy hint: every pair of a cyclic `num_rows`-window of rows
+/// and a cyclic `num_cols`-window of columns, as `(rows, cols)` index lists
+/// (`side²` pairs).
+///
+/// Each cell `(r, c)` lies in exactly `num_rows` row windows and `num_cols`
+/// column windows, so across the full family it is covered exactly
+/// `num_rows·side + num_cols·side − num_rows·num_cols` times — the uniform
+/// mixture over the family therefore loads every server equally at `c(Q)/n`,
+/// which is what lets the load engine certify grid-union systems in a single
+/// oracle call.
+///
+/// # Panics
+///
+/// Panics unless `1 <= num_rows, num_cols <= side`.
+#[must_use]
+pub fn balanced_line_family(
+    side: usize,
+    num_rows: usize,
+    num_cols: usize,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(
+        (1..=side).contains(&num_rows) && (1..=side).contains(&num_cols),
+        "window sizes must be in 1..=side"
+    );
+    let window =
+        |start: usize, len: usize| -> Vec<usize> { (0..len).map(|o| (start + o) % side).collect() };
+    let mut family = Vec::with_capacity(side * side);
+    for i in 0..side {
+        for j in 0..side {
+            family.push((window(i, num_rows), window(j, num_cols)));
+        }
+    }
+    family
+}
+
 /// Exact probability that, with each server alive independently with
 /// probability `1 - p`, a `side × side` grid has at least `min_rows` fully
 /// alive rows **and** at least `min_cols` fully alive columns.
@@ -253,6 +400,70 @@ mod tests {
         alive.remove(g.index(1, 1));
         assert_eq!(g.fully_alive_rows(&alive), vec![0, 2]);
         assert_eq!(g.fully_alive_columns(&alive), vec![0, 2]);
+    }
+
+    /// Brute-force reference for the line-pricing oracle.
+    fn brute_force_min_price(side: usize, prices: &[f64], num_rows: usize, num_cols: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for rows in bqs_combinatorics::subsets::KSubsets::new(side, num_rows) {
+            for cols in bqs_combinatorics::subsets::KSubsets::new(side, num_cols) {
+                let mut price = 0.0;
+                for r in 0..side {
+                    for c in 0..side {
+                        if rows.contains(&r) || cols.contains(&c) {
+                            price += prices[r * side + c];
+                        }
+                    }
+                }
+                best = best.min(price);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn min_price_lines_matches_brute_force() {
+        // Deterministic pseudo-random prices over a 5x5 grid, every feasible
+        // (num_rows, num_cols) shape.
+        let side = 5;
+        let prices: Vec<f64> = (0..side * side)
+            .map(|i| ((i * 31 + 17) % 53) as f64 / 53.0)
+            .collect();
+        for num_rows in 1..=3 {
+            for num_cols in 1..=3 {
+                let (rows, cols, price) =
+                    min_price_rows_and_columns(side, &prices, num_rows, num_cols, 1 << 20).unwrap();
+                assert_eq!(rows.len(), num_rows);
+                assert_eq!(cols.len(), num_cols);
+                // The reported price equals the union price of the returned lines.
+                let mut direct = 0.0;
+                for r in 0..side {
+                    for c in 0..side {
+                        if rows.contains(&r) || cols.contains(&c) {
+                            direct += prices[r * side + c];
+                        }
+                    }
+                }
+                assert!((price - direct).abs() < 1e-12);
+                let brute = brute_force_min_price(side, &prices, num_rows, num_cols);
+                assert!(
+                    (price - brute).abs() < 1e-12,
+                    "rows={num_rows} cols={num_cols}: {price} vs {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_price_lines_edge_cases() {
+        let prices = vec![0.5; 9];
+        // Whole grid: 3 rows + 3 cols covers everything once.
+        let (_, _, price) = min_price_rows_and_columns(3, &prices, 3, 3, 1 << 10).unwrap();
+        assert!((price - 4.5).abs() < 1e-12);
+        // Infeasible shapes and exhausted budgets decline.
+        assert!(min_price_rows_and_columns(3, &prices, 0, 1, 1 << 10).is_none());
+        assert!(min_price_rows_and_columns(3, &prices, 4, 1, 1 << 10).is_none());
+        assert!(min_price_rows_and_columns(3, &prices, 2, 2, 1).is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use rand::RngCore;
 
 use bqs_core::bitset::ServerSet;
 use bqs_core::error::QuorumError;
+use bqs_core::oracle::MinWeightQuorumOracle;
 use bqs_core::quorum::{ExplicitQuorumSystem, QuorumSystem};
 
 use crate::AnalyzedConstruction;
@@ -161,6 +162,35 @@ impl QuorumSystem for ThresholdSystem {
 
     fn min_quorum_size(&self) -> usize {
         self.quorum_size
+    }
+}
+
+impl MinWeightQuorumOracle for ThresholdSystem {
+    /// Every `ℓ`-subset is a quorum, so the cheapest quorum is the `ℓ`
+    /// cheapest servers — a sort-and-prefix selection, exact at any `n`.
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        assert_eq!(prices.len(), self.n, "one price per server required");
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.sort_by(|&a, &b| prices[a].total_cmp(&prices[b]).then(a.cmp(&b)));
+        let chosen = &idx[..self.quorum_size];
+        let price = chosen.iter().map(|&u| prices[u]).sum();
+        Some((
+            ServerSet::from_indices(self.n, chosen.iter().copied()),
+            price,
+        ))
+    }
+
+    /// The `n` cyclic shifts of one `ℓ`-window: every server lies in exactly
+    /// `ℓ` of them, so the uniform mixture loads every server at `ℓ/n` —
+    /// the optimum the engine certifies against the oracle bound.
+    fn symmetric_strategy_hint(&self) -> Option<(Vec<ServerSet>, Vec<f64>)> {
+        let quorums: Vec<ServerSet> = (0..self.n)
+            .map(|s| {
+                ServerSet::from_indices(self.n, (0..self.quorum_size).map(|o| (s + o) % self.n))
+            })
+            .collect();
+        let weights = vec![1.0; quorums.len()];
+        Some((quorums, weights))
     }
 }
 
@@ -318,6 +348,40 @@ mod tests {
         assert!(q.is_subset_of(&alive));
         let too_few = ServerSet::from_indices(5, [1, 3]);
         assert!(t.find_live_quorum(&too_few).is_none());
+    }
+
+    #[test]
+    fn pricing_oracle_selects_cheapest_prefix() {
+        let t = ThresholdSystem::new(6, 4).unwrap();
+        let prices = [0.9, 0.1, 0.5, 0.2, 0.8, 0.3];
+        let (q, v) = t.min_weight_quorum(&prices).unwrap();
+        assert_eq!(q.to_vec(), vec![1, 2, 3, 5]);
+        assert!((v - 1.1).abs() < 1e-12);
+        // Exactness against the explicit scan oracle on varied prices.
+        let e = t.to_explicit(1000).unwrap();
+        for seed in 0..5u64 {
+            let prices: Vec<f64> = (0..6)
+                .map(|i| ((i as u64 * 13 + seed * 7 + 3) % 17) as f64 / 17.0)
+                .collect();
+            let (_, v) = t.min_weight_quorum(&prices).unwrap();
+            let (_, v_ref) = e.min_weight_quorum(&prices).unwrap();
+            assert!((v - v_ref).abs() < 1e-12, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn certified_load_matches_closed_form_at_scale() {
+        // n = 1024: far beyond any explicit enumeration; the certified
+        // column-generation load must hit c/n = 768/1024 with gap <= 1e-9.
+        let t = ThresholdSystem::masking(1024, 255).unwrap();
+        let certified = optimal_load_oracle(&t).unwrap();
+        assert!(
+            (certified.load - t.analytic_load()).abs() <= 1e-9,
+            "certified {} vs analytic {}",
+            certified.load,
+            t.analytic_load()
+        );
+        assert!(certified.gap <= 1e-9, "gap={}", certified.gap);
     }
 
     #[test]

@@ -140,6 +140,66 @@ impl<S: QuorumSystem, R: QuorumSystem> QuorumSystem for ComposedSystem<S, R> {
     }
 }
 
+impl<S, R> crate::oracle::MinWeightQuorumOracle for ComposedSystem<S, R>
+where
+    S: crate::oracle::MinWeightQuorumOracle,
+    R: crate::oracle::MinWeightQuorumOracle,
+{
+    /// Exact pricing by composition: a composed quorum chooses an outer
+    /// quorum and, independently per chosen copy, an inner quorum — so the
+    /// cheapest composed quorum prices every copy with the inner oracle and
+    /// then runs the outer oracle over those per-copy optima. This is what
+    /// gives boostFPP (FPP over a threshold) a polynomial pricing oracle at
+    /// `n ≈ 1000`.
+    fn min_weight_quorum(&self, prices: &[f64]) -> Option<(ServerSet, f64)> {
+        let n_r = self.inner.universe_size();
+        let n_s = self.outer.universe_size();
+        assert_eq!(prices.len(), n_s * n_r, "one price per composed server");
+        let mut copy_prices = Vec::with_capacity(n_s);
+        let mut copy_quorums = Vec::with_capacity(n_s);
+        for copy in 0..n_s {
+            let slice = &prices[copy * n_r..(copy + 1) * n_r];
+            let (q, v) = self.inner.min_weight_quorum(slice)?;
+            copy_prices.push(v);
+            copy_quorums.push(q);
+        }
+        let (outer_quorum, total) = self.outer.min_weight_quorum(&copy_prices)?;
+        let mut out = ServerSet::new(self.universe_size());
+        for copy in outer_quorum.iter() {
+            self.lift_into(copy, &copy_quorums[copy], &mut out);
+        }
+        Some((out, total))
+    }
+
+    /// The *aligned product* of the component hints: for every outer hint
+    /// column `O` and inner hint column `I`, the composed column installs the
+    /// same `I` in every copy selected by `O`, with weight `w_O · w_I`.
+    ///
+    /// Per-server load is a marginal quantity, so sharing `I` across copies
+    /// changes nothing: the induced load of the product mixture factors as
+    /// `P(copy chosen) · P(inner server chosen)`, and if both component hints
+    /// equalise their loads the composed one does too — at `L(S)·L(R)`,
+    /// which is exactly Theorem 4.7's product (here *certified*, not
+    /// assumed). The family stays small: `|hint(S)| · |hint(R)|` columns.
+    fn symmetric_strategy_hint(&self) -> Option<(Vec<ServerSet>, Vec<f64>)> {
+        let (outer_q, outer_w) = self.outer.symmetric_strategy_hint()?;
+        let (inner_q, inner_w) = self.inner.symmetric_strategy_hint()?;
+        let mut quorums = Vec::with_capacity(outer_q.len() * inner_q.len());
+        let mut weights = Vec::with_capacity(outer_q.len() * inner_q.len());
+        for (o, wo) in outer_q.iter().zip(&outer_w) {
+            for (i, wi) in inner_q.iter().zip(&inner_w) {
+                let mut out = ServerSet::new(self.universe_size());
+                for copy in o.iter() {
+                    self.lift_into(copy, i, &mut out);
+                }
+                quorums.push(out);
+                weights.push(wo * wi);
+            }
+        }
+        Some((quorums, weights))
+    }
+}
+
 /// Materialises the composed system `S ∘ R` as an explicit quorum list.
 ///
 /// The number of composed quorums is `Σ_{S_j ∈ S} Π_{i ∈ S_j} |R|`, which explodes
@@ -395,6 +455,27 @@ mod tests {
                 "p={p}: closed {closed} vs enumerated {direct}"
             );
         }
+    }
+
+    #[test]
+    fn composed_oracle_prices_by_composition() {
+        use crate::oracle::MinWeightQuorumOracle;
+        // 2-of-3 over 2-of-3 with hand-picked prices: the composed oracle's
+        // answer must match a brute-force scan of the materialised system.
+        let s = k_of_n_system(3, 2);
+        let r = k_of_n_system(3, 2);
+        let explicit = compose_explicit(&s, &r, 100_000).unwrap();
+        let lazy = ComposedSystem::new(k_of_n_system(3, 2), k_of_n_system(3, 2));
+        let prices: Vec<f64> = (0..9).map(|i| ((i * 7 + 3) % 11) as f64 / 11.0).collect();
+        let (q, v) = lazy.min_weight_quorum(&prices).unwrap();
+        let (_, v_ref) = explicit.min_weight_quorum(&prices).unwrap();
+        assert!((v - v_ref).abs() < 1e-12, "composed {v} vs scan {v_ref}");
+        let recomputed: f64 = q.iter().map(|u| prices[u]).sum();
+        assert!((recomputed - v).abs() < 1e-12);
+        // And the certified load engine agrees with the explicit LP (4/9).
+        let certified = crate::load::optimal_load_oracle(&lazy).unwrap();
+        assert!((certified.load - 4.0 / 9.0).abs() <= 1e-9);
+        assert!(certified.gap <= 1e-9);
     }
 
     #[test]

@@ -334,41 +334,95 @@ impl Evaluator {
     /// The many-systems variant of [`Evaluator::sweep`]: evaluates the full
     /// `systems × ps` grid on one persistent worker pool and returns the
     /// estimates as `out[system_index][p_index]`.
+    ///
+    /// Closed-form-capable systems are evaluated through
+    /// [`QuorumSystem::crash_probability_closed_form_batch`], one batch job
+    /// per system, so constructions with `p`-independent scaffolding (the
+    /// M-Path transfer-matrix DP) build it once per sweep instead of once
+    /// per point. Systems without a closed form fall through to the usual
+    /// per-`(system, p)` jobs (exact enumeration / Monte-Carlo), keeping
+    /// their points parallel. Batch answers are bit-identical to per-point
+    /// ones, so results are unchanged.
     pub fn sweep_systems(&self, systems: &[&dyn QuorumSystem], ps: &[f64]) -> Vec<Vec<FpEstimate>> {
+        // Phase A: one closed-form batch attempt per system, on the pool.
+        let batch_results: Vec<Option<Vec<FpEstimate>>> = {
+            let slots: Vec<std::sync::OnceLock<Option<Vec<FpEstimate>>>> =
+                systems.iter().map(|_| std::sync::OnceLock::new()).collect();
+            let workers = self.threads.min(systems.len()).max(1);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let run = |i: usize| -> Option<Vec<FpEstimate>> {
+                let sys = systems[i];
+                sys.crash_probability_closed_form_batch(ps).map(|values| {
+                    values
+                        .into_iter()
+                        .map(|value| FpEstimate {
+                            value,
+                            std_error: None,
+                            trials: None,
+                            method: sys.closed_form_method(),
+                        })
+                        .collect()
+                })
+            };
+            if workers <= 1 {
+                systems.iter().enumerate().for_each(|(i, _)| {
+                    let _ = slots[i].set(run(i));
+                });
+            } else {
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= systems.len() {
+                                break;
+                            }
+                            let _ = slots[i].set(run(i));
+                        });
+                    }
+                });
+            }
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("pool completed every batch job"))
+                .collect()
+        };
+
+        // Phase B: per-(system, p) jobs for the systems the batch declined.
         let jobs: Vec<(usize, f64)> = systems
             .iter()
             .enumerate()
+            .filter(|&(i, _)| batch_results[i].is_none())
             .flat_map(|(i, _)| ps.iter().map(move |&p| (i, p)))
             .collect();
         let workers = self.threads.min(jobs.len()).max(1);
         // Leftover cores go to the points themselves (see [`Evaluator::sweep`]).
         let per_point = self.clone().with_threads(self.threads / workers);
-        if workers <= 1 {
-            return systems
-                .iter()
-                .map(|sys| {
-                    ps.iter()
-                        .map(|&p| per_point.crash_probability(*sys, p))
-                        .collect()
-                })
-                .collect();
-        }
-        let next = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<std::sync::OnceLock<FpEstimate>> =
             jobs.iter().map(|_| std::sync::OnceLock::new()).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(sys_idx, p)) = jobs.get(i) else {
-                        break;
-                    };
-                    let est = per_point.crash_probability(systems[sys_idx], p);
-                    let _ = slots[i].set(est);
-                });
+        if workers <= 1 {
+            for (slot, &(sys_idx, p)) in slots.iter().zip(&jobs) {
+                let _ = slot.set(per_point.crash_probability(systems[sys_idx], p));
             }
-        });
-        let mut out: Vec<Vec<FpEstimate>> = vec![Vec::with_capacity(ps.len()); systems.len()];
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(sys_idx, p)) = jobs.get(i) else {
+                            break;
+                        };
+                        let est = per_point.crash_probability(systems[sys_idx], p);
+                        let _ = slots[i].set(est);
+                    });
+                }
+            });
+        }
+
+        let mut out: Vec<Vec<FpEstimate>> = batch_results
+            .into_iter()
+            .map(|b| b.unwrap_or_else(|| Vec::with_capacity(ps.len())))
+            .collect();
         for (slot, &(sys_idx, _)) in slots.iter().zip(&jobs) {
             out[sys_idx].push(*slot.get().expect("pool completed every job"));
         }
@@ -674,6 +728,50 @@ mod tests {
         let single = eval.sweep(&sys, &ps);
         for (a, b) in single.iter().zip(&grid[0]) {
             assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_batches_closed_forms_and_tags_methods() {
+        struct ClosedFormCounting;
+        impl QuorumSystem for ClosedFormCounting {
+            fn universe_size(&self) -> usize {
+                100
+            }
+            fn name(&self) -> String {
+                "closed-form-batch".into()
+            }
+            fn sample_quorum(&self, _rng: &mut dyn rand::RngCore) -> ServerSet {
+                ServerSet::full(100)
+            }
+            fn find_live_quorum(&self, _alive: &ServerSet) -> Option<ServerSet> {
+                unreachable!("the engine must not probe availability")
+            }
+            fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
+                Some(p * p)
+            }
+            fn min_quorum_size(&self) -> usize {
+                100
+            }
+        }
+        let ps = [0.1, 0.3, 0.5];
+        let eval = Evaluator::new();
+        let grid = eval.sweep(&ClosedFormCounting, &ps);
+        assert_eq!(grid.len(), 3);
+        for (est, &p) in grid.iter().zip(&ps) {
+            assert_eq!(est.method, FpMethod::ClosedForm);
+            let direct = eval.crash_probability(&ClosedFormCounting, p);
+            assert_eq!(est.value.to_bits(), direct.value.to_bits());
+        }
+        // A mixed grid: closed-form system batches, explicit system falls
+        // through to per-point jobs — row order must be preserved.
+        let explicit = k_of_n_system(5, 3);
+        let rows = eval.sweep_systems(&[&ClosedFormCounting, &explicit], &ps);
+        assert_eq!(rows[0][0].method, FpMethod::ClosedForm);
+        assert_eq!(rows[1][0].method, FpMethod::Exact);
+        for (est, &p) in rows[1].iter().zip(&ps) {
+            let direct = eval.clone().with_threads(1).crash_probability(&explicit, p);
+            assert_eq!(est.value.to_bits(), direct.value.to_bits());
         }
     }
 

@@ -13,7 +13,9 @@
 //! * [`masking`] — the b-masking property (Definition 3.5, Lemma 3.6, Corollary 3.7)
 //!   and the vote-masking rule it enables;
 //! * [`strategy`] and [`load`] — access strategies and the system load `L(Q)`
-//!   (Definition 3.8, Proposition 3.9), computed exactly by linear programming;
+//!   (Definition 3.8, Proposition 3.9), computed exactly by linear programming —
+//!   explicitly for materialised systems, or by certified column generation
+//!   against the pricing oracles of [`oracle`] for large-`n` constructions;
 //! * [`availability`] — the crash probability `F_p(Q)` (Definition 3.10), exact and
 //!   Monte-Carlo;
 //! * [`bounds`] — the lower bounds of Theorem 4.1, Corollary 4.2 and
@@ -56,6 +58,7 @@ pub mod eval;
 pub mod load;
 pub mod masking;
 pub mod measures;
+pub mod oracle;
 pub mod quorum;
 pub mod strategy;
 pub mod transversal;
@@ -65,8 +68,9 @@ pub use bitset::ServerSet;
 pub use composition::{compose_explicit, ComposedSystem};
 pub use error::QuorumError;
 pub use eval::{Evaluator, FpEstimate, FpMethod};
-pub use load::{fair_load, optimal_load};
+pub use load::{fair_load, optimal_load, optimal_load_oracle, CertifiedLoad};
 pub use masking::{is_b_masking, masking_level};
+pub use oracle::MinWeightQuorumOracle;
 pub use quorum::{ExplicitQuorumSystem, QuorumSystem};
 pub use strategy::AccessStrategy;
 pub use transversal::{min_transversal, min_transversal_size, resilience};
@@ -84,11 +88,15 @@ pub mod prelude {
     pub use crate::domination::{is_coterie, minimize_system, reduce_to_minimal};
     pub use crate::error::QuorumError;
     pub use crate::eval::{Evaluator, FpEstimate, FpMethod};
-    pub use crate::load::{fair_load, optimal_load, strategy_load};
+    pub use crate::load::{
+        fair_load, optimal_load, optimal_load_oracle, optimal_load_oracle_with, strategy_load,
+        CertifiedLoad,
+    };
     pub use crate::masking::{is_b_masking, mask_votes, masking_feasible, masking_level};
     pub use crate::measures::{
         degrees, fairness, is_fair, is_quorum_system, min_intersection_size, min_quorum_size,
     };
+    pub use crate::oracle::MinWeightQuorumOracle;
     pub use crate::quorum::{ExplicitQuorumSystem, QuorumSystem};
     pub use crate::strategy::AccessStrategy;
     pub use crate::transversal::{

@@ -77,6 +77,23 @@ pub trait QuorumSystem: Send + Sync {
         None
     }
 
+    /// Batched form of [`QuorumSystem::crash_probability_closed_form`] over
+    /// a grid of crash probabilities: `Some` with one value per point iff
+    /// every point has a closed-form answer.
+    ///
+    /// The default evaluates point by point, which is right for algebraic
+    /// closed forms (microseconds each). Constructions whose "closed form"
+    /// is an expensive structure-aware computation with `p`-independent
+    /// scaffolding override this to amortise it — the M-Path transfer-matrix
+    /// DP enumerates its interface state space once for the whole grid.
+    /// Implementations must return values bit-identical to the per-point
+    /// method ([`crate::eval::Evaluator::sweep`] relies on it).
+    fn crash_probability_closed_form_batch(&self, ps: &[f64]) -> Option<Vec<f64>> {
+        ps.iter()
+            .map(|&p| self.crash_probability_closed_form(p.clamp(0.0, 1.0)))
+            .collect()
+    }
+
     /// How [`QuorumSystem::crash_probability_closed_form`] answers are
     /// obtained, for the engine's method tagging: an algebraic closed form by
     /// default; constructions whose "closed form" is really a structure-aware

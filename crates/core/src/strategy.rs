@@ -46,6 +46,34 @@ impl AccessStrategy {
         Ok(AccessStrategy { weights })
     }
 
+    /// Creates a strategy from non-negative weights that need not sum to 1,
+    /// normalising them first — the shared post-processing of both exact load
+    /// solvers (`optimal_load` renormalises simplex output against floating-
+    /// point drift; `optimal_load_oracle` scales a packing solution down to a
+    /// distribution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidStrategy`] if the weights are empty,
+    /// negative, non-finite, or sum to zero.
+    pub fn normalized(mut weights: Vec<f64>) -> Result<Self, QuorumError> {
+        if weights.iter().any(|&w| w < -1e-12 || !w.is_finite()) {
+            return Err(QuorumError::InvalidStrategy(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(QuorumError::InvalidStrategy(
+                "weights must have positive total mass".into(),
+            ));
+        }
+        for w in &mut weights {
+            *w = w.max(0.0) / total;
+        }
+        AccessStrategy::new(weights)
+    }
+
     /// The uniform strategy over `m` quorums.
     ///
     /// # Panics
@@ -160,6 +188,17 @@ mod tests {
         assert!(AccessStrategy::new(vec![-0.1, 1.1]).is_err());
         assert!(AccessStrategy::new(vec![f64::NAN, 1.0]).is_err());
         assert!(AccessStrategy::new(vec![0.25, 0.75]).is_ok());
+    }
+
+    #[test]
+    fn normalized_rescales_and_validates() {
+        let s = AccessStrategy::normalized(vec![1.0, 3.0]).unwrap();
+        assert!((s.weight(0) - 0.25).abs() < 1e-12);
+        assert!((s.weight(1) - 0.75).abs() < 1e-12);
+        assert!(AccessStrategy::normalized(vec![]).is_err());
+        assert!(AccessStrategy::normalized(vec![0.0, 0.0]).is_err());
+        assert!(AccessStrategy::normalized(vec![-0.5, 1.0]).is_err());
+        assert!(AccessStrategy::normalized(vec![f64::INFINITY]).is_err());
     }
 
     #[test]

@@ -61,7 +61,17 @@ use crate::grid::{Axis, TriangulatedGrid};
 /// `RandomState`, state iteration (and hence the f64 accumulation order)
 /// would differ between processes, making DP results reproducible only up to
 /// the last ulp. A fixed-key SipHash keeps every run bit-identical.
-type StateMap = HashMap<Vec<u8>, f64, BuildHasherDefault<std::hash::DefaultHasher>>;
+///
+/// Each state carries one probability mass *per sweep point*: the reachable
+/// state space and its transition structure depend only on `(side, k)` —
+/// never on `p` — so a whole `p`-grid shares a single enumeration, paying
+/// the hashing/packing cost once instead of once per point (the lanes are
+/// independent, so each lane's accumulation order, and hence its bits,
+/// matches a single-point sweep exactly). The map value is an index into a
+/// flat `lanes`-strided mass arena rather than a per-state `Vec<f64>`, so
+/// carrying lanes costs no extra heap allocation per state — in particular
+/// the single-point path allocates exactly what it did before batching.
+type StateMap = HashMap<Vec<u8>, usize, BuildHasherDefault<std::hash::DefaultHasher>>;
 
 /// Default cap on the number of simultaneous interface states before the DP
 /// gives up and returns `None`. 2 million states × ~100-byte keys keeps the
@@ -142,7 +152,25 @@ pub fn mpath_crash_probability_exact(
     p: f64,
     max_states: usize,
 ) -> Option<f64> {
-    run_sweep(side, k, p, max_states).map(|o| o.either_blocked)
+    run_sweep_grid(side, k, &[p], max_states).map(|o| o[0].either_blocked)
+}
+
+/// [`mpath_crash_probability_exact`] over a whole `p`-grid in **one** sweep:
+/// the interface-state enumeration and transition structure depend only on
+/// `(side, k)`, so all points share them and each extra point costs a few
+/// multiply-adds per transition instead of a full re-enumeration. Results
+/// are bit-identical to evaluating each point on its own.
+///
+/// Returns `None` under the same conditions as the single-point form.
+#[must_use]
+pub fn mpath_crash_probability_exact_grid(
+    side: usize,
+    k: usize,
+    ps: &[f64],
+    max_states: usize,
+) -> Option<Vec<f64>> {
+    run_sweep_grid(side, k, ps, max_states)
+        .map(|outcomes| outcomes.iter().map(|o| o.either_blocked).collect())
 }
 
 /// Exact probability of an alive crossing along `axis` (`k = 1` flow event)
@@ -159,7 +187,20 @@ pub fn crossing_probability_exact(
     _axis: Axis,
     max_states: usize,
 ) -> Option<f64> {
-    run_sweep(side, 1, p, max_states).map(|o| 1.0 - o.lr_blocked)
+    run_sweep_grid(side, 1, &[p], max_states).map(|o| 1.0 - o[0].lr_blocked)
+}
+
+/// [`crossing_probability_exact`] over a whole `p`-grid in one shared sweep
+/// (see [`mpath_crash_probability_exact_grid`]).
+#[must_use]
+pub fn crossing_probability_exact_grid(
+    side: usize,
+    ps: &[f64],
+    _axis: Axis,
+    max_states: usize,
+) -> Option<Vec<f64>> {
+    run_sweep_grid(side, 1, ps, max_states)
+        .map(|outcomes| outcomes.iter().map(|o| 1.0 - o.lr_blocked).collect())
 }
 
 /// Node layout of the interface matrix: three virtual terminals, then one
@@ -178,12 +219,73 @@ struct State {
     alive: u32,
 }
 
-fn run_sweep(side: usize, k: usize, p: f64, max_states: usize) -> Option<SweepOutcome> {
+fn run_sweep_grid(
+    side: usize,
+    k: usize,
+    ps: &[f64],
+    max_states: usize,
+) -> Option<Vec<SweepOutcome>> {
     if side == 0 || k == 0 || k > side || side > 31 {
         return None;
     }
-    let p = p.clamp(0.0, 1.0);
+    // Boundary points are analytic (p = 0: the fully alive grid has `k ≤
+    // side` disjoint straight crossings both ways; p = 1: nothing is alive),
+    // and excluding them keeps every swept transition's weight non-zero for
+    // every lane — so the reachable state set, its iteration order, and
+    // hence each lane's bit pattern are identical whether the lane runs
+    // alone or in a grid.
+    let clamped: Vec<f64> = ps.iter().map(|&p| p.clamp(0.0, 1.0)).collect();
+    let interior: Vec<f64> = clamped
+        .iter()
+        .copied()
+        .filter(|&p| p > 0.0 && p < 1.0)
+        .collect();
+    let swept = if interior.is_empty() {
+        Vec::new()
+    } else {
+        sweep_interior(side, k, &interior, max_states)?
+    };
+    let mut swept_iter = swept.into_iter();
+    Some(
+        clamped
+            .iter()
+            .map(|&p| {
+                if p.is_nan() {
+                    // Garbage in, garbage out — but never a panic (matching
+                    // the historical single-point behaviour, where a NaN `p`
+                    // produced NaN weights throughout the sweep).
+                    SweepOutcome {
+                        either_blocked: f64::NAN,
+                        lr_blocked: f64::NAN,
+                    }
+                } else if p <= 0.0 {
+                    SweepOutcome {
+                        either_blocked: 0.0,
+                        lr_blocked: 0.0,
+                    }
+                } else if p >= 1.0 {
+                    SweepOutcome {
+                        either_blocked: 1.0,
+                        lr_blocked: 1.0,
+                    }
+                } else {
+                    swept_iter.next().expect("one swept outcome per interior p")
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The shared column sweep over interior points (`0 < p < 1` each): one
+/// state enumeration, `ps.len()` probability lanes.
+fn sweep_interior(
+    side: usize,
+    k: usize,
+    ps: &[f64],
+    max_states: usize,
+) -> Option<Vec<SweepOutcome>> {
     let kcap = u8::try_from(k).ok()?;
+    let lanes = ps.len();
     let n_nodes = CELLS + side;
     let initial = State {
         // No region yet: every pair is "unreachable", which the cap folds
@@ -192,7 +294,8 @@ fn run_sweep(side: usize, k: usize, p: f64, max_states: usize) -> Option<SweepOu
         alive: 0,
     };
     let mut states = StateMap::default();
-    states.insert(pack(&initial, n_nodes), 1.0);
+    let mut masses: Vec<f64> = vec![1.0; lanes];
+    states.insert(pack(&initial, n_nodes), 0);
 
     // Reusable scratch for the unpacked base state, the mutated successor and
     // its packed key: the innermost loop runs (states × cells) times and must
@@ -204,26 +307,33 @@ fn run_sweep(side: usize, k: usize, p: f64, max_states: usize) -> Option<SweepOu
     let mut scratch = base.clone();
     let mut keybuf: Vec<u8> = Vec::with_capacity(n_nodes * (n_nodes - 1) / 2 + 4);
     let mut newrow = vec![0u8; n_nodes];
+    let mut massbuf: Vec<f64> = vec![0.0; lanes];
     for col in 0..side {
         for row in 0..side {
             let mut next =
                 StateMap::with_capacity_and_hasher(states.len().saturating_mul(2), <_>::default());
-            for (key, prob) in &states {
+            let mut next_masses: Vec<f64> = Vec::with_capacity(masses.len().saturating_mul(2));
+            for (key, &mass_idx) in &states {
+                let mass = &masses[mass_idx * lanes..(mass_idx + 1) * lanes];
                 unpack_into(key, n_nodes, &mut base);
                 for cell_alive in [false, true] {
-                    let weight = if cell_alive { 1.0 - p } else { p };
-                    if weight == 0.0 {
-                        continue;
-                    }
                     scratch.d.copy_from_slice(&base.d);
                     scratch.alive = base.alive;
                     add_cell(&mut scratch, side, kcap, row, col, cell_alive, &mut newrow);
                     pack_into(&scratch, n_nodes, &mut keybuf);
-                    // Only a first-seen successor pays a key allocation.
-                    if let Some(mass) = next.get_mut(keybuf.as_slice()) {
-                        *mass += prob * weight;
+                    for ((mb, &m), &p) in massbuf.iter_mut().zip(mass).zip(ps) {
+                        let weight = if cell_alive { 1.0 - p } else { p };
+                        *mb = m * weight;
+                    }
+                    // Only a first-seen successor pays a key allocation; its
+                    // masses go into the flat arena.
+                    if let Some(&idx) = next.get(keybuf.as_slice()) {
+                        for (a, &mb) in next_masses[idx * lanes..].iter_mut().zip(&massbuf) {
+                            *a += mb;
+                        }
                     } else {
-                        next.insert(keybuf.clone(), prob * weight);
+                        next.insert(keybuf.clone(), next_masses.len() / lanes);
+                        next_masses.extend_from_slice(&massbuf);
                     }
                 }
             }
@@ -231,12 +341,14 @@ fn run_sweep(side: usize, k: usize, p: f64, max_states: usize) -> Option<SweepOu
                 return None;
             }
             states = next;
+            masses = next_masses;
         }
     }
 
-    let mut either_blocked = 0.0;
-    let mut lr_blocked = 0.0;
-    for (key, prob) in &states {
+    let mut either_blocked = vec![0.0; lanes];
+    let mut lr_blocked = vec![0.0; lanes];
+    for (key, &mass_idx) in &states {
+        let mass = &masses[mass_idx * lanes..(mass_idx + 1) * lanes];
         unpack_into(key, n_nodes, &mut base);
         let st = &base;
         // Self-matching duality: maxflow_LR = min TB-path cost, maxflow_TB =
@@ -249,16 +361,26 @@ fn run_sweep(side: usize, k: usize, p: f64, max_states: usize) -> Option<SweepOu
             .unwrap_or(kcap)
             .min(kcap);
         if min_tb_cost < kcap {
-            lr_blocked += prob;
+            for (acc, &m) in lr_blocked.iter_mut().zip(mass) {
+                *acc += m;
+            }
         }
         if min_tb_cost < kcap || min_lr_cost < kcap {
-            either_blocked += prob;
+            for (acc, &m) in either_blocked.iter_mut().zip(mass) {
+                *acc += m;
+            }
         }
     }
-    Some(SweepOutcome {
-        either_blocked: either_blocked.clamp(0.0, 1.0),
-        lr_blocked: lr_blocked.clamp(0.0, 1.0),
-    })
+    Some(
+        either_blocked
+            .into_iter()
+            .zip(lr_blocked)
+            .map(|(e, l)| SweepOutcome {
+                either_blocked: e.clamp(0.0, 1.0),
+                lr_blocked: l.clamp(0.0, 1.0),
+            })
+            .collect(),
+    )
 }
 
 fn init_matrix(n_nodes: usize, kcap: u8) -> Vec<u8> {
@@ -508,6 +630,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn grid_sweep_is_bit_identical_to_single_points() {
+        // The whole point of the shared sweep: each lane's accumulation
+        // order matches a solo run, so the results agree to the last bit —
+        // including grids that mix interior points with the analytic 0/1
+        // endpoints.
+        let ps = [0.0, 0.05, 0.125, 0.3, 0.5, 0.77, 1.0];
+        for (side, k) in [(3usize, 1usize), (4, 2), (5, 3)] {
+            let grid = mpath_crash_probability_exact_grid(side, k, &ps, 1 << 22).unwrap();
+            for (&p, &g) in ps.iter().zip(&grid) {
+                let single = mpath_crash_probability_exact(side, k, p, 1 << 22).unwrap();
+                assert_eq!(
+                    g.to_bits(),
+                    single.to_bits(),
+                    "side={side} k={k} p={p}: grid {g} vs single {single}"
+                );
+            }
+            let crossing_grid =
+                crossing_probability_exact_grid(side, &ps, Axis::LeftRight, 1 << 22).unwrap();
+            for (&p, &g) in ps.iter().zip(&crossing_grid) {
+                let single = crossing_probability_exact(side, p, Axis::LeftRight, 1 << 22).unwrap();
+                assert_eq!(g.to_bits(), single.to_bits(), "side={side} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_sweep_handles_empty_and_boundary_only_grids() {
+        assert_eq!(
+            mpath_crash_probability_exact_grid(4, 2, &[], 1 << 20).unwrap(),
+            Vec::<f64>::new()
+        );
+        assert_eq!(
+            mpath_crash_probability_exact_grid(4, 2, &[0.0, 1.0], 1 << 20).unwrap(),
+            vec![0.0, 1.0]
+        );
+        // A NaN point propagates as NaN (no panic) without disturbing the
+        // other lanes.
+        let mixed = mpath_crash_probability_exact_grid(4, 2, &[0.25, f64::NAN], 1 << 20).unwrap();
+        assert!(mixed[0].is_finite());
+        assert!(mixed[1].is_nan());
+        assert!(mpath_crash_probability_exact(4, 2, f64::NAN, 1 << 20)
+            .unwrap()
+            .is_nan());
     }
 
     #[test]

@@ -5,8 +5,59 @@
 //! `√(2b+1)` LR paths and `√(2b+1)` TB paths) can be materialised and handed to the
 //! replicated-data protocol layer.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::grid::{Axis, TriangulatedGrid};
 use crate::maxflow::build_disjoint_path_network;
+
+/// The minimum total vertex price of a single crossing path along `axis`,
+/// by Dijkstra over the priced triangulated lattice (prices must be
+/// non-negative; a path pays every vertex it visits, endpoints included).
+///
+/// This is the load-engine counterpart of
+/// [`crate::crossing_dp::min_crossing_cost`] with real-valued prices instead
+/// of alive-counts: `k` vertex-disjoint crossings each cost at least this
+/// much, so `k ·` this value lower-bounds the price of any M-Path quorum's
+/// one-directional path system — the cross-check the M-Path pricing oracle
+/// is validated against.
+///
+/// # Panics
+///
+/// Panics if `prices.len()` differs from the vertex count.
+#[must_use]
+pub fn min_price_crossing(grid: &TriangulatedGrid, prices: &[f64], axis: Axis) -> f64 {
+    let n = grid.num_vertices();
+    assert_eq!(prices.len(), n, "one price per vertex required");
+    let mut dist = vec![f64::INFINITY; n];
+    // BinaryHeap is a max-heap over the ordered bit pattern; Reverse of the
+    // non-negative price's bits yields a min-heap (f64 bit order matches
+    // numeric order for non-negative values).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for s in grid.sources(axis) {
+        if prices[s] < dist[s] {
+            dist[s] = prices[s];
+            heap.push(Reverse((prices[s].to_bits(), s)));
+        }
+    }
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        if d > dist[v] {
+            continue;
+        }
+        for u in grid.neighbors(v) {
+            let nd = d + prices[u];
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((nd.to_bits(), u)));
+            }
+        }
+    }
+    grid.sinks(axis)
+        .into_iter()
+        .map(|t| dist[t])
+        .fold(f64::INFINITY, f64::min)
+}
 
 /// Finds up to `want` vertex-disjoint crossing paths along `axis` using only `alive`
 /// vertices. Returns the extracted paths (each a vertex-index sequence from the
@@ -115,6 +166,40 @@ pub fn are_disjoint_crossings(grid: &TriangulatedGrid, axis: Axis, paths: &[Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn min_price_crossing_matches_straight_line_on_uniform_prices() {
+        // Uniform prices: every crossing visits at least `side` vertices, and
+        // the straight lines achieve exactly that.
+        let g = TriangulatedGrid::new(6);
+        let prices = vec![0.25; 36];
+        for axis in [Axis::LeftRight, Axis::TopBottom] {
+            let v = min_price_crossing(&g, &prices, axis);
+            assert!((v - 6.0 * 0.25).abs() < 1e-12, "{axis:?}: {v}");
+        }
+    }
+
+    #[test]
+    fn min_price_crossing_takes_detours_around_expensive_cells() {
+        // Make row 1 nearly free except its straight continuation: the
+        // cheapest LR crossing must weave through the cheap cells.
+        let g = TriangulatedGrid::new(4);
+        let mut prices = vec![1.0; 16];
+        for c in 0..4 {
+            prices[g.index(1, c)] = 0.01;
+        }
+        prices[g.index(1, 2)] = 5.0; // block the middle of the cheap row
+        let v = min_price_crossing(&g, &prices, Axis::LeftRight);
+        // Cheap cells + one detour vertex beats both the straight cheap row
+        // (0.03 + 5) and a fully expensive row (4.0).
+        assert!(v < 4.0, "v={v}");
+        assert!(v >= 0.03, "v={v}");
+        // Lower-bounds the cheapest straight row by construction.
+        let cheapest_row: f64 = (0..4)
+            .map(|r| (0..4).map(|c| prices[g.index(r, c)]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        assert!(v <= cheapest_row + 1e-12);
+    }
 
     #[test]
     fn extracts_requested_number_on_full_grid() {

@@ -40,8 +40,10 @@ pub mod percolation;
 pub mod union_find;
 
 pub use crossing_dp::{
-    crossing_probability_exact, min_crossing_cost, mpath_crash_probability_exact,
+    crossing_probability_exact, crossing_probability_exact_grid, min_crossing_cost,
+    mpath_crash_probability_exact, mpath_crash_probability_exact_grid,
 };
+pub use disjoint_paths::min_price_crossing;
 pub use grid::{Axis, TriangulatedGrid};
 pub use maxflow::{
     max_vertex_disjoint_lr_paths, max_vertex_disjoint_paths, max_vertex_disjoint_tb_paths,

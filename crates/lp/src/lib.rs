@@ -5,8 +5,14 @@
 //! distribution over quorums) minimising the maximum induced load over servers.
 //! For fair systems Proposition 3.9 gives a closed form, but for arbitrary explicit
 //! quorum systems an LP solver is required to compute `L(Q)` exactly. This crate
-//! provides a dense two-phase simplex implementation sufficient for that purpose
-//! (hundreds of variables/constraints), with no external dependencies.
+//! provides two dependency-free solvers:
+//!
+//! * [`simplex`] — a dense two-phase tableau simplex for general small LPs
+//!   (hundreds of variables/constraints), used by the explicit-quorum load path;
+//! * [`packing`] — an incremental packing LP (`max Σx, Ax ≤ 1`) with sparse
+//!   columns and warm-started re-solves, the restricted master behind the
+//!   column-generation load engine that scales `L(Q)` to constructions whose
+//!   quorum lists are astronomically large.
 //!
 //! # Example
 //!
@@ -32,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod packing;
 pub mod simplex;
 
+pub use packing::{PackingLp, PackingOutcome};
 pub use simplex::{Constraint, LinearProgram, LpOutcome, Relation, Solution};

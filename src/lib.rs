@@ -16,7 +16,7 @@
 //! | [`analysis`] | `bqs-analysis` (`crates/analysis`) | Table 2, the Section 8 scenario, load/availability sweeps and ablations, all driven by one shared `Evaluator` |
 //! | [`sim`] | `bqs-sim` (`crates/sim`) | the masking read/write register protocol with Byzantine and crash fault injection |
 //! | [`combinatorics`] | `bqs-combinatorics` (`crates/combinatorics`) | binomials, finite fields, prime powers, projective planes |
-//! | [`lp`] | `bqs-lp` (`crates/lp`) | the simplex solver behind exact load computation |
+//! | [`lp`] | `bqs-lp` (`crates/lp`) | the simplex solver behind the explicit load LP, plus the incremental packing master behind certified column-generation load |
 //! | [`graph`] | `bqs-graph` (`crates/graph`) | triangulated grids, max-flow, percolation (the M-Path substrate) |
 //!
 //! The `bqs-bench` crate (`crates/bench`, not re-exported: binaries only)
