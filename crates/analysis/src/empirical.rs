@@ -1,0 +1,214 @@
+//! Empirical-versus-analytic validation of the paper's two measures.
+//!
+//! The concurrent service runtime (`bqs-service`) produces *measurements*:
+//! per-server access counts from strategy-driven clients, and per-fault-plan
+//! availability outcomes. This module turns those raw numbers into
+//! statistically honest comparisons against the *certified* analytic values —
+//! the load `L(Q)` from the column-generation engine and the crash
+//! probability `F_p` from the evaluation engine. It is deliberately
+//! data-driven (plain counts in, verdicts out) so the analysis layer needs no
+//! dependency on the service runtime that produced the data.
+//!
+//! # The load band
+//!
+//! Under a balanced certified strategy every server's access count over `N`
+//! operations is Binomial(`N`, `L`), so one server's empirical frequency has
+//! standard deviation `σ = √(L(1−L)/N)`. The *reported* statistic is the
+//! busiest server's frequency — the maximum of `n` near-identically
+//! distributed deviations — whose location drifts above `L` by about
+//! `σ·√(2 ln n)` (the Gaussian max-order-statistic rate) before its own
+//! `O(σ)` fluctuation. The acceptance band therefore allows the drift plus a
+//! 3σ fluctuation: `|empirical − L| ≤ σ·(3 + √(2 ln n))`. A systematic error
+//! (wrong strategy, broken accounting, lost messages) shows up as a `z`-score
+//! far outside the band; honest sampling noise stays inside it.
+
+use bqs_core::availability::wilson_score_interval;
+
+/// The verdict of one empirical-load-versus-certified-`L(Q)` comparison.
+#[derive(Debug, Clone)]
+pub struct EmpiricalLoadCheck {
+    /// Construction name.
+    pub system: String,
+    /// Universe size.
+    pub n: usize,
+    /// Quorum-contacting operations the frequencies are normalised by (each
+    /// such operation contacts exactly one quorum).
+    pub operations: u64,
+    /// The certified analytic load `L(Q)`.
+    pub certified_load: f64,
+    /// The busiest server's empirical access frequency.
+    pub empirical_max_load: f64,
+    /// One server's binomial standard deviation `√(L(1−L)/N)`.
+    pub sigma: f64,
+    /// The acceptance band `σ·(3 + √(2 ln n))` around the certified load.
+    pub tolerance: f64,
+    /// `(empirical − certified) / σ`, the standardised deviation.
+    pub z: f64,
+    /// Whether the empirical maximum sits inside the band.
+    pub within_tolerance: bool,
+}
+
+/// Compares the busiest server's empirical access frequency against the
+/// certified load, with the max-order-statistic band described in the module
+/// docs.
+///
+/// `access_counts` are per-server delivered-message counts over `operations`
+/// quorum-contacting operations (each contacting exactly one quorum; pass
+/// `ServiceReport::load_operations`, not the attempted-operation count, so
+/// operations that found no live quorum do not bias the frequencies low).
+///
+/// # Panics
+///
+/// Panics if `access_counts` is empty, `operations` is zero, or
+/// `certified_load` is outside `(0, 1]`.
+#[must_use]
+pub fn empirical_load_check(
+    system: impl Into<String>,
+    access_counts: &[u64],
+    operations: u64,
+    certified_load: f64,
+) -> EmpiricalLoadCheck {
+    assert!(!access_counts.is_empty(), "need per-server counts");
+    assert!(operations > 0, "need at least one operation");
+    assert!(
+        certified_load > 0.0 && certified_load <= 1.0,
+        "loads live in (0, 1]"
+    );
+    let n = access_counts.len();
+    let ops = operations as f64;
+    let empirical_max_load = access_counts
+        .iter()
+        .map(|&c| c as f64 / ops)
+        .fold(0.0, f64::max);
+    let sigma = (certified_load * (1.0 - certified_load) / ops).sqrt();
+    let tolerance = sigma * (3.0 + (2.0 * (n as f64).ln()).sqrt());
+    let deviation = empirical_max_load - certified_load;
+    EmpiricalLoadCheck {
+        system: system.into(),
+        n,
+        operations,
+        certified_load,
+        empirical_max_load,
+        sigma,
+        tolerance,
+        z: if sigma > 0.0 { deviation / sigma } else { 0.0 },
+        within_tolerance: deviation.abs() <= tolerance,
+    }
+}
+
+/// The verdict of one empirical-availability-versus-`F_p` comparison.
+#[derive(Debug, Clone)]
+pub struct EmpiricalAvailabilityCheck {
+    /// Construction name.
+    pub system: String,
+    /// The per-server crash probability of the trials.
+    pub p: f64,
+    /// Number of independent fault-plan trials.
+    pub trials: usize,
+    /// Trials in which the service found no live quorum.
+    pub unavailable_trials: usize,
+    /// The empirical crash frequency `unavailable / trials`.
+    pub empirical_fp: f64,
+    /// The analytic crash probability `F_p` being validated.
+    pub analytic_fp: f64,
+    /// Wilson 95% score interval around the empirical frequency.
+    pub ci95: (f64, f64),
+    /// Whether the analytic value falls inside the Wilson interval.
+    pub consistent: bool,
+}
+
+/// Compares the empirical frequency of unavailable service runs (each under
+/// an independently drawn crash plan at rate `p`) against the analytic `F_p`,
+/// using the Wilson 95% score interval — the same tail-honest interval the
+/// Monte-Carlo `F_p` estimator reports.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or `unavailable_trials > trials`.
+#[must_use]
+pub fn empirical_availability_check(
+    system: impl Into<String>,
+    p: f64,
+    trials: usize,
+    unavailable_trials: usize,
+    analytic_fp: f64,
+) -> EmpiricalAvailabilityCheck {
+    assert!(trials > 0, "need at least one trial");
+    assert!(
+        unavailable_trials <= trials,
+        "cannot fail more trials than were run"
+    );
+    let empirical_fp = unavailable_trials as f64 / trials as f64;
+    let ci95 = wilson_score_interval(empirical_fp, trials);
+    EmpiricalAvailabilityCheck {
+        system: system.into(),
+        p,
+        trials,
+        unavailable_trials,
+        empirical_fp,
+        analytic_fp,
+        ci95,
+        consistent: analytic_fp >= ci95.0 && analytic_fp <= ci95.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced_counts_pass_the_load_band() {
+        // 4 servers, 1000 ops, every op touching servers {0,1}: loads are
+        // exactly [1, 1, 0, 0] against a certified L = 1.
+        let check = empirical_load_check("toy", &[1000, 1000, 0, 0], 1000, 1.0);
+        assert!(check.within_tolerance, "{check:?}");
+        assert_eq!(check.empirical_max_load, 1.0);
+        assert_eq!(check.z, 0.0);
+    }
+
+    #[test]
+    fn noisy_but_unbiased_counts_pass() {
+        // L = 0.25 over 10_000 ops; busiest server a hair above the mean.
+        let counts = [2_540u64, 2_480, 2_460, 2_500];
+        let check = empirical_load_check("noisy", &counts, 10_000, 0.25);
+        assert!(check.within_tolerance, "{check:?}");
+        assert!(check.z.abs() < 3.0, "{check:?}");
+    }
+
+    #[test]
+    fn systematic_load_errors_are_flagged() {
+        // Claimed L = 0.25 but the busiest server was hit 40% of the time —
+        // far outside any sampling band at 10_000 ops.
+        let counts = [4_000u64, 2_000, 2_000, 2_000];
+        let check = empirical_load_check("broken", &counts, 10_000, 0.25);
+        assert!(!check.within_tolerance, "{check:?}");
+        assert!(check.z > 10.0);
+    }
+
+    #[test]
+    fn tolerance_grows_with_universe_but_shrinks_with_ops() {
+        let few_ops = empirical_load_check("a", &[25; 100], 100, 0.25);
+        let many_ops = empirical_load_check("b", &[2_500; 100], 10_000, 0.25);
+        assert!(many_ops.tolerance < few_ops.tolerance);
+        let small_n = empirical_load_check("c", &[2_500; 4], 10_000, 0.25);
+        assert!(small_n.tolerance < many_ops.tolerance);
+    }
+
+    #[test]
+    fn availability_consistency_via_wilson() {
+        // 7 unavailable out of 100 trials against F_p = 0.06: consistent.
+        let check = empirical_availability_check("toy", 0.1, 100, 7, 0.06);
+        assert!(check.consistent, "{check:?}");
+        assert!((check.empirical_fp - 0.07).abs() < 1e-12);
+        // Against F_p = 0.5: wildly inconsistent.
+        let check = empirical_availability_check("toy", 0.1, 100, 7, 0.5);
+        assert!(!check.consistent, "{check:?}");
+    }
+
+    #[test]
+    fn zero_hit_availability_still_has_an_interval() {
+        let check = empirical_availability_check("rare", 0.01, 500, 0, 1e-9);
+        assert!(check.ci95.0 <= 1e-9, "{check:?}");
+        assert!(check.consistent, "{check:?}");
+    }
+}

@@ -13,6 +13,9 @@
 //!   sweep, and the exact-versus-Monte-Carlo ablation;
 //! * [`percolation_threshold`] — the finite-size percolation estimates behind the
 //!   M-Path availability argument (Appendix B);
+//! * [`empirical`] — statistically honest comparisons of the concurrent
+//!   service runtime's measurements (per-server access counts, per-plan
+//!   availability outcomes) against the certified `L(Q)` and `F_p`;
 //! * [`report`] — the text-table rendering shared by the bench binaries.
 //!
 //! Each bench binary in `bqs-bench` is a thin wrapper that calls one of these
@@ -25,6 +28,7 @@
 pub mod ablation;
 pub mod availability_analysis;
 pub mod comparison;
+pub mod empirical;
 pub mod load_analysis;
 pub mod percolation_threshold;
 pub mod report;
@@ -33,6 +37,10 @@ pub mod scenario;
 pub use ablation::{mpath_discovery_ablation, transversal_ablation};
 pub use availability_analysis::{exact_vs_monte_carlo, fp_vs_n, fp_vs_p, rt_fixed_point_sweep};
 pub use comparison::{build_table2, render_table2, Table2Row};
+pub use empirical::{
+    empirical_availability_check, empirical_load_check, EmpiricalAvailabilityCheck,
+    EmpiricalLoadCheck,
+};
 pub use load_analysis::{
     boost_fpp_order_for, certified_constructions, load_vs_n, lower_bound_envelope, lp_load_vs_n,
     lp_vs_fair_load, CertifiableConstruction, CertifiedLoadPoint,

@@ -60,6 +60,7 @@ pub mod masking;
 pub mod measures;
 pub mod oracle;
 pub mod quorum;
+pub mod strategic;
 pub mod strategy;
 pub mod transversal;
 
@@ -72,6 +73,7 @@ pub use load::{fair_load, optimal_load, optimal_load_oracle, CertifiedLoad};
 pub use masking::{is_b_masking, masking_level};
 pub use oracle::MinWeightQuorumOracle;
 pub use quorum::{ExplicitQuorumSystem, QuorumSystem};
+pub use strategic::StrategicQuorumSystem;
 pub use strategy::AccessStrategy;
 pub use transversal::{min_transversal, min_transversal_size, resilience};
 
@@ -98,6 +100,7 @@ pub mod prelude {
     };
     pub use crate::oracle::MinWeightQuorumOracle;
     pub use crate::quorum::{ExplicitQuorumSystem, QuorumSystem};
+    pub use crate::strategic::StrategicQuorumSystem;
     pub use crate::strategy::AccessStrategy;
     pub use crate::transversal::{
         greedy_transversal, is_transversal, min_transversal, min_transversal_size, resilience,

@@ -691,7 +691,7 @@ mod tests {
             ServerSet::from_indices(3, [1, 2]),
             ServerSet::from_indices(3, [0, 1]),
         ];
-        let uniform = AccessStrategy::uniform(4);
+        let uniform = AccessStrategy::uniform(4).unwrap();
         let uniform_load = strategy_load(&q, 3, &uniform);
         let (opt, _) = optimal_load(&q, 3).unwrap();
         assert!(opt <= uniform_load + 1e-9);

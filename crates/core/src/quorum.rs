@@ -152,7 +152,7 @@ impl ExplicitQuorumSystem {
                 }
             }
         }
-        let strategy = AccessStrategy::uniform(quorums.len());
+        let strategy = AccessStrategy::uniform(quorums.len())?;
         let masks64 = if universe_size <= 64 {
             quorums.iter().map(ServerSet::as_mask_u64).collect()
         } else {
@@ -364,8 +364,8 @@ mod tests {
     #[test]
     fn strategy_replacement_validated() {
         let mut q = majority(3);
-        assert!(q.set_strategy(AccessStrategy::uniform(2)).is_err());
-        assert!(q.set_strategy(AccessStrategy::uniform(3)).is_ok());
+        assert!(q.set_strategy(AccessStrategy::uniform(2).unwrap()).is_err());
+        assert!(q.set_strategy(AccessStrategy::uniform(3).unwrap()).is_ok());
         let named = q.clone().with_name("majority-3");
         assert_eq!(named.name(), "majority-3");
     }

@@ -12,12 +12,69 @@ use crate::bitset::ServerSet;
 use crate::error::QuorumError;
 
 /// A probability distribution over the quorums of an explicit quorum system.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Construction precompiles a Vose alias table, so [`AccessStrategy::sample_index`]
+/// is O(1) regardless of how many quorums the strategy ranges over — the hot
+/// path of every strategy-driven client, from the single-threaded simulator to
+/// the concurrent `bqs-service` load generator.
+#[derive(Debug, Clone)]
 pub struct AccessStrategy {
     weights: Vec<f64>,
+    /// Vose alias table: bucket `i` yields `i` with probability `prob[i]` and
+    /// `alias[i]` otherwise. Derived from `weights`; never compared or exposed.
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl PartialEq for AccessStrategy {
+    fn eq(&self, other: &Self) -> bool {
+        // The alias table is a deterministic function of the weights; equality
+        // of the distribution is equality of the weights.
+        self.weights == other.weights
+    }
 }
 
 const WEIGHT_TOLERANCE: f64 = 1e-6;
+
+/// Builds the Vose alias table for a normalised weight vector: buckets with
+/// below-average mass borrow the remainder from an above-average donor, so a
+/// single uniform draw (bucket + biased coin) samples the exact distribution.
+fn build_alias_table(weights: &[f64]) -> (Vec<f64>, Vec<u32>) {
+    let m = weights.len();
+    assert!(
+        u32::try_from(m).is_ok(),
+        "alias table limited to 2^32 quorums"
+    );
+    let total: f64 = weights.iter().sum();
+    let mut scaled: Vec<f64> = weights
+        .iter()
+        .map(|&w| w.max(0.0) * m as f64 / total)
+        .collect();
+    let mut prob = vec![1.0f64; m];
+    let mut alias: Vec<u32> = (0..m as u32).collect();
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+    while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+        prob[s as usize] = scaled[s as usize];
+        alias[s as usize] = l;
+        // Donate the complement of bucket `s` from donor `l`.
+        scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+        if scaled[l as usize] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    // Leftovers (numerical residue near 1.0) keep prob = 1, alias = self.
+    (prob, alias)
+}
 
 impl AccessStrategy {
     /// Creates a strategy from explicit per-quorum weights.
@@ -43,7 +100,12 @@ impl AccessStrategy {
                 "weights sum to {total}, expected 1"
             )));
         }
-        Ok(AccessStrategy { weights })
+        let (prob, alias) = build_alias_table(&weights);
+        Ok(AccessStrategy {
+            weights,
+            prob,
+            alias,
+        })
     }
 
     /// Creates a strategy from non-negative weights that need not sum to 1,
@@ -76,15 +138,17 @@ impl AccessStrategy {
 
     /// The uniform strategy over `m` quorums.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `m == 0`.
-    #[must_use]
-    pub fn uniform(m: usize) -> Self {
-        assert!(m > 0, "cannot build a strategy over zero quorums");
-        AccessStrategy {
-            weights: vec![1.0 / m as f64; m],
+    /// Returns [`QuorumError::InvalidStrategy`] when `m == 0` — a strategy must
+    /// assign weight to at least one quorum.
+    pub fn uniform(m: usize) -> Result<Self, QuorumError> {
+        if m == 0 {
+            return Err(QuorumError::InvalidStrategy(
+                "cannot build a strategy over zero quorums".into(),
+            ));
         }
+        AccessStrategy::new(vec![1.0 / m as f64; m])
     }
 
     /// Number of quorums the strategy ranges over.
@@ -112,17 +176,20 @@ impl AccessStrategy {
         &self.weights
     }
 
-    /// Samples a quorum index according to the strategy.
+    /// Samples a quorum index according to the strategy, in O(1) via the
+    /// precompiled alias table: one uniform draw selects both the bucket and
+    /// the biased coin deciding between the bucket and its alias.
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let m = self.prob.len();
         let x: f64 = rng.gen();
-        let mut acc = 0.0;
-        for (i, &w) in self.weights.iter().enumerate() {
-            acc += w;
-            if x < acc {
-                return i;
-            }
+        let scaled = x * m as f64;
+        let i = (scaled as usize).min(m - 1);
+        let coin = scaled - i as f64;
+        if coin < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
         }
-        self.weights.len() - 1
     }
 
     /// The load induced by this strategy on each server of the universe
@@ -174,7 +241,7 @@ mod tests {
 
     #[test]
     fn uniform_strategy_weights() {
-        let s = AccessStrategy::uniform(4);
+        let s = AccessStrategy::uniform(4).unwrap();
         assert_eq!(s.len(), 4);
         for i in 0..4 {
             assert!((s.weight(i) - 0.25).abs() < 1e-12);
@@ -204,7 +271,7 @@ mod tests {
     #[test]
     fn induced_loads_majority() {
         // Uniform strategy on the 3-majority system loads each server 2/3.
-        let s = AccessStrategy::uniform(3);
+        let s = AccessStrategy::uniform(3).unwrap();
         let loads = s.induced_loads(&majority3(), 3);
         for l in loads {
             assert!((l - 2.0 / 3.0).abs() < 1e-12);
@@ -236,13 +303,76 @@ mod tests {
     #[test]
     #[should_panic(expected = "strategy covers")]
     fn induced_loads_length_mismatch_panics() {
-        let s = AccessStrategy::uniform(2);
+        let s = AccessStrategy::uniform(2).unwrap();
         let _ = s.induced_loads(&majority3(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "zero quorums")]
-    fn uniform_zero_panics() {
-        let _ = AccessStrategy::uniform(0);
+    fn uniform_zero_is_an_error_not_a_panic() {
+        assert!(matches!(
+            AccessStrategy::uniform(0),
+            Err(QuorumError::InvalidStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn alias_table_never_samples_zero_weight_quorums() {
+        let s = AccessStrategy::new(vec![0.5, 0.0, 0.5, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let i = s.sample_index(&mut rng);
+            assert!(i == 0 || i == 2, "sampled zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn alias_table_single_quorum_always_sampled() {
+        let s = AccessStrategy::new(vec![1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            assert_eq!(s.sample_index(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_frequencies_match_weights_property() {
+        // Frequency property test over many random weight vectors: the O(1)
+        // alias sampler must reproduce each weight to within 5 binomial
+        // standard deviations (plus a floor for near-zero weights).
+        const SAMPLES: usize = 40_000;
+        for case in 0u64..25 {
+            let mut gen_rng = StdRng::seed_from_u64(0xa11a5 ^ case);
+            let m = 1 + (gen_rng.gen::<u64>() % 16) as usize;
+            let raw: Vec<f64> = (0..m)
+                .map(|_| {
+                    // Mix magnitudes, including exact zeros, to stress the
+                    // small/large bucket pairing.
+                    let x: f64 = gen_rng.gen();
+                    if x < 0.2 {
+                        0.0
+                    } else {
+                        x * x
+                    }
+                })
+                .collect();
+            if raw.iter().sum::<f64>() <= 0.0 {
+                continue;
+            }
+            let s = AccessStrategy::normalized(raw).unwrap();
+            let mut counts = vec![0usize; m];
+            let mut rng = StdRng::seed_from_u64(0x5eed ^ case);
+            for _ in 0..SAMPLES {
+                counts[s.sample_index(&mut rng)] += 1;
+            }
+            for (i, &count) in counts.iter().enumerate() {
+                let w = s.weight(i);
+                let freq = count as f64 / SAMPLES as f64;
+                let sigma = (w * (1.0 - w) / SAMPLES as f64).sqrt();
+                assert!(
+                    (freq - w).abs() <= 5.0 * sigma + 1e-9,
+                    "case {case}: index {i} weight {w} sampled at {freq} (sigma {sigma})"
+                );
+            }
+        }
     }
 }

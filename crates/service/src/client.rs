@@ -1,0 +1,260 @@
+//! The concurrent strategy-driven protocol client.
+//!
+//! One [`ServiceClient`] runs on one client thread and performs closed-loop
+//! masking-register operations against a [`Transport`]:
+//!
+//! 1. choose an access quorum with the *shared* probe-and-fallback policy
+//!    ([`bqs_sim::client::choose_access_quorum`]) — sample from the system's
+//!    access strategy (the certified-optimal one when the system is a
+//!    [`bqs_core::strategic::StrategicQuorumSystem`]), retry a few times under
+//!    sporadic failures, fall back to deterministic live-quorum discovery;
+//! 2. fan the operation out to every quorum member through the transport;
+//! 3. gather exactly one reply per member on the client's private channel;
+//! 4. for reads, resolve the value with the shared masking rule
+//!    ([`bqs_sim::client::resolve_read`]): entries with at least `b + 1`
+//!    supporters are safe, the freshest safe entry wins.
+//!
+//! The client is deliberately transport-agnostic and system-generic — it is
+//! the same protocol logic as the single-threaded simulator's client, re-cast
+//! over message passing so many of them can run against shared shards.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use bqs_core::bitset::ServerSet;
+use bqs_core::quorum::QuorumSystem;
+use bqs_sim::client::{choose_access_quorum, resolve_read, ProtocolError};
+use bqs_sim::server::Entry;
+use rand::Rng;
+
+use crate::transport::{Operation, Reply, Request, Transport};
+
+/// How long a client waits for a single reply before declaring the transport
+/// dead. Quorum selection only ever targets responsive servers and the
+/// loopback shards always answer, so in-process this fires only on worker
+/// failure; a network transport would tune it.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Errors surfaced by the concurrent client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A protocol-level failure (no live quorum / no safe value), identical in
+    /// meaning to the simulator's [`ProtocolError`].
+    Protocol(ProtocolError),
+    /// The transport refused a request or a reply never arrived — the service
+    /// is shutting down or a shard died.
+    TransportFailure,
+}
+
+impl From<ProtocolError> for ServiceError {
+    fn from(e: ProtocolError) -> Self {
+        ServiceError::Protocol(e)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Protocol(e) => write!(f, "{e}"),
+            ServiceError::TransportFailure => write!(f, "transport failed to deliver a reply"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The outcome of a completed service read.
+#[derive(Debug, Clone)]
+pub struct ServiceReadOutcome {
+    /// The freshest safe entry.
+    pub entry: Entry,
+    /// The quorum that was contacted.
+    pub quorum: ServerSet,
+}
+
+/// A closed-loop protocol client bound to a quorum system, a transport, and a
+/// failure-detector view.
+#[derive(Debug)]
+pub struct ServiceClient<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> {
+    system: &'s Q,
+    transport: &'s T,
+    responsive: ServerSet,
+    b: usize,
+    reply_tx: mpsc::Sender<Reply>,
+    reply_rx: mpsc::Receiver<Reply>,
+}
+
+impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T> {
+    /// Creates a client over `system` (masking level `b`) speaking through
+    /// `transport`, with `responsive` as its failure detector's view.
+    #[must_use]
+    pub fn new(system: &'s Q, transport: &'s T, responsive: ServerSet, b: usize) -> Self {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        ServiceClient {
+            system,
+            transport,
+            responsive,
+            b,
+            reply_tx,
+            reply_rx,
+        }
+    }
+
+    /// The masking level the client assumes.
+    #[must_use]
+    pub fn masking_b(&self) -> usize {
+        self.b
+    }
+
+    /// Fans `op` out to every member of `quorum` and gathers one reply per
+    /// member.
+    fn rendezvous(
+        &mut self,
+        quorum: &ServerSet,
+        op: Operation,
+    ) -> Result<Vec<(usize, Option<Entry>)>, ServiceError> {
+        let expected = quorum.len();
+        for server in quorum.iter() {
+            let accepted = self.transport.send(Request {
+                server,
+                op,
+                reply: self.reply_tx.clone(),
+            });
+            if !accepted {
+                self.reset_channel();
+                return Err(ServiceError::TransportFailure);
+            }
+        }
+        let mut replies = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            match self.reply_rx.recv_timeout(REPLY_TIMEOUT) {
+                Ok(reply) => replies.push((reply.server, reply.entry)),
+                Err(_) => {
+                    self.reset_channel();
+                    return Err(ServiceError::TransportFailure);
+                }
+            }
+        }
+        Ok(replies)
+    }
+
+    /// After a failed rendezvous the channel may still receive stragglers from
+    /// the aborted operation (requests already accepted by live shards reply
+    /// later); a drain cannot remove replies that have not arrived yet, so the
+    /// only way to keep later operations in phase is a fresh channel — the old
+    /// one's stragglers go to a disconnected receiver.
+    fn reset_channel(&mut self) {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.reply_tx = reply_tx;
+        self.reply_rx = reply_rx;
+    }
+
+    /// Writes `entry` to a quorum chosen by the access strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] with [`ProtocolError::NoLiveQuorum`] when no
+    /// quorum of responsive servers exists; [`ServiceError::TransportFailure`]
+    /// when the service is gone.
+    pub fn write<R: Rng>(&mut self, entry: Entry, rng: &mut R) -> Result<ServerSet, ServiceError> {
+        let quorum = choose_access_quorum(self.system, &self.responsive, rng)?;
+        self.rendezvous(&quorum, Operation::Write(entry))?;
+        Ok(quorum)
+    }
+
+    /// Reads the register, masking up to `b` Byzantine replies.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] with [`ProtocolError::NoLiveQuorum`] /
+    /// [`ProtocolError::NoSafeValue`] as in the simulator, or
+    /// [`ServiceError::TransportFailure`] when the service is gone.
+    pub fn read<R: Rng>(&mut self, rng: &mut R) -> Result<ServiceReadOutcome, ServiceError> {
+        let quorum = choose_access_quorum(self.system, &self.responsive, rng)?;
+        let replies = self.rendezvous(&quorum, Operation::Read)?;
+        let (best, _safe) = resolve_read(&replies, self.b)?;
+        Ok(ServiceReadOutcome {
+            entry: best,
+            quorum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::LoopbackService;
+    use bqs_constructions::threshold::ThresholdSystem;
+    use bqs_sim::fault::FaultPlan;
+    use bqs_sim::server::ByzantineStrategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn read_your_write_through_the_loopback() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap(); // 4-of-5, b = 1
+        let service = LoopbackService::spawn(&FaultPlan::none(5), 2, 3);
+        let mut client = ServiceClient::new(&system, &service, service.responsive_set().clone(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let entry = Entry {
+            timestamp: 1,
+            value: 99,
+        };
+        client.write(entry, &mut rng).unwrap();
+        let outcome = client.read(&mut rng).unwrap();
+        assert_eq!(outcome.entry, entry);
+        assert_eq!(outcome.quorum.len(), 4);
+    }
+
+    #[test]
+    fn read_before_write_has_no_safe_value() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let service = LoopbackService::spawn(&FaultPlan::none(5), 1, 3);
+        let mut client = ServiceClient::new(&system, &service, service.responsive_set().clone(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            client.read(&mut rng).unwrap_err(),
+            ServiceError::Protocol(ProtocolError::NoSafeValue)
+        );
+    }
+
+    #[test]
+    fn fabrication_is_masked_concurrent_path() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let plan = FaultPlan::none(5)
+            .with_byzantine(2, ByzantineStrategy::FabricateHighTimestamp { value: 666 });
+        let service = LoopbackService::spawn(&plan, 2, 5);
+        let mut client = ServiceClient::new(&system, &service, service.responsive_set().clone(), 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let entry = Entry {
+            timestamp: 7,
+            value: 10,
+        };
+        client.write(entry, &mut rng).unwrap();
+        for _ in 0..20 {
+            let outcome = client.read(&mut rng).unwrap();
+            assert_eq!(outcome.entry, entry, "fabricated value leaked");
+        }
+    }
+
+    #[test]
+    fn too_many_crashes_report_no_live_quorum() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap(); // tolerates 1 crash
+        let plan = FaultPlan::none(5).with_crashed(0).with_crashed(1);
+        let service = LoopbackService::spawn(&plan, 2, 5);
+        let mut client = ServiceClient::new(&system, &service, service.responsive_set().clone(), 1);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(
+            client
+                .write(
+                    Entry {
+                        timestamp: 1,
+                        value: 1
+                    },
+                    &mut rng
+                )
+                .unwrap_err(),
+            ServiceError::Protocol(ProtocolError::NoLiveQuorum)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! A concurrent, strategy-driven quorum service runtime.
+//!
+//! The rest of the workspace *certifies* the paper's two headline measures —
+//! exact/bounded `F_p` and the column-generation-certified load `L(Q)` — and
+//! the `bqs-sim` crate *demonstrates* the masking register one operation at a
+//! time. This crate closes the remaining gap: it serves the same register
+//! under **many concurrent clients** against **sharded replica state**, so the
+//! certified numbers can be observed empirically under actual contention —
+//! per-server access frequency converging to the certified `L(Q)`, and
+//! unavailability under crash plans converging to `F_p`.
+//!
+//! * [`transport`] — the [`transport::Transport`] trait: protocol messages
+//!   addressed to server indices with in-band replies, so the in-process
+//!   loopback can later be swapped for a network backend;
+//! * [`shard`] — [`shard::LoopbackService`]: replicas partitioned across
+//!   worker threads that own them outright (per-shard mailboxes, no locks),
+//!   reusing the simulator's `Replica`/`FaultPlan` fault machinery, plus the
+//!   [`shard::TimestampOracle`] ordering concurrent writers;
+//! * [`metrics`] — lock-free relaxed-atomic per-server access counters, a
+//!   fixed-bucket latency histogram, and throughput counters;
+//! * [`client`] — [`client::ServiceClient`]: the masking read/write protocol
+//!   over any [`bqs_core::quorum::QuorumSystem`], re-using the simulator's
+//!   probe-and-fallback quorum selection and `b + 1`-support read resolution,
+//!   recast over message passing;
+//! * [`runner`] — [`runner::run_service`]: a closed-loop load generator
+//!   (configurable client count, read/write mix, `FaultPlan` reuse) with
+//!   online safety checking sound under concurrency (value authenticity plus
+//!   single-writer read-your-writes).
+//!
+//! Drive it with a [`bqs_core::strategic::StrategicQuorumSystem`] built from
+//! [`bqs_core::load::optimal_load_oracle`]'s certified strategy and the
+//! empirical load report validates the certified `L(Q)` end to end; the
+//! `bench_service` binary in `bqs-bench` does exactly that for Grid, M-Grid,
+//! FPP and boostFPP at paper sizes and emits `BENCH_service.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use bqs_constructions::prelude::*;
+//! use bqs_service::prelude::*;
+//! use bqs_sim::prelude::*;
+//!
+//! // A b = 1 masking threshold over 5 servers with one fabricating server,
+//! // served by 2 shards and hammered by 4 concurrent clients.
+//! let system = ThresholdSystem::minimal_masking(1).unwrap();
+//! let plan = FaultPlan::none(5)
+//!     .with_byzantine(2, ByzantineStrategy::FabricateHighTimestamp { value: 666 });
+//! let report = run_service(
+//!     &system,
+//!     1,
+//!     &plan,
+//!     &ServiceConfig {
+//!         clients: 4,
+//!         shards: 2,
+//!         ops_per_client: 50,
+//!         ..ServiceConfig::default()
+//!     },
+//! );
+//! assert!(report.is_safe());
+//! assert_eq!(report.unavailable_operations, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod runner;
+pub mod shard;
+pub mod transport;
+
+pub use client::{ServiceClient, ServiceError, ServiceReadOutcome};
+pub use metrics::{LatencyHistogram, ServiceMetrics};
+pub use runner::{authentic_value, run_service, ServiceConfig, ServiceReport};
+pub use shard::{LoopbackService, TimestampOracle};
+pub use transport::{Operation, Reply, Request, Transport};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::client::{ServiceClient, ServiceError, ServiceReadOutcome};
+    pub use crate::metrics::{LatencyHistogram, ServiceMetrics};
+    pub use crate::runner::{authentic_value, run_service, ServiceConfig, ServiceReport};
+    pub use crate::shard::{LoopbackService, TimestampOracle};
+    pub use crate::transport::{Operation, Reply, Request, Transport};
+}

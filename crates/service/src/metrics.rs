@@ -1,0 +1,202 @@
+//! Lock-free service metrics.
+//!
+//! Shard workers and client threads record into plain relaxed atomics — no
+//! locks anywhere on the hot path:
+//!
+//! * per-server access counters (one `AtomicU64` per server), the empirical
+//!   side of the load comparison against the certified `L(Q)`;
+//! * a fixed-bucket power-of-two latency histogram (64 buckets of
+//!   `AtomicU64`), enough to read off tail percentiles without allocating or
+//!   coordinating;
+//! * operation counters feeding the throughput report.
+//!
+//! Relaxed ordering is sufficient throughout: every counter is a monotone
+//! tally whose final value is read after the worker and client threads have
+//! been joined, and nothing branches on intermediate values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free power-of-two latency histogram over nanosecond samples.
+///
+/// Bucket `i` counts samples whose nanosecond value has bit length `i`
+/// (i.e. `2^(i-1) <= ns < 2^i`, with bucket 0 for `ns == 0`), so the whole
+/// range from 1 ns to ~584 years fits in 64 buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one latency sample, lock-free.
+    pub fn record(&self, nanos: u64) {
+        let bucket = (64 - nanos.leading_zeros()) as usize;
+        self.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// An upper bound (bucket ceiling) on the `q`-quantile latency in
+    /// nanoseconds, or `None` when the histogram is empty. `q` is clamped to
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn quantile_upper_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(if i == 0 { 0 } else { 1u64 << i.min(63) });
+            }
+        }
+        None
+    }
+
+    /// A snapshot of the raw bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Shared lock-free counters for one service instance.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Per-server delivered-message counters.
+    accesses: Vec<AtomicU64>,
+    /// Completed operations (reads + writes that returned to the client).
+    operations: AtomicU64,
+    /// End-to-end operation latency.
+    latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Fresh counters for a universe of `n` servers.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ServiceMetrics {
+            accesses: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            operations: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Number of servers the access counters cover.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Records one protocol message delivered to `server` (relaxed; called by
+    /// shard workers on every request).
+    pub fn record_access(&self, server: usize) {
+        self.accesses[server].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed operation and its end-to-end latency.
+    pub fn record_operation(&self, latency_nanos: u64) {
+        self.operations.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_nanos);
+    }
+
+    /// Snapshot of per-server access counts.
+    #[must_use]
+    pub fn access_counts(&self) -> Vec<u64> {
+        self.accesses
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Completed operations so far.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Per-server empirical load: access count over the given operation
+    /// count (callers pass the number of quorum-contacting operations) — the
+    /// concurrent analogue of `bqs_sim::Cluster::empirical_loads`, whose
+    /// maximum converges to the access strategy's induced system load.
+    #[must_use]
+    pub fn empirical_loads(&self, operations: u64) -> Vec<f64> {
+        self.accesses
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed) as f64 / operations.max(1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_upper_ns(0.5), None);
+        for ns in [1u64, 2, 3, 1000, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        // Median of {1, 2, 3, 1000, 1e6}: the bucket holding 3 (2 <= ns < 4
+        // has bit length 2, ceiling 4).
+        assert_eq!(h.quantile_upper_ns(0.5), Some(4));
+        // Max bucket ceiling covers the 1 ms sample.
+        assert!(h.quantile_upper_ns(1.0).unwrap() >= 1_000_000);
+        assert_eq!(h.snapshot().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile_upper_ns(1.0), Some(0));
+    }
+
+    #[test]
+    fn metrics_accounting() {
+        let m = ServiceMetrics::new(3);
+        m.record_access(0);
+        m.record_access(0);
+        m.record_access(2);
+        m.record_operation(500);
+        m.record_operation(700);
+        assert_eq!(m.access_counts(), vec![2, 0, 1]);
+        assert_eq!(m.operations(), 2);
+        assert_eq!(m.universe_size(), 3);
+        let loads = m.empirical_loads(2);
+        assert_eq!(loads, vec![1.0, 0.0, 0.5]);
+        assert_eq!(m.latency().count(), 2);
+    }
+}

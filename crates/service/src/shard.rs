@@ -1,0 +1,281 @@
+//! Sharded in-process replica ownership — the loopback [`Transport`].
+//!
+//! The universe of `n` replicas is partitioned round-robin across `shards`
+//! worker threads. Each worker *owns* its replicas outright (no locks, no
+//! sharing) and drains a private mailbox of [`Request`]s, so replica state is
+//! only ever touched by one thread — the same single-writer discipline a
+//! networked replica server would have, which is what lets a network backend
+//! replace [`LoopbackService`] behind the [`Transport`] trait without touching
+//! client code.
+//!
+//! Fault injection reuses the simulator's [`FaultPlan`]/[`Replica`] machinery
+//! wholesale: a crashed replica ignores writes and reads as `None`, Byzantine
+//! replicas answer through their attack strategy, and the service exposes the
+//! failure-detector view ([`LoopbackService::responsive_set`]) that clients
+//! use for probe-and-fallback quorum selection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bqs_core::bitset::ServerSet;
+use bqs_sim::fault::FaultPlan;
+use bqs_sim::server::Replica;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::ServiceMetrics;
+use crate::transport::{Operation, Reply, Request, Transport};
+
+/// An in-process sharded quorum service: replicas owned by worker threads,
+/// per-shard mailboxes, lock-free metrics.
+///
+/// Dropping the service closes every mailbox and joins the workers.
+#[derive(Debug)]
+pub struct LoopbackService {
+    senders: Vec<mpsc::Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    n: usize,
+    responsive: ServerSet,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl LoopbackService {
+    /// Spawns `shards` worker threads owning the replicas described by
+    /// `plan` (server `i` lives on shard `i % shards`). `seed` derives each
+    /// shard's private RNG (used by equivocating Byzantine replicas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or the plan covers an empty universe.
+    #[must_use]
+    pub fn spawn(plan: &FaultPlan, shards: usize, seed: u64) -> Self {
+        let n = plan.universe_size();
+        assert!(shards > 0, "a service needs at least one shard");
+        assert!(n > 0, "a service needs at least one server");
+        let shards = shards.min(n);
+        let replicas = plan.build_replicas();
+        let responsive = ServerSet::from_indices(
+            n,
+            replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_responsive())
+                .map(|(i, _)| i),
+        );
+        let metrics = Arc::new(ServiceMetrics::new(n));
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        let mut shard_replicas: Vec<Vec<(usize, Replica)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (i, replica) in replicas.into_iter().enumerate() {
+            shard_replicas[i % shards].push((i, replica));
+        }
+        for (shard_id, owned) in shard_replicas.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<Request>();
+            let metrics = Arc::clone(&metrics);
+            let rng =
+                StdRng::seed_from_u64(seed ^ (0x5a5a_0001u64.wrapping_mul(shard_id as u64 + 1)));
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("bqs-shard-{shard_id}"))
+                    .spawn(move || shard_worker(owned, rx, metrics, rng))
+                    .expect("spawning a shard worker"),
+            );
+            senders.push(tx);
+        }
+        LoopbackService {
+            senders,
+            workers,
+            n,
+            responsive,
+            metrics,
+        }
+    }
+
+    /// The failure detector's view: servers that answer protocol messages
+    /// (everything except crashed and silent-Byzantine replicas). Static for
+    /// the lifetime of the service, exactly as in the simulator's model.
+    #[must_use]
+    pub fn responsive_set(&self) -> &ServerSet {
+        &self.responsive
+    }
+
+    /// The service's shared lock-free metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+impl Transport for LoopbackService {
+    fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, request: Request) -> bool {
+        // An out-of-universe address is refused rather than wrapped: routed
+        // modulo-shards it would panic the owning worker's lookup and take
+        // every replica on that shard down with it.
+        if request.server >= self.n {
+            return false;
+        }
+        let shard = request.server % self.senders.len();
+        self.senders[shard].send(request).is_ok()
+    }
+}
+
+impl Drop for LoopbackService {
+    fn drop(&mut self) {
+        // Closing the mailboxes ends each worker's recv loop.
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One shard's event loop: drain the mailbox, apply each operation to the
+/// owned replica, always produce a reply frame (in-band `None` for silent
+/// servers — see [`Reply`]).
+fn shard_worker(
+    mut owned: Vec<(usize, Replica)>,
+    rx: mpsc::Receiver<Request>,
+    metrics: Arc<ServiceMetrics>,
+    mut rng: StdRng,
+) {
+    owned.sort_by_key(|(i, _)| *i);
+    while let Ok(request) = rx.recv() {
+        let slot = owned
+            .binary_search_by_key(&request.server, |(i, _)| *i)
+            .expect("request routed to the shard owning the server");
+        let replica = &mut owned[slot].1;
+        metrics.record_access(request.server);
+        let entry = match request.op {
+            Operation::Write(entry) => {
+                replica.deliver_write(entry);
+                None
+            }
+            Operation::Read => replica.deliver_read(&mut rng),
+        };
+        // A dead client (reply receiver dropped) is not the shard's problem.
+        let _ = request.reply.send(Reply {
+            server: request.server,
+            entry,
+        });
+    }
+}
+
+/// A monotone timestamp oracle shared by every writer of a service run, so
+/// concurrent writes are totally ordered without coordination beyond one
+/// atomic increment.
+#[derive(Debug, Default)]
+pub struct TimestampOracle {
+    next: AtomicU64,
+}
+
+impl TimestampOracle {
+    /// A fresh oracle starting at timestamp 1.
+    #[must_use]
+    pub fn new() -> Self {
+        TimestampOracle::default()
+    }
+
+    /// Allocates the next timestamp (relaxed: the allocation itself is the
+    /// only synchronisation needed; the value travels to readers through the
+    /// channel sends' release/acquire edges).
+    pub fn allocate(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The highest timestamp allocated so far.
+    #[must_use]
+    pub fn latest(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqs_sim::server::{ByzantineStrategy, Entry};
+
+    fn roundtrip(service: &LoopbackService, server: usize, op: Operation) -> Reply {
+        let (tx, rx) = mpsc::channel();
+        assert!(service.send(Request {
+            server,
+            op,
+            reply: tx,
+        }));
+        rx.recv().expect("shard replies")
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_across_shards() {
+        let service = LoopbackService::spawn(&FaultPlan::none(5), 3, 7);
+        assert_eq!(service.universe_size(), 5);
+        assert_eq!(service.shards(), 3);
+        let entry = Entry {
+            timestamp: 1,
+            value: 42,
+        };
+        for s in 0..5 {
+            assert_eq!(roundtrip(&service, s, Operation::Write(entry)).entry, None);
+        }
+        for s in 0..5 {
+            let reply = roundtrip(&service, s, Operation::Read);
+            assert_eq!(reply.server, s);
+            assert_eq!(reply.entry, Some(entry));
+        }
+        assert_eq!(service.metrics().access_counts(), vec![2; 5]);
+    }
+
+    #[test]
+    fn crashed_and_silent_servers_are_unresponsive_but_replied_in_band() {
+        let plan = FaultPlan::none(4)
+            .with_crashed(1)
+            .with_byzantine(2, ByzantineStrategy::Silent);
+        let service = LoopbackService::spawn(&plan, 2, 0);
+        assert_eq!(service.responsive_set().to_vec(), vec![0, 3]);
+        // A read addressed to the crashed server still gets a frame, with no
+        // protocol content.
+        assert_eq!(roundtrip(&service, 1, Operation::Read).entry, None);
+    }
+
+    #[test]
+    fn out_of_universe_requests_are_refused_not_routed() {
+        let service = LoopbackService::spawn(&FaultPlan::none(3), 2, 1);
+        let (tx, _rx) = mpsc::channel();
+        assert!(!service.send(Request {
+            server: 3,
+            op: Operation::Read,
+            reply: tx,
+        }));
+        // The shards stay healthy afterwards.
+        assert_eq!(roundtrip(&service, 2, Operation::Read).entry, None);
+    }
+
+    #[test]
+    fn more_shards_than_servers_is_clamped() {
+        let service = LoopbackService::spawn(&FaultPlan::none(2), 8, 1);
+        assert_eq!(service.shards(), 2);
+        assert_eq!(roundtrip(&service, 1, Operation::Read).entry, None);
+    }
+
+    #[test]
+    fn timestamp_oracle_is_monotone() {
+        let oracle = TimestampOracle::new();
+        assert_eq!(oracle.latest(), 0);
+        assert_eq!(oracle.allocate(), 1);
+        assert_eq!(oracle.allocate(), 2);
+        assert_eq!(oracle.latest(), 2);
+    }
+}

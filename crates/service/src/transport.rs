@@ -1,0 +1,65 @@
+//! The service's message transport abstraction.
+//!
+//! Clients never touch replica state directly: every protocol message is a
+//! [`Request`] addressed to a server index and handed to a [`Transport`],
+//! which routes it to whatever owns that server's replica — the in-process
+//! sharded loopback of [`crate::shard::LoopbackService`] today, a network
+//! backend tomorrow. Replies travel back over the per-client channel embedded
+//! in the request, so the transport itself is connectionless and the client
+//! needs no server-side registration.
+
+use std::sync::mpsc;
+
+use bqs_sim::server::Entry;
+
+/// A protocol operation addressed to one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Store a timestamped entry (the write half of the masking protocol).
+    Write(Entry),
+    /// Report the stored entry (the read half).
+    Read,
+}
+
+/// One protocol message: an operation for `server`, with the channel the
+/// reply must be sent on.
+#[derive(Debug)]
+pub struct Request {
+    /// The server index the operation is addressed to.
+    pub server: usize,
+    /// The operation to perform.
+    pub op: Operation,
+    /// Where the owning shard must send the [`Reply`].
+    pub reply: mpsc::Sender<Reply>,
+}
+
+/// A server's answer to a [`Request`].
+///
+/// Writes are acknowledged with `entry = None`; reads report the replica's
+/// (possibly adversarial) entry, or `None` when the server is crashed or
+/// stays silent. The loopback transport always produces a reply frame even
+/// for unresponsive servers — "no answer" is represented in-band so clients
+/// need no timeout machinery; quorum selection already avoids unresponsive
+/// servers through the failure-detector view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// The replying server.
+    pub server: usize,
+    /// The reported entry (reads), or `None` (write acks, crashed reads).
+    pub entry: Option<Entry>,
+}
+
+/// Routes protocol messages to replica owners.
+///
+/// Implementations must be callable from many client threads at once
+/// (`Send + Sync`) and must eventually produce exactly one [`Reply`] on the
+/// request's channel for every request accepted.
+pub trait Transport: Send + Sync {
+    /// The number of servers reachable through this transport.
+    fn universe_size(&self) -> usize;
+
+    /// Hands a request to the owner of `request.server`. Returns `false` when
+    /// the destination is gone (service shutting down); the request is dropped
+    /// and no reply will arrive.
+    fn send(&self, request: Request) -> bool;
+}

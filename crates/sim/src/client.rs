@@ -71,6 +71,80 @@ pub struct WriteOutcome {
     pub quorum: ServerSet,
 }
 
+/// Chooses an access quorum against a failure detector's `responsive` view: a
+/// sampled quorum when every member is responsive (the fast path that realises
+/// the access strategy's load profile), retrying the sample a few times under
+/// sporadic failures, and falling back to deterministic live-quorum discovery
+/// only when sampling repeatedly fails.
+///
+/// This is the shared quorum-selection policy of the single-threaded
+/// simulator's [`Client`] and of the concurrent `bqs-service` clients.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::NoLiveQuorum`] when no quorum consists entirely of
+/// responsive servers.
+pub fn choose_access_quorum<Q, R>(
+    system: &Q,
+    responsive: &ServerSet,
+    rng: &mut R,
+) -> Result<ServerSet, ProtocolError>
+where
+    Q: QuorumSystem + ?Sized,
+    R: Rng,
+{
+    const SAMPLE_ATTEMPTS: usize = 8;
+    for _ in 0..SAMPLE_ATTEMPTS {
+        let sampled = system.sample_quorum(rng);
+        if sampled.is_subset_of(responsive) {
+            return Ok(sampled);
+        }
+    }
+    system
+        .find_live_quorum(responsive)
+        .ok_or(ProtocolError::NoLiveQuorum)
+}
+
+/// Resolves a read from per-server replies by the masking rule: keep only the
+/// entries reported by at least `b + 1` servers (the *safe* set) and return
+/// the one with the highest timestamp, together with the full safe set sorted
+/// for diagnostics.
+///
+/// Shared by the simulator's [`Client::read`] and the concurrent
+/// `bqs-service` clients — the safety argument (any pair fabricated by at
+/// most `b` Byzantine servers has at most `b` supporters) lives here once.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::NoSafeValue`] when no pair had `b + 1` supporters.
+pub fn resolve_read(
+    replies: &[(usize, Option<Entry>)],
+    b: usize,
+) -> Result<(Entry, Vec<Entry>), ProtocolError> {
+    // Count support per distinct entry.
+    let mut support: Vec<(Entry, usize)> = Vec::new();
+    for (_, reply) in replies {
+        if let Some(entry) = reply {
+            match support.iter_mut().find(|(e, _)| e == entry) {
+                Some((_, count)) => *count += 1,
+                None => support.push((*entry, 1)),
+            }
+        }
+    }
+    let mut safe_entries: Vec<Entry> = support
+        .into_iter()
+        .filter(|&(_, count)| count > b)
+        .map(|(e, _)| e)
+        .collect();
+    safe_entries.sort_unstable();
+    let best = safe_entries
+        .iter()
+        .max_by_key(|e| e.timestamp)
+        .copied()
+        .ok_or(ProtocolError::NoSafeValue)?;
+    Ok((best, safe_entries))
+}
+
 /// A protocol client bound to a quorum system and a masking level `b`.
 #[derive(Debug, Clone)]
 pub struct Client<Q> {
@@ -102,26 +176,14 @@ impl<Q: QuorumSystem> Client<Q> {
         self.b
     }
 
-    /// Chooses an access quorum: a sampled quorum when every member is responsive
-    /// (the fast path that realises the access strategy's load profile), retrying the
-    /// sample a few times under sporadic failures, and falling back to deterministic
-    /// live-quorum discovery only when sampling repeatedly fails.
+    /// Chooses an access quorum via the shared [`choose_access_quorum`] policy
+    /// against the cluster's failure-detector view.
     fn choose_quorum<R: Rng>(
         &self,
         cluster: &Cluster,
         rng: &mut R,
     ) -> Result<ServerSet, ProtocolError> {
-        const SAMPLE_ATTEMPTS: usize = 8;
-        let responsive = cluster.responsive_set();
-        for _ in 0..SAMPLE_ATTEMPTS {
-            let sampled = self.system.sample_quorum(rng);
-            if sampled.is_subset_of(&responsive) {
-                return Ok(sampled);
-            }
-        }
-        self.system
-            .find_live_quorum(&responsive)
-            .ok_or(ProtocolError::NoLiveQuorum)
+        choose_access_quorum(&self.system, &cluster.responsive_set(), rng)
     }
 
     /// Writes `value` to the register.
@@ -157,27 +219,7 @@ impl<Q: QuorumSystem> Client<Q> {
     ) -> Result<ReadOutcome, ProtocolError> {
         let quorum = self.choose_quorum(cluster, rng)?;
         let replies = cluster.deliver_read(&quorum, rng);
-        // Count support per distinct entry.
-        let mut support: Vec<(Entry, usize)> = Vec::new();
-        for (_, reply) in &replies {
-            if let Some(entry) = reply {
-                match support.iter_mut().find(|(e, _)| e == entry) {
-                    Some((_, count)) => *count += 1,
-                    None => support.push((*entry, 1)),
-                }
-            }
-        }
-        let mut safe_entries: Vec<Entry> = support
-            .into_iter()
-            .filter(|&(_, count)| count > self.b)
-            .map(|(e, _)| e)
-            .collect();
-        safe_entries.sort_unstable();
-        let best = safe_entries
-            .iter()
-            .max_by_key(|e| e.timestamp)
-            .copied()
-            .ok_or(ProtocolError::NoSafeValue)?;
+        let (best, safe_entries) = resolve_read(&replies, self.b)?;
         Ok(ReadOutcome {
             value: best.value,
             timestamp: best.timestamp,

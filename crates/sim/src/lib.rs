@@ -44,7 +44,9 @@ pub mod multi_writer;
 pub mod runner;
 pub mod server;
 
-pub use client::{Client, ProtocolError, ReadOutcome, WriteOutcome};
+pub use client::{
+    choose_access_quorum, resolve_read, Client, ProtocolError, ReadOutcome, WriteOutcome,
+};
 pub use cluster::Cluster;
 pub use fault::FaultPlan;
 pub use multi_writer::{run_multi_writer_workload, MultiWriterClient, MultiWriterReport};
@@ -53,7 +55,9 @@ pub use server::{Behavior, ByzantineStrategy, Entry, Replica, Timestamp, Value};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
-    pub use crate::client::{Client, ProtocolError, ReadOutcome, WriteOutcome};
+    pub use crate::client::{
+        choose_access_quorum, resolve_read, Client, ProtocolError, ReadOutcome, WriteOutcome,
+    };
     pub use crate::cluster::Cluster;
     pub use crate::fault::FaultPlan;
     pub use crate::multi_writer::{

@@ -15,6 +15,7 @@
 //! | [`constructions`] | `bqs-constructions` (`crates/constructions`) | Threshold, Grid, M-Grid, RT(k, ℓ), FPP, boostFPP, M-Path and the regular baselines, each with closed-form analytics (and exact closed-form `F_p` where the structure admits one) |
 //! | [`analysis`] | `bqs-analysis` (`crates/analysis`) | Table 2, the Section 8 scenario, load/availability sweeps and ablations, all driven by one shared `Evaluator` |
 //! | [`sim`] | `bqs-sim` (`crates/sim`) | the masking read/write register protocol with Byzantine and crash fault injection |
+//! | [`service`] | `bqs-service` (`crates/service`) | the concurrent strategy-driven quorum service runtime: sharded replica ownership behind a pluggable transport, lock-free metrics, closed-loop load generation with online safety checking |
 //! | [`combinatorics`] | `bqs-combinatorics` (`crates/combinatorics`) | binomials, finite fields, prime powers, projective planes |
 //! | [`lp`] | `bqs-lp` (`crates/lp`) | the simplex solver behind the explicit load LP, plus the incremental packing master behind certified column-generation load |
 //! | [`graph`] | `bqs-graph` (`crates/graph`) | triangulated grids, max-flow, percolation (the M-Path substrate) |
@@ -62,11 +63,13 @@ pub use bqs_constructions as constructions;
 pub use bqs_core as core;
 pub use bqs_graph as graph;
 pub use bqs_lp as lp;
+pub use bqs_service as service;
 pub use bqs_sim as sim;
 
 /// One-stop import of the most frequently used items from every layer.
 pub mod prelude {
     pub use bqs_constructions::prelude::*;
     pub use bqs_core::prelude::*;
+    pub use bqs_service::prelude::*;
     pub use bqs_sim::prelude::*;
 }

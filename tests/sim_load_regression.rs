@@ -47,6 +47,49 @@ fn threshold_empirical_load_converges_to_lp_optimal() {
 }
 
 #[test]
+fn certified_strategy_empirical_load_tracks_certified_lq() {
+    // Satellite regression for the strategy wiring: drive `run_workload`
+    // through `StrategicQuorumSystem::from_certified`, so every sampled access
+    // quorum comes from the *certified-optimal* strategy returned by
+    // `optimal_load_oracle` — the single-threaded precursor of the concurrent
+    // `bqs-service` validation. The busiest server's empirical frequency must
+    // track the certified L(Q) itself (not merely the construction's built-in
+    // uniform strategy).
+    let sys = MGridSystem::new(7, 3).unwrap();
+    let n = sys.universe_size();
+    let certified = optimal_load_oracle(&sys).expect("M-Grid oracle certifies");
+    assert!(certified.gap <= 1e-9);
+    let strategic = StrategicQuorumSystem::from_certified(sys, &certified).unwrap();
+    assert!((strategic.strategy_load() - certified.load).abs() < 1e-12);
+
+    let mut rng = StdRng::seed_from_u64(0x10ad + 2);
+    let operations = 8_000usize;
+    let report = run_workload(
+        strategic,
+        3,
+        FaultPlan::none(n),
+        WorkloadConfig {
+            operations,
+            write_fraction: 0.4,
+        },
+        &mut rng,
+    );
+    assert!(report.is_safe());
+    assert_eq!(report.unavailable_operations, 0);
+    let empirical = report.max_empirical_load();
+    // Binomial 5-sigma band around the certified load, plus the max-of-n
+    // order-statistic drift (all servers sit at the same expected load under
+    // the balanced certified strategy).
+    let l = certified.load;
+    let sigma = (l * (1.0 - l) / operations as f64).sqrt();
+    let tolerance = sigma * (5.0 + (2.0 * (n as f64).ln()).sqrt());
+    assert!(
+        (empirical - l).abs() <= tolerance,
+        "empirical {empirical} vs certified {l} (tolerance {tolerance})"
+    );
+}
+
+#[test]
 fn mgrid_empirical_load_converges_to_lp_optimal() {
     // M-Grid(5x5, b=2): fair with c = 2*2*5 - 4 = 16, so L(Q) = 16/25 = 0.64.
     let sys = MGridSystem::new(5, 2).unwrap();
