@@ -66,6 +66,12 @@ struct LoadRow {
     seconds: f64,
 }
 
+struct AvailabilityRow {
+    check: EmpiricalAvailabilityCheck,
+    n: usize,
+    seconds: f64,
+}
+
 /// A within-`b` Byzantine plan: `byz` servers spread across the universe,
 /// alternating the three talkative attack strategies (silent servers would
 /// merely shrink the responsive set).
@@ -203,47 +209,57 @@ fn thread_scaling<S: QuorumSystem>(
 /// Empirical `F_p` through the whole service stack: repeated short runs under
 /// independently drawn crash plans at rate `p`, counting the runs in which no
 /// operation found a live quorum.
+///
+/// All trials share **one** shard pool: `reset_plan` swaps the replica set,
+/// reseeds the per-shard RNG streams, and zeroes the metrics between trials
+/// instead of spawning a fresh service per plan. That removes the per-trial
+/// thread spin-up that used to cap this validation at n = 25 — it now runs
+/// at n >= 100 in the same wall-clock budget.
 fn validate_availability<S: QuorumSystem>(
     sys: &S,
     b: usize,
     p: f64,
     trials: usize,
     failures: &mut Vec<String>,
-) -> EmpiricalAvailabilityCheck {
+) -> (EmpiricalAvailabilityCheck, f64) {
     let n = sys.universe_size();
     let analytic = Evaluator::new().crash_probability(sys, p).value;
     eprintln!(
-        "availability validation: {} at p = {p} ({trials} service trials)...",
+        "availability validation: {} at p = {p} ({trials} trials, one shared pool)...",
         sys.name()
     );
     let mut rng = StdRng::seed_from_u64(0xfa_117 ^ n as u64);
     let mut unavailable = 0usize;
-    for trial in 0..trials {
-        let plan = FaultPlan::independent_crashes(n, p, &mut rng);
-        let config = ServiceConfig {
-            clients: 2,
-            shards: 1,
-            ops_per_client: 8,
-            write_fraction: 0.5,
-            writers: 1,
-            seed: 0xdead ^ trial as u64,
-        };
-        let report = run_service(sys, b, &plan, &config);
-        if report.safety_violations > 0 {
-            failures.push(format!(
-                "{}: safety violation under a crash-only plan",
-                sys.name()
-            ));
+    let mut service = LoopbackService::spawn(&FaultPlan::none(n), 1, 0);
+    let ((), seconds) = time(|| {
+        for trial in 0..trials {
+            let plan = FaultPlan::independent_crashes(n, p, &mut rng);
+            service.reset_plan(&plan, 0xdead ^ trial as u64);
+            let config = ServiceConfig {
+                clients: 2,
+                shards: 1,
+                ops_per_client: 8,
+                write_fraction: 0.5,
+                writers: 1,
+                seed: 0xdead ^ trial as u64,
+            };
+            let report = run_service_on(&service, sys, b, &config);
+            if report.safety_violations > 0 {
+                failures.push(format!(
+                    "{}: safety violation under a crash-only plan",
+                    sys.name()
+                ));
+            }
+            if report.unavailable_operations == report.operations {
+                unavailable += 1;
+            } else if report.unavailable_operations > 0 {
+                failures.push(format!(
+                    "{}: partially unavailable run under a static crash plan",
+                    sys.name()
+                ));
+            }
         }
-        if report.unavailable_operations == report.operations {
-            unavailable += 1;
-        } else if report.unavailable_operations > 0 {
-            failures.push(format!(
-                "{}: partially unavailable run under a static crash plan",
-                sys.name()
-            ));
-        }
-    }
+    });
     let check = empirical_availability_check(sys.name(), p, trials, unavailable, analytic);
     if !check.consistent {
         failures.push(format!(
@@ -251,7 +267,7 @@ fn validate_availability<S: QuorumSystem>(
             check.system, check.empirical_fp, check.ci95.0, check.ci95.1, check.analytic_fp
         ));
     }
-    check
+    (check, seconds)
 }
 
 fn main() {
@@ -338,28 +354,57 @@ fn main() {
     }
 
     // --- Availability validation through the service stack. ---------------
-    let availability: Vec<EmpiricalAvailabilityCheck> = if quick {
+    // One shared shard pool per instance (reset_plan between trials), which
+    // is what makes the n >= 100 instances affordable: the old per-trial
+    // spin-up capped this section at n = 25.
+    let availability: Vec<AvailabilityRow> = if quick {
         Vec::new()
     } else {
         let grid = GridSystem::new(5, 1).unwrap();
         let mgrid = MGridSystem::new(5, 2).unwrap();
-        vec![
-            validate_availability(&grid, 1, 0.20, 500, &mut failures),
-            validate_availability(&mgrid, 2, 0.15, 500, &mut failures),
+        let grid_large = GridSystem::new(10, 1).unwrap();
+        let mgrid_large = MGridSystem::new(11, 2).unwrap();
+        let mut rows = Vec::new();
+        for (check, n, seconds) in [
+            (
+                validate_availability(&grid, 1, 0.20, 500, &mut failures),
+                25,
+            ),
+            (
+                validate_availability(&mgrid, 2, 0.15, 500, &mut failures),
+                25,
+            ),
+            (
+                validate_availability(&grid_large, 1, 0.15, 500, &mut failures),
+                100,
+            ),
+            (
+                validate_availability(&mgrid_large, 2, 0.10, 500, &mut failures),
+                121,
+            ),
         ]
+        .map(|((check, seconds), n)| (check, n, seconds))
+        {
+            rows.push(AvailabilityRow { check, n, seconds });
+        }
+        rows
     };
 
     // --- Emit JSON. --------------------------------------------------------
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::new();
     json.push_str("{\n");
+    // Schema v2 is additive over v1: every v1 field is still present with
+    // the same name and meaning; rows gain `generator` (closed_loop /
+    // open_loop) and `transport` (loopback / uds / tcp) so they can be read
+    // side-by-side with `BENCH_net.json`'s open-loop socket rows.
     json.push_str(&format!(
-        "  \"schema\": \"bench_service/v1\",\n  \"available_parallelism\": {cores},\n  \"quick\": {quick},\n"
+        "  \"schema\": \"bench_service/v2\",\n  \"available_parallelism\": {cores},\n  \"quick\": {quick},\n"
     ));
     json.push_str("  \"thread_scaling\": [\n");
     for (i, r) in scaling.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"construction\": \"{}\", \"n\": {}, \"shards\": {}, \"clients\": {}, \"operations\": {}, \"round_trips\": {}, \"seconds\": {:e}, \"throughput_ops_per_sec\": {:.1}, \"latency_p50_upper_ns\": {}, \"latency_p99_upper_ns\": {}}}{}\n",
+            "    {{\"construction\": \"{}\", \"generator\": \"closed_loop\", \"transport\": \"loopback\", \"n\": {}, \"shards\": {}, \"clients\": {}, \"operations\": {}, \"round_trips\": {}, \"seconds\": {:e}, \"throughput_ops_per_sec\": {:.1}, \"latency_p50_upper_ns\": {}, \"latency_p99_upper_ns\": {}}}{}\n",
             json_escape(&r.construction),
             r.n,
             r.shards,
@@ -377,7 +422,7 @@ fn main() {
     for (i, r) in load_rows.iter().enumerate() {
         let c = &r.check;
         json.push_str(&format!(
-            "    {{\"construction\": \"{}\", \"n\": {}, \"b\": {}, \"byzantine\": {}, \"clients\": {}, \"shards\": {}, \"load_operations\": {}, \"certified_load\": {:.12}, \"empirical_max_load\": {:.12}, \"sigma\": {:e}, \"tolerance\": {:e}, \"z\": {:.3}, \"within_tolerance\": {}, \"safety_violations\": {}, \"unavailable_operations\": {}, \"throughput_ops_per_sec\": {:.1}, \"seconds\": {:e}}}{}\n",
+            "    {{\"construction\": \"{}\", \"generator\": \"closed_loop\", \"transport\": \"loopback\", \"n\": {}, \"b\": {}, \"byzantine\": {}, \"clients\": {}, \"shards\": {}, \"load_operations\": {}, \"certified_load\": {:.12}, \"empirical_max_load\": {:.12}, \"sigma\": {:e}, \"tolerance\": {:e}, \"z\": {:.3}, \"within_tolerance\": {}, \"safety_violations\": {}, \"unavailable_operations\": {}, \"throughput_ops_per_sec\": {:.1}, \"seconds\": {:e}}}{}\n",
             json_escape(&c.system),
             c.n,
             r.b,
@@ -399,10 +444,12 @@ fn main() {
         ));
     }
     json.push_str("  ],\n  \"availability_validation\": [\n");
-    for (i, c) in availability.iter().enumerate() {
+    for (i, r) in availability.iter().enumerate() {
+        let c = &r.check;
         json.push_str(&format!(
-            "    {{\"construction\": \"{}\", \"p\": {}, \"trials\": {}, \"unavailable_trials\": {}, \"empirical_fp\": {:.6}, \"analytic_fp\": {:.6}, \"ci95_low\": {:.6}, \"ci95_high\": {:.6}, \"consistent\": {}}}{}\n",
+            "    {{\"construction\": \"{}\", \"generator\": \"closed_loop\", \"transport\": \"loopback\", \"pool_reused\": true, \"n\": {}, \"p\": {}, \"trials\": {}, \"unavailable_trials\": {}, \"empirical_fp\": {:.6}, \"analytic_fp\": {:.6}, \"ci95_low\": {:.6}, \"ci95_high\": {:.6}, \"consistent\": {}, \"seconds\": {:e}}}{}\n",
             json_escape(&c.system),
+            r.n,
             c.p,
             c.trials,
             c.unavailable_trials,
@@ -411,6 +458,7 @@ fn main() {
             c.ci95.0,
             c.ci95.1,
             c.consistent,
+            r.seconds,
             if i + 1 == availability.len() { "" } else { "," }
         ));
     }
@@ -449,13 +497,14 @@ fn main() {
     }
     if !availability.is_empty() {
         println!(
-            "\n{:<22} {:>6} {:>7} {:>12} {:>12} {:>22}",
-            "availability", "p", "trials", "empirical", "analytic", "95% CI"
+            "\n{:<22} {:>5} {:>6} {:>7} {:>12} {:>12} {:>22}",
+            "availability", "n", "p", "trials", "empirical", "analytic", "95% CI"
         );
-        for c in &availability {
+        for r in &availability {
+            let c = &r.check;
             println!(
-                "{:<22} {:>6} {:>7} {:>12.4} {:>12.4} [{:>8.4}, {:>8.4}]",
-                c.system, c.p, c.trials, c.empirical_fp, c.analytic_fp, c.ci95.0, c.ci95.1
+                "{:<22} {:>5} {:>6} {:>7} {:>12.4} {:>12.4} [{:>8.4}, {:>8.4}]",
+                c.system, r.n, c.p, c.trials, c.empirical_fp, c.analytic_fp, c.ci95.0, c.ci95.1
             );
         }
     }

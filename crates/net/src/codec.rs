@@ -1,0 +1,425 @@
+//! Length-prefixed binary wire codec for protocol messages.
+//!
+//! Every frame is `MAGIC (4 bytes) | LEN (u32 LE) | payload (LEN bytes)`.
+//! The payload layouts are fixed — a kind byte, little-endian fixed-width
+//! integers, and a presence byte for the optional entry — so encoding and
+//! decoding are straight byte shuffles with no schema machinery and no
+//! external serialisation dependency:
+//!
+//! ```text
+//! request  = 0x01 | request_id u64 LE | server u32 LE | op
+//! op       = 0x00 (read)  |  0x01 ts u64 LE value u64 LE (write)
+//! reply    = 0x02 | request_id u64 LE | server u32 LE | entry
+//! entry    = 0x00 (none)  |  0x01 ts u64 LE value u64 LE (some)
+//! ```
+//!
+//! # Robustness
+//!
+//! [`FrameReader`] is an incremental decoder fed arbitrary byte chunks (TCP
+//! gives no message boundaries). It tolerates the two classic stream
+//! corruptions:
+//!
+//! * **torn / garbled input** — when the buffer does not start with the
+//!   magic, or a payload fails to decode, the reader discards bytes up to the
+//!   next magic occurrence and counts a *resync*; a later well-formed frame
+//!   decodes normally;
+//! * **oversized frames** — a length prefix above [`MAX_PAYLOAD`] is rejected
+//!   *before* any allocation (a 4 GiB length in a corrupt frame must not
+//!   become a 4 GiB buffer), counted, and scanned past like garbage.
+//!
+//! The counters ([`FrameReader::resyncs`], [`FrameReader::oversized`]) let
+//! transports expose corruption instead of silently riding through it.
+
+use bqs_service::transport::{Operation, Reply};
+use bqs_sim::server::Entry;
+
+/// Frame preamble: "BQN" + wire-format version 1.
+pub const MAGIC: [u8; 4] = *b"BQN1";
+
+/// Hard ceiling on a frame's payload length. The largest legal payload (a
+/// write request or entry-bearing reply) is 30 bytes; anything above this is
+/// corruption and is rejected before allocation.
+pub const MAX_PAYLOAD: usize = 64;
+
+/// Bytes of `MAGIC | LEN` preceding every payload.
+pub const HEADER_LEN: usize = MAGIC.len() + 4;
+
+const KIND_REQUEST: u8 = 0x01;
+const KIND_REPLY: u8 = 0x02;
+const OP_READ: u8 = 0x00;
+const OP_WRITE: u8 = 0x01;
+const ENTRY_NONE: u8 = 0x00;
+const ENTRY_SOME: u8 = 0x01;
+
+/// A request as it travels on the wire: [`bqs_service::transport::Request`]
+/// minus the in-process reply channel (the connection itself is the reply
+/// path on a socket transport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Correlation id, echoed verbatim by the server.
+    pub request_id: u64,
+    /// The server index the operation is addressed to.
+    pub server: usize,
+    /// The operation to perform.
+    pub op: Operation,
+}
+
+/// Any decoded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMessage {
+    /// A client-to-server request.
+    Request(WireRequest),
+    /// A server-to-client reply.
+    Reply(Reply),
+}
+
+/// Appends one encoded request frame to `buf`.
+///
+/// # Panics
+///
+/// Panics if `server` does not fit the wire's `u32` server index.
+pub fn encode_request(request: &WireRequest, buf: &mut Vec<u8>) {
+    let server = u32::try_from(request.server).expect("server index fits the wire format");
+    let payload_len: u32 = match request.op {
+        Operation::Read => 14,
+        Operation::Write(_) => 30,
+    };
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&payload_len.to_le_bytes());
+    buf.push(KIND_REQUEST);
+    buf.extend_from_slice(&request.request_id.to_le_bytes());
+    buf.extend_from_slice(&server.to_le_bytes());
+    match request.op {
+        Operation::Read => buf.push(OP_READ),
+        Operation::Write(entry) => {
+            buf.push(OP_WRITE);
+            buf.extend_from_slice(&entry.timestamp.to_le_bytes());
+            buf.extend_from_slice(&entry.value.to_le_bytes());
+        }
+    }
+}
+
+/// Appends one encoded reply frame to `buf`.
+///
+/// # Panics
+///
+/// Panics if `reply.server` does not fit the wire's `u32` server index.
+pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
+    let server = u32::try_from(reply.server).expect("server index fits the wire format");
+    let payload_len: u32 = match reply.entry {
+        None => 14,
+        Some(_) => 30,
+    };
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&payload_len.to_le_bytes());
+    buf.push(KIND_REPLY);
+    buf.extend_from_slice(&reply.request_id.to_le_bytes());
+    buf.extend_from_slice(&server.to_le_bytes());
+    match reply.entry {
+        None => buf.push(ENTRY_NONE),
+        Some(entry) => {
+            buf.push(ENTRY_SOME);
+            buf.extend_from_slice(&entry.timestamp.to_le_bytes());
+            buf.extend_from_slice(&entry.value.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes one payload (the bytes after `MAGIC | LEN`). `None` means the
+/// payload is malformed — the caller resynchronises.
+fn decode_payload(payload: &[u8]) -> Option<WireMessage> {
+    let (&kind, rest) = payload.split_first()?;
+    let (id_bytes, rest) = rest.split_first_chunk::<8>()?;
+    let request_id = u64::from_le_bytes(*id_bytes);
+    let (server_bytes, rest) = rest.split_first_chunk::<4>()?;
+    let server = u32::from_le_bytes(*server_bytes) as usize;
+    let (&tag, rest) = rest.split_first()?;
+    let entry = match tag {
+        ENTRY_NONE => {
+            if !rest.is_empty() {
+                return None;
+            }
+            None
+        }
+        ENTRY_SOME => {
+            let (ts_bytes, rest) = rest.split_first_chunk::<8>()?;
+            let (value_bytes, rest) = rest.split_first_chunk::<8>()?;
+            if !rest.is_empty() {
+                return None;
+            }
+            Some(Entry {
+                timestamp: u64::from_le_bytes(*ts_bytes),
+                value: u64::from_le_bytes(*value_bytes),
+            })
+        }
+        _ => return None,
+    };
+    match (kind, entry) {
+        (KIND_REQUEST, None) => Some(WireMessage::Request(WireRequest {
+            request_id,
+            server,
+            op: Operation::Read,
+        })),
+        (KIND_REQUEST, Some(entry)) => Some(WireMessage::Request(WireRequest {
+            request_id,
+            server,
+            op: Operation::Write(entry),
+        })),
+        (KIND_REPLY, entry) => Some(WireMessage::Reply(Reply {
+            server,
+            request_id,
+            entry,
+        })),
+        _ => None,
+    }
+}
+
+/// Incremental frame decoder over a byte stream with resynchronisation.
+///
+/// Feed it chunks as they arrive ([`FrameReader::push`]) and drain decoded
+/// messages ([`FrameReader::next_message`]); partial frames simply wait for
+/// more bytes. See the module docs for the corruption-handling rules.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    resyncs: u64,
+    oversized: u64,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends received bytes to the internal buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Times the stream lost framing and had to scan for the next magic.
+    #[must_use]
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Frames rejected for an over-limit length prefix.
+    #[must_use]
+    pub fn oversized(&self) -> u64 {
+        self.oversized
+    }
+
+    /// Bytes currently buffered (partial frame awaiting more input).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete message, or `None` when the buffer holds no
+    /// complete frame (garbage is scanned past; corrupt frames are skipped).
+    pub fn next_message(&mut self) -> Option<WireMessage> {
+        loop {
+            self.skip_to_magic();
+            if self.buf.len() < HEADER_LEN {
+                return None;
+            }
+            let len_bytes: [u8; 4] = self.buf[MAGIC.len()..HEADER_LEN]
+                .try_into()
+                .expect("slice is 4 bytes");
+            let payload_len = u32::from_le_bytes(len_bytes) as usize;
+            if payload_len > MAX_PAYLOAD {
+                // Reject before buffering/allocating anything of that size:
+                // drop the magic so the scan moves past this header.
+                self.oversized += 1;
+                self.buf.drain(..MAGIC.len());
+                continue;
+            }
+            if self.buf.len() < HEADER_LEN + payload_len {
+                return None; // partial frame: wait for more bytes
+            }
+            let message = decode_payload(&self.buf[HEADER_LEN..HEADER_LEN + payload_len]);
+            match message {
+                Some(message) => {
+                    self.buf.drain(..HEADER_LEN + payload_len);
+                    return Some(message);
+                }
+                None => {
+                    // Corrupt payload: skip the magic and rescan from inside
+                    // the frame (the payload may contain the next real magic).
+                    self.resyncs += 1;
+                    self.buf.drain(..MAGIC.len());
+                }
+            }
+        }
+    }
+
+    /// Drops leading bytes up to the first magic occurrence (or down to a
+    /// possible magic prefix at the tail), counting a resync when anything
+    /// was dropped.
+    fn skip_to_magic(&mut self) {
+        let mut start = 0;
+        while start < self.buf.len() {
+            let window = &self.buf[start..];
+            if window.len() >= MAGIC.len() {
+                if window[..MAGIC.len()] == MAGIC {
+                    break;
+                }
+            } else if MAGIC.starts_with(window) {
+                break; // possible magic prefix: keep the tail, wait for more
+            }
+            start += 1;
+        }
+        if start > 0 {
+            self.resyncs += 1;
+            self.buf.drain(..start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(reader: &mut FrameReader) -> Vec<WireMessage> {
+        let mut out = Vec::new();
+        while let Some(m) = reader.next_message() {
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let requests = [
+            WireRequest {
+                request_id: 0,
+                server: 0,
+                op: Operation::Read,
+            },
+            WireRequest {
+                request_id: u64::MAX,
+                server: u32::MAX as usize,
+                op: Operation::Write(Entry {
+                    timestamp: u64::MAX,
+                    value: 0x0123_4567_89ab_cdef,
+                }),
+            },
+        ];
+        let mut wire = Vec::new();
+        for r in &requests {
+            encode_request(r, &mut wire);
+        }
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        let decoded = read_all(&mut reader);
+        assert_eq!(
+            decoded,
+            requests.map(WireMessage::Request).to_vec(),
+            "round trip"
+        );
+        assert_eq!(reader.resyncs(), 0);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn reply_frames_round_trip() {
+        let replies = [
+            Reply {
+                server: 7,
+                request_id: 42,
+                entry: None,
+            },
+            Reply {
+                server: 1023,
+                request_id: 0xdead_beef,
+                entry: Some(Entry {
+                    timestamp: 9,
+                    value: 81,
+                }),
+            },
+        ];
+        let mut wire = Vec::new();
+        for r in &replies {
+            encode_reply(r, &mut wire);
+        }
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert_eq!(
+            read_all(&mut reader),
+            replies.map(WireMessage::Reply).to_vec()
+        );
+    }
+
+    #[test]
+    fn torn_frames_decode_byte_by_byte() {
+        let reply = Reply {
+            server: 3,
+            request_id: 99,
+            entry: Some(Entry {
+                timestamp: 5,
+                value: 55,
+            }),
+        };
+        let mut wire = Vec::new();
+        encode_reply(&reply, &mut wire);
+        let mut reader = FrameReader::new();
+        for &byte in &wire[..wire.len() - 1] {
+            reader.push(&[byte]);
+            assert_eq!(reader.next_message(), None, "frame is still incomplete");
+        }
+        reader.push(&wire[wire.len() - 1..]);
+        assert_eq!(reader.next_message(), Some(WireMessage::Reply(reply)));
+    }
+
+    #[test]
+    fn garbage_prefix_resynchronises() {
+        let reply = Reply {
+            server: 0,
+            request_id: 1,
+            entry: None,
+        };
+        let mut wire = b"noise noise".to_vec();
+        encode_reply(&reply, &mut wire);
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert_eq!(reader.next_message(), Some(WireMessage::Reply(reply)));
+        assert!(reader.resyncs() >= 1);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // a 4 GiB claim
+        let good = Reply {
+            server: 2,
+            request_id: 7,
+            entry: None,
+        };
+        encode_reply(&good, &mut wire);
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert_eq!(reader.next_message(), Some(WireMessage::Reply(good)));
+        assert_eq!(reader.oversized(), 1);
+        assert!(reader.buffered() < HEADER_LEN);
+    }
+
+    #[test]
+    fn corrupt_payload_is_skipped_and_the_stream_recovers() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.extend_from_slice(&14u32.to_le_bytes());
+        wire.extend_from_slice(&[0xff; 14]); // bad kind byte
+        let good = Reply {
+            server: 4,
+            request_id: 11,
+            entry: None,
+        };
+        encode_reply(&good, &mut wire);
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert_eq!(reader.next_message(), Some(WireMessage::Reply(good)));
+        assert!(reader.resyncs() >= 1);
+    }
+}

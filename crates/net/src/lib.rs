@@ -1,0 +1,77 @@
+//! Real socket transport for the quorum service runtime.
+//!
+//! `bqs-service` measures the masking register's behaviour through a
+//! [`bqs_service::transport::Transport`] seam, but the seed workspace only
+//! had one implementation — the in-process loopback. This crate adds the
+//! other side of the seam: the same sharded replica runtime served over
+//! actual sockets, so the certified load `L(Q)` and the saturation behaviour
+//! of the paper's constructions can be observed through a real network stack
+//! rather than a channel send.
+//!
+//! * [`codec`] — a hand-rolled length-prefixed binary wire format for
+//!   protocol requests and replies (no serialisation dependency), with an
+//!   incremental [`codec::FrameReader`] that resynchronises after torn or
+//!   corrupt input and rejects oversized frames before allocation;
+//! * [`stream`] — one [`stream::Endpoint`]/[`stream::Stream`] surface over
+//!   TCP and Unix-domain sockets, so backend choice is a bind-time decision;
+//! * [`server`] — [`server::SocketServer`]: a
+//!   [`bqs_service::shard::LoopbackService`] behind a listener, one
+//!   reader/writer thread pair per connection, per-server addressing
+//!   preserved end to end;
+//! * [`transport`] — [`transport::SocketTransport`]: the client side, a
+//!   connection pool with request-id correlation, reconnect-with-backoff,
+//!   and per-request deadlines that surface as in-band "no answer" replies
+//!   (timeouts as the failure detector, per the transport contract).
+//!
+//! Everything above the seam — `ServiceClient`, the closed-loop runner, the
+//! open-loop generator — runs unmodified over either backend; `bench_net`
+//! sweeps offered load across loopback, UDS, and TCP to locate each
+//! backend's saturation knee (`BENCH_net.json`).
+//!
+//! # Example
+//!
+//! ```
+//! use bqs_constructions::prelude::*;
+//! use bqs_net::prelude::*;
+//! use bqs_service::prelude::*;
+//! use bqs_sim::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A 5x5 grid served over TCP loopback, read through the masking client.
+//! let system = GridSystem::new(5, 1).unwrap();
+//! let server = SocketServer::bind_tcp_loopback(&FaultPlan::none(25), 2, 1).unwrap();
+//! let transport =
+//!     SocketTransport::connect(server.endpoint().clone(), 25, NetConfig::default()).unwrap();
+//! let mut client = ServiceClient::new(
+//!     &system,
+//!     &transport,
+//!     server.responsive_set().clone(),
+//!     1,
+//! );
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let entry = Entry { timestamp: 1, value: bqs_service::authentic_value(1) };
+//! client.write(entry, &mut rng).unwrap();
+//! assert_eq!(client.read(&mut rng).unwrap().entry, entry);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod server;
+pub mod stream;
+pub mod transport;
+
+pub use codec::{FrameReader, WireMessage, WireRequest, MAX_PAYLOAD};
+pub use server::SocketServer;
+pub use stream::{Endpoint, Listener, Stream};
+pub use transport::{NetConfig, NetStats, SocketTransport};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::codec::{FrameReader, WireMessage, WireRequest, MAX_PAYLOAD};
+    pub use crate::server::SocketServer;
+    pub use crate::stream::{Endpoint, Listener, Stream};
+    pub use crate::transport::{NetConfig, NetStats, SocketTransport};
+}

@@ -1,0 +1,257 @@
+//! The socket server: sharded replicas behind a TCP or Unix-domain listener.
+//!
+//! [`SocketServer`] owns a [`LoopbackService`] — the same sharded replica
+//! runtime the in-process benchmarks drive — and exposes it on a socket. The
+//! thread structure per accepted connection is the classic split pair:
+//!
+//! * a **reader** thread decodes request frames ([`crate::codec`]) and hands
+//!   each one to the service exactly as an in-process client would
+//!   (`Transport::send` with the connection's reply channel), so replica
+//!   semantics, fault injection, and metrics are byte-identical to the
+//!   loopback path;
+//! * a **writer** thread drains the connection's reply channel, encodes
+//!   frames, and batches consecutive ready replies into single `write_all`
+//!   calls (syscall coalescing matters at high offered rates).
+//!
+//! Per-server addressing is preserved end to end: a frame addressed to
+//! server `i` reaches replica `i`'s owning shard, and only that shard. A
+//! request naming a server outside the universe — or arriving while the
+//! service is shutting down — is answered with the in-band "no answer" frame
+//! (`entry = None`) rather than dropped, keeping the transport contract's
+//! "every accepted request gets a reply" promise cheap to rely on.
+//!
+//! Connections are independent: each gets its own reply channel, so one slow
+//! or dead client only ever stalls its own writer.
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bqs_service::metrics::ServiceMetrics;
+use bqs_service::shard::LoopbackService;
+use bqs_service::transport::{Reply, Request, Transport};
+use bqs_sim::fault::FaultPlan;
+
+use crate::codec::{encode_reply, FrameReader, WireMessage};
+use crate::stream::{Endpoint, Listener, Stream};
+
+/// How often blocked reads wake to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// A quorum service listening on a socket.
+///
+/// Dropping the server shuts it down: the listener is woken, every
+/// connection thread is joined, and the underlying sharded service stops.
+#[derive(Debug)]
+pub struct SocketServer {
+    service: Arc<LoopbackService>,
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl SocketServer {
+    /// Binds on an ephemeral TCP loopback port; read the actual address back
+    /// from [`SocketServer::endpoint`].
+    pub fn bind_tcp_loopback(plan: &FaultPlan, shards: usize, seed: u64) -> std::io::Result<Self> {
+        let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, 0));
+        SocketServer::bind(Listener::bind_tcp(addr)?, plan, shards, seed)
+    }
+
+    /// Binds on a Unix-domain socket at `path` (a stale socket file from a
+    /// previous run is replaced).
+    pub fn bind_uds(
+        path: impl Into<PathBuf>,
+        plan: &FaultPlan,
+        shards: usize,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        SocketServer::bind(Listener::bind_uds(path.into())?, plan, shards, seed)
+    }
+
+    /// Serves a fresh sharded service (replica faults from `plan`, `shards`
+    /// worker shards, deterministic per-shard RNG streams from `seed`) on an
+    /// already-bound listener.
+    pub fn bind(
+        listener: Listener,
+        plan: &FaultPlan,
+        shards: usize,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        let endpoint = listener.endpoint()?;
+        let service = Arc::new(LoopbackService::spawn(plan, shards, seed));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(&listener, &service, &shutdown, &conns))
+        };
+        Ok(SocketServer {
+            service,
+            endpoint,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The address clients connect to.
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Number of servers behind this endpoint.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.service.universe_size()
+    }
+
+    /// The service's lock-free metrics (per-server access counts feeding the
+    /// empirical load check, operation counters, latency histogram).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        self.service.metrics()
+    }
+
+    /// The servers a failure detector would report responsive under the
+    /// bound fault plan.
+    #[must_use]
+    pub fn responsive_set(&self) -> &bqs_core::bitset::ServerSet {
+        self.service.responsive_set()
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop: a throwaway connection makes `accept` return
+        // so the thread can observe the flag and exit.
+        let _ = self.endpoint.connect();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conn registry lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts connections until shutdown, spawning a reader/writer pair per
+/// connection.
+fn accept_loop(
+    listener: &Listener,
+    service: &Arc<LoopbackService>,
+    shutdown: &Arc<AtomicBool>,
+    conns: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue; // transient accept error: keep serving
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up poke (or a late client): drop and exit
+        }
+        let _ = stream.set_nodelay();
+        let writer_stream = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        };
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let reader = {
+            let service = Arc::clone(service);
+            let shutdown = Arc::clone(shutdown);
+            std::thread::spawn(move || connection_reader(stream, &service, &reply_tx, &shutdown))
+        };
+        let writer = std::thread::spawn(move || connection_writer(writer_stream, &reply_rx));
+        let mut registry = conns.lock().expect("conn registry lock");
+        registry.push(reader);
+        registry.push(writer);
+    }
+}
+
+/// Decodes inbound frames and forwards each request to its replica's shard.
+fn connection_reader(
+    mut stream: Stream,
+    service: &LoopbackService,
+    reply_tx: &mpsc::Sender<Reply>,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let n = service.universe_size();
+    let mut frames = FrameReader::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            stream.shutdown();
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // clean EOF: client went away
+            Ok(got) => {
+                frames.push(&chunk[..got]);
+                while let Some(message) = frames.next_message() {
+                    let request = match message {
+                        WireMessage::Request(request) => request,
+                        WireMessage::Reply(_) => continue, // confused peer
+                    };
+                    let delivered = request.server < n
+                        && service.send(Request {
+                            server: request.server,
+                            op: request.op,
+                            request_id: request.request_id,
+                            reply: reply_tx.clone(),
+                        });
+                    if !delivered {
+                        // Out-of-universe address or a shard that is gone:
+                        // answer in-band so the client's deadline machinery
+                        // is a backstop, not the common path.
+                        let _ = reply_tx.send(Reply {
+                            server: request.server,
+                            request_id: request.request_id,
+                            entry: None,
+                        });
+                    }
+                }
+            }
+            Err(err) if Stream::is_timeout(&err) => continue,
+            Err(_) => return, // connection reset
+        }
+    }
+}
+
+/// Encodes replies back onto the connection, batching ready frames into one
+/// write.
+fn connection_writer(mut stream: Stream, replies: &mpsc::Receiver<Reply>) {
+    let mut buf = Vec::with_capacity(4096);
+    while let Ok(first) = replies.recv() {
+        buf.clear();
+        encode_reply(&first, &mut buf);
+        // Coalesce everything already queued into the same syscall.
+        while buf.len() < 60 * 1024 {
+            match replies.try_recv() {
+                Ok(reply) => encode_reply(&reply, &mut buf),
+                Err(_) => break,
+            }
+        }
+        if stream.write_all(&buf).is_err() {
+            return; // connection reset: shard sends into a closed channel now
+        }
+    }
+    // Channel disconnected: the reader (and any in-flight shard handles) are
+    // done with this connection.
+}

@@ -1,0 +1,392 @@
+//! The client side: a pooled socket [`Transport`] with reconnection and
+//! per-request deadlines.
+//!
+//! [`SocketTransport`] implements the service's [`Transport`] seam over a
+//! small pool of connections to one [`crate::server::SocketServer`]. The
+//! protocol and generator layers above it are unchanged from the loopback
+//! path — that is the point of the seam.
+//!
+//! Three mechanisms make the socket path honest about failure:
+//!
+//! * **Correlation.** Requests from many client threads multiplex onto the
+//!   pooled connections, so replies are matched back through
+//!   [`Reply::request_id`] in a per-connection pending table. Requests map to
+//!   connections by server index, preserving per-server FIFO ordering.
+//! * **Deadlines as the failure detector.** A background sweeper expires
+//!   pending requests whose reply has not arrived within
+//!   [`NetConfig::request_deadline`] and answers them *in-band* with the
+//!   "no answer" frame (`entry = None`) — exactly what a crashed replica
+//!   produces — so the masking protocol's `b + 1`-support rule handles lost
+//!   messages and dead servers uniformly, and no caller ever hangs on an
+//!   accepted request.
+//! * **Reconnect with backoff.** A dead connection fails its in-flight
+//!   requests immediately (in-band, again) and is re-established lazily by
+//!   the next send, with linearly growing backoff between attempts. Requests
+//!   that cannot be written after the attempt budget are refused
+//!   (`send` returns `false`), which callers already treat as transport
+//!   failure.
+//!
+//! One id must be in flight at most once per transport (the pending table is
+//! keyed on it); the open-loop generator and `ServiceClient` both allocate
+//! ids that way.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bqs_service::transport::{Reply, Request, Transport};
+
+use crate::codec::{encode_request, FrameReader, WireMessage, WireRequest};
+use crate::stream::{Endpoint, Stream};
+
+/// How often blocked reads and the deadline sweeper wake.
+const TICK: Duration = Duration::from_millis(20);
+
+/// Tuning for a [`SocketTransport`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Connections in the pool (requests map to them by server index).
+    pub pool: usize,
+    /// How long a request may await its reply before the sweeper answers it
+    /// with the in-band no-answer frame.
+    pub request_deadline: Duration,
+    /// Base pause between reconnect attempts (grows linearly per attempt).
+    pub reconnect_backoff: Duration,
+    /// Reconnect attempts per send before the send is refused.
+    pub reconnect_attempts: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            pool: 2,
+            request_deadline: Duration::from_secs(5),
+            reconnect_backoff: Duration::from_millis(50),
+            reconnect_attempts: 4,
+        }
+    }
+}
+
+/// Observability counters for a transport's failure machinery.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Successful (re)connections beyond the initial pool setup.
+    pub reconnects: AtomicU64,
+    /// Requests answered in-band by the deadline sweeper.
+    pub deadline_expiries: AtomicU64,
+    /// Requests answered in-band because their connection died.
+    pub failed_by_disconnect: AtomicU64,
+}
+
+/// A request awaiting its wire reply.
+struct Pending {
+    server: usize,
+    deadline: Instant,
+    reply: std::sync::mpsc::Sender<Reply>,
+}
+
+/// The write half of one pooled connection.
+struct Writer {
+    stream: Option<Stream>,
+    buf: Vec<u8>,
+}
+
+/// One pooled connection: pending table + write half; the read half lives in
+/// a per-stream reader thread.
+struct Conn {
+    endpoint: Endpoint,
+    pending: Mutex<HashMap<u64, Pending>>,
+    writer: Mutex<Writer>,
+    /// Bumped per (re)connection so a dying reader only tears down its own
+    /// generation's stream, never a fresh replacement.
+    generation: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<NetStats>,
+}
+
+/// A pooled, reconnecting client transport to one socket server.
+pub struct SocketTransport {
+    universe: usize,
+    config: NetConfig,
+    conns: Vec<Arc<Conn>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SocketTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("universe", &self.universe)
+            .field("pool", &self.conns.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SocketTransport {
+    /// Connects a pool of [`NetConfig::pool`] streams to `endpoint`, serving
+    /// a universe of `universe` servers. Fails if the initial connections
+    /// cannot be established.
+    pub fn connect(
+        endpoint: Endpoint,
+        universe: usize,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        assert!(universe > 0, "a transport needs a non-empty universe");
+        let config = NetConfig {
+            pool: config.pool.max(1),
+            ..config
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(NetStats::default());
+        let mut conns = Vec::with_capacity(config.pool);
+        for _ in 0..config.pool {
+            let conn = Arc::new(Conn {
+                endpoint: endpoint.clone(),
+                pending: Mutex::new(HashMap::new()),
+                writer: Mutex::new(Writer {
+                    stream: None,
+                    buf: Vec::with_capacity(256),
+                }),
+                generation: AtomicU64::new(0),
+                shutdown: Arc::clone(&shutdown),
+                readers: Mutex::new(Vec::new()),
+                stats: Arc::clone(&stats),
+            });
+            {
+                let mut writer = conn.writer.lock().expect("writer lock");
+                open_stream(&conn, &mut writer)?;
+            }
+            conns.push(conn);
+        }
+        let sweeper = {
+            let conns = conns.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || sweep_deadlines(&conns, &shutdown, &stats))
+        };
+        Ok(SocketTransport {
+            universe,
+            config,
+            conns,
+            shutdown,
+            stats,
+            sweeper: Some(sweeper),
+        })
+    }
+
+    /// The transport's failure-machinery counters.
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+impl Transport for SocketTransport {
+    fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    fn send(&self, request: Request) -> bool {
+        if self.shutdown.load(Ordering::SeqCst) || request.server >= self.universe {
+            return false;
+        }
+        let conn = &self.conns[request.server % self.conns.len()];
+        // Register before writing: the reply can race back before the write
+        // call even returns.
+        conn.pending.lock().expect("pending lock").insert(
+            request.request_id,
+            Pending {
+                server: request.server,
+                deadline: Instant::now() + self.config.request_deadline,
+                reply: request.reply,
+            },
+        );
+        let wire = WireRequest {
+            request_id: request.request_id,
+            server: request.server,
+            op: request.op,
+        };
+        let written = {
+            let mut writer = conn.writer.lock().expect("writer lock");
+            write_with_reconnect(conn, &mut writer, &wire, &self.config)
+        };
+        if !written {
+            conn.pending
+                .lock()
+                .expect("pending lock")
+                .remove(&request.request_id);
+        }
+        written
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for conn in &self.conns {
+            if let Some(stream) = &conn.writer.lock().expect("writer lock").stream {
+                stream.shutdown();
+            }
+        }
+        if let Some(handle) = self.sweeper.take() {
+            let _ = handle.join();
+        }
+        for conn in &self.conns {
+            let readers = std::mem::take(&mut *conn.readers.lock().expect("reader registry"));
+            for handle in readers {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Encodes and writes one request, re-establishing the connection with
+/// backoff when it is down. Returns `false` once the attempt budget is
+/// exhausted (the caller unregisters the request).
+fn write_with_reconnect(
+    conn: &Arc<Conn>,
+    writer: &mut Writer,
+    wire: &WireRequest,
+    config: &NetConfig,
+) -> bool {
+    for attempt in 0..=config.reconnect_attempts {
+        if conn.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        if attempt > 0 {
+            std::thread::sleep(config.reconnect_backoff * attempt);
+        }
+        if writer.stream.is_none() {
+            if open_stream(conn, writer).is_err() {
+                continue;
+            }
+            conn.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        writer.buf.clear();
+        encode_request(wire, &mut writer.buf);
+        let stream = writer.stream.as_mut().expect("stream was just ensured");
+        if stream.write_all(&writer.buf).is_ok() {
+            return true;
+        }
+        // Dead connection: drop it so the next attempt redials, and fail
+        // whatever else was in flight on it (the reader usually beats us to
+        // this when the peer resets cleanly).
+        stream.shutdown();
+        writer.stream = None;
+        fail_all_pending(conn);
+    }
+    false
+}
+
+/// Dials the connection's endpoint and spawns the reader thread for the new
+/// stream. Called under the writer lock.
+fn open_stream(conn: &Arc<Conn>, writer: &mut Writer) -> std::io::Result<()> {
+    let stream = conn.endpoint.connect()?;
+    let _ = stream.set_nodelay();
+    let reader_stream = stream.try_clone()?;
+    let _ = reader_stream.set_read_timeout(Some(TICK));
+    let generation = conn.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    writer.stream = Some(stream);
+    let handle = {
+        let conn = Arc::clone(conn);
+        std::thread::spawn(move || read_replies(&conn, reader_stream, generation))
+    };
+    conn.readers.lock().expect("reader registry").push(handle);
+    Ok(())
+}
+
+/// Reads reply frames off one stream and routes them to their waiting
+/// requests; on stream death, fails this connection's in-flight requests
+/// in-band.
+fn read_replies(conn: &Arc<Conn>, mut stream: Stream, my_generation: u64) {
+    use std::io::Read;
+    let mut frames = FrameReader::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if conn.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(got) => {
+                frames.push(&chunk[..got]);
+                while let Some(message) = frames.next_message() {
+                    let reply = match message {
+                        WireMessage::Reply(reply) => reply,
+                        WireMessage::Request(_) => continue, // confused peer
+                    };
+                    let pending = conn
+                        .pending
+                        .lock()
+                        .expect("pending lock")
+                        .remove(&reply.request_id);
+                    if let Some(pending) = pending {
+                        let _ = pending.reply.send(reply);
+                    }
+                }
+            }
+            Err(err) if Stream::is_timeout(&err) => continue,
+            Err(_) => break,
+        }
+    }
+    // Only tear down the stream if no reconnect has superseded this reader.
+    if conn.generation.load(Ordering::SeqCst) == my_generation {
+        if let Ok(mut writer) = conn.writer.lock() {
+            if conn.generation.load(Ordering::SeqCst) == my_generation {
+                writer.stream = None;
+            }
+        }
+        fail_all_pending(conn);
+    }
+}
+
+/// Answers every in-flight request on `conn` with the in-band no-answer
+/// frame: their connection is gone, and a lost reply is indistinguishable
+/// from a crashed server — which is exactly how the protocol treats it.
+fn fail_all_pending(conn: &Conn) {
+    let drained: Vec<(u64, Pending)> = conn.pending.lock().expect("pending lock").drain().collect();
+    for (request_id, pending) in drained {
+        conn.stats
+            .failed_by_disconnect
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = pending.reply.send(Reply {
+            server: pending.server,
+            request_id,
+            entry: None,
+        });
+    }
+}
+
+/// Expires requests whose reply deadline has passed, answering them in-band.
+fn sweep_deadlines(conns: &[Arc<Conn>], shutdown: &AtomicBool, stats: &NetStats) {
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(TICK);
+        let now = Instant::now();
+        for conn in conns {
+            let expired: Vec<(u64, Pending)> = {
+                let mut pending = conn.pending.lock().expect("pending lock");
+                let ids: Vec<u64> = pending
+                    .iter()
+                    .filter(|(_, p)| now >= p.deadline)
+                    .map(|(&id, _)| id)
+                    .collect();
+                ids.into_iter()
+                    .filter_map(|id| pending.remove(&id).map(|p| (id, p)))
+                    .collect()
+            };
+            for (request_id, pending) in expired {
+                stats.deadline_expiries.fetch_add(1, Ordering::Relaxed);
+                let _ = pending.reply.send(Reply {
+                    server: pending.server,
+                    request_id,
+                    entry: None,
+                });
+            }
+        }
+    }
+}

@@ -29,11 +29,17 @@ use rand::Rng;
 
 use crate::transport::{Operation, Reply, Request, Transport};
 
-/// How long a client waits for a single reply before declaring the transport
-/// dead. Quorum selection only ever targets responsive servers and the
-/// loopback shards always answer, so in-process this fires only on worker
-/// failure; a network transport would tune it.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default bound on how long a client waits for a single reply before
+/// declaring the transport dead. Quorum selection only ever targets
+/// responsive servers, the loopback shards always answer, and `bqs-net`'s
+/// socket transport converts expired per-request deadlines into in-band
+/// no-answer replies — so under every workspace transport this fires only
+/// when the service itself dies mid-request. It exists because
+/// [`Transport::send`] returning `true` does *not* promise a reply ever
+/// arrives (see the [`crate::transport`] module docs): without the bound the
+/// masking protocol's probe-and-fallback would hang forever on a half-dead
+/// service. Tune per deployment with [`ServiceClient::with_reply_deadline`].
+const DEFAULT_REPLY_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Errors surfaced by the concurrent client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +86,8 @@ pub struct ServiceClient<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> {
     transport: &'s T,
     responsive: ServerSet,
     b: usize,
+    reply_deadline: Duration,
+    next_request_id: u64,
     reply_tx: mpsc::Sender<Reply>,
     reply_rx: mpsc::Receiver<Reply>,
 }
@@ -95,9 +103,20 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
             transport,
             responsive,
             b,
+            reply_deadline: DEFAULT_REPLY_DEADLINE,
+            next_request_id: 0,
             reply_tx,
             reply_rx,
         }
+    }
+
+    /// Sets the per-reply wait bound (see [`crate::transport`]'s "no answer"
+    /// contract: an accepted request is not a promise of a reply, so every
+    /// wait must be bounded for the protocol to be hang-free).
+    #[must_use]
+    pub fn with_reply_deadline(mut self, deadline: Duration) -> Self {
+        self.reply_deadline = deadline;
+        self
     }
 
     /// The masking level the client assumes.
@@ -115,9 +134,11 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
     ) -> Result<Vec<(usize, Option<Entry>)>, ServiceError> {
         let expected = quorum.len();
         for server in quorum.iter() {
+            self.next_request_id += 1;
             let accepted = self.transport.send(Request {
                 server,
                 op,
+                request_id: self.next_request_id,
                 reply: self.reply_tx.clone(),
             });
             if !accepted {
@@ -127,7 +148,7 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
         }
         let mut replies = Vec::with_capacity(expected);
         for _ in 0..expected {
-            match self.reply_rx.recv_timeout(REPLY_TIMEOUT) {
+            match self.reply_rx.recv_timeout(self.reply_deadline) {
                 Ok(reply) => replies.push((reply.server, reply.entry)),
                 Err(_) => {
                     self.reset_channel();
@@ -235,6 +256,70 @@ mod tests {
             let outcome = client.read(&mut rng).unwrap();
             assert_eq!(outcome.entry, entry, "fabricated value leaked");
         }
+    }
+
+    /// A transport that accepts every request and never replies — the worst
+    /// case the "no answer" contract permits (see [`crate::transport`]): an
+    /// accepted request whose reply never arrives.
+    #[derive(Debug)]
+    struct BlackHoleTransport {
+        n: usize,
+        swallowed: std::sync::atomic::AtomicU64,
+    }
+
+    impl Transport for BlackHoleTransport {
+        fn universe_size(&self) -> usize {
+            self.n
+        }
+
+        fn send(&self, request: Request) -> bool {
+            // Drop the reply sender on the floor: the client's channel hangs
+            // up-less, exactly like a shard dying mid-request.
+            drop(request);
+            self.swallowed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            true
+        }
+    }
+
+    #[test]
+    fn accepted_request_with_no_reply_surfaces_transport_failure_not_a_hang() {
+        // Satellite: `Transport::send` returning `true` is not a promise of a
+        // reply. The client must bound its wait and surface the deadline as
+        // `TransportFailure` so probe-and-fallback cannot hang.
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let transport = BlackHoleTransport {
+            n: 5,
+            swallowed: std::sync::atomic::AtomicU64::new(0),
+        };
+        let responsive = bqs_core::bitset::ServerSet::full(5);
+        let mut client = ServiceClient::new(&system, &transport, responsive, 1)
+            .with_reply_deadline(std::time::Duration::from_millis(50));
+        let mut rng = StdRng::seed_from_u64(3);
+        let started = std::time::Instant::now();
+        let err = client
+            .write(
+                Entry {
+                    timestamp: 1,
+                    value: 1,
+                },
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, ServiceError::TransportFailure);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "the deadline must fire promptly, not hang"
+        );
+        assert!(
+            transport
+                .swallowed
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 4
+        );
+        // Reads bound their waits the same way.
+        let err = client.read(&mut rng).unwrap_err();
+        assert_eq!(err, ServiceError::TransportFailure);
     }
 
     #[test]

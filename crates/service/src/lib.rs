@@ -25,7 +25,14 @@
 //! * [`runner`] — [`runner::run_service`]: a closed-loop load generator
 //!   (configurable client count, read/write mix, `FaultPlan` reuse) with
 //!   online safety checking sound under concurrency (value authenticity plus
-//!   single-writer read-your-writes).
+//!   single-writer read-your-writes); [`runner::run_service_on`] runs the
+//!   same workload against an existing service so repeated trials can reuse
+//!   one shard pool;
+//! * [`openloop`] — [`openloop::run_open_loop`]: an open-loop generator
+//!   (Poisson arrivals at a configured *offered* rate, virtual clients
+//!   multiplexed on a few worker threads, operation pipelining) that works
+//!   over any [`transport::Transport`] and exposes the saturation knee that
+//!   closed-loop generation structurally cannot.
 //!
 //! Drive it with a [`bqs_core::strategic::StrategicQuorumSystem`] built from
 //! [`bqs_core::load::optimal_load_oracle`]'s certified strategy and the
@@ -65,13 +72,15 @@
 
 pub mod client;
 pub mod metrics;
+pub mod openloop;
 pub mod runner;
 pub mod shard;
 pub mod transport;
 
 pub use client::{ServiceClient, ServiceError, ServiceReadOutcome};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
-pub use runner::{authentic_value, run_service, ServiceConfig, ServiceReport};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use runner::{authentic_value, run_service, run_service_on, ServiceConfig, ServiceReport};
 pub use shard::{LoopbackService, TimestampOracle};
 pub use transport::{Operation, Reply, Request, Transport};
 
@@ -79,7 +88,10 @@ pub use transport::{Operation, Reply, Request, Transport};
 pub mod prelude {
     pub use crate::client::{ServiceClient, ServiceError, ServiceReadOutcome};
     pub use crate::metrics::{LatencyHistogram, ServiceMetrics};
-    pub use crate::runner::{authentic_value, run_service, ServiceConfig, ServiceReport};
+    pub use crate::openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+    pub use crate::runner::{
+        authentic_value, run_service, run_service_on, ServiceConfig, ServiceReport,
+    };
     pub use crate::shard::{LoopbackService, TimestampOracle};
     pub use crate::transport::{Operation, Reply, Request, Transport};
 }

@@ -144,6 +144,20 @@ impl ServiceMetrics {
         &self.latency
     }
 
+    /// Zeroes every counter and histogram bucket. Callers must guarantee no
+    /// recording thread is active across the call (the loopback's
+    /// `reset_plan` does, by taking the service `&mut`); with recorders
+    /// running the reset would be merely approximate, never unsound.
+    pub fn reset(&self) {
+        for a in &self.accesses {
+            a.store(0, Ordering::Relaxed);
+        }
+        self.operations.store(0, Ordering::Relaxed);
+        for b in &self.latency.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Per-server empirical load: access count over the given operation
     /// count (callers pass the number of quorum-contacting operations) — the
     /// concurrent analogue of `bqs_sim::Cluster::empirical_loads`, whose
@@ -182,6 +196,20 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.quantile_upper_ns(1.0), Some(0));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = ServiceMetrics::new(2);
+        m.record_access(1);
+        m.record_operation(123);
+        m.reset();
+        assert_eq!(m.access_counts(), vec![0, 0]);
+        assert_eq!(m.operations(), 0);
+        assert_eq!(m.latency().count(), 0);
+        // And it keeps recording normally afterwards.
+        m.record_access(0);
+        assert_eq!(m.access_counts(), vec![1, 0]);
     }
 
     #[test]

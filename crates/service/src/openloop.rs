@@ -1,0 +1,748 @@
+//! Open-loop load generation: Poisson arrivals at a configured *offered*
+//! rate, independent of service completions.
+//!
+//! The closed-loop generator ([`crate::runner::run_service`]) structurally
+//! caps throughput at `clients / RTT`: when the service slows down, the
+//! clients slow down with it, so offered load always equals completed load
+//! and the latency-vs-load curve degenerates to a single operating point per
+//! client count. An **open-loop** generator decouples the two — operations
+//! arrive by a Poisson process at rate λ whether or not earlier operations
+//! have completed — which is what exposes the *saturation knee*: below
+//! capacity, achieved throughput tracks offered load and latency is flat;
+//! past capacity, queues grow, latency explodes, and achieved throughput
+//! pins at the service's capacity. That knee is the measurement connecting
+//! the paper's load theory (`L(Q)` bounds how much capacity a strategy can
+//! extract per server) to real service capacity.
+//!
+//! # Mechanics
+//!
+//! * `virtual_clients` logical clients are multiplexed onto `workers` OS
+//!   threads. Each worker runs its own Poisson arrival process at
+//!   `offered_rate / workers` (the superposition of independent Poisson
+//!   streams is Poisson at the summed rate), tagging every arrival with a
+//!   virtual-client id.
+//! * Operations **pipeline**: a worker fires a new arrival's quorum fan-out
+//!   without waiting for earlier operations, keeping up to
+//!   `max_in_flight_per_worker` operations outstanding. Replies are matched
+//!   back through [`Reply::request_id`] (the ids encode the owning
+//!   operation), so thousands of in-flight operations share one reply
+//!   channel per worker.
+//! * When the in-flight cap is hit, further arrivals are **shed** (counted,
+//!   never silently dropped) — the open-loop semantics stay honest while
+//!   memory stays bounded far past the knee.
+//! * Per-operation deadlines bound every wait ([`crate::transport`]'s "no
+//!   answer" contract: an accepted request is not a promise of a reply), so
+//!   the generator cannot hang on a half-dead transport.
+//!
+//! The generator is transport-generic: the loopback measures the in-process
+//! ceiling, `bqs-net`'s socket transports measure a real network stack, and
+//! `bench_net` sweeps offered rate across both to locate each backend's knee
+//! (`BENCH_net.json`).
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bqs_core::quorum::QuorumSystem;
+use bqs_sim::client::{choose_access_quorum, resolve_read, ProtocolError};
+use bqs_sim::server::Entry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runner::authentic_value;
+use crate::shard::TimestampOracle;
+use crate::transport::{Operation, Reply, Request, Transport};
+
+/// Configuration of one open-loop measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Total offered arrival rate, operations per second, across all workers.
+    pub offered_rate: f64,
+    /// Total operations scheduled (the measurement length in arrivals, which
+    /// keeps runs deterministic in size; wall-clock follows as
+    /// `total_arrivals / offered_rate` plus drain).
+    pub total_arrivals: usize,
+    /// OS threads multiplexing the virtual clients.
+    pub workers: usize,
+    /// Logical clients the arrivals are attributed to.
+    pub virtual_clients: usize,
+    /// Fraction of arrivals that are writes.
+    pub write_fraction: f64,
+    /// In-flight operation cap per worker; arrivals beyond it are shed.
+    pub max_in_flight_per_worker: usize,
+    /// Per-operation deadline: an operation whose quorum replies have not all
+    /// arrived within this window is abandoned and counted as timed out.
+    pub op_deadline: Duration,
+    /// How long after its last arrival a worker keeps draining in-flight
+    /// operations before abandoning the rest.
+    pub tail_deadline: Duration,
+    /// Base seed deriving every per-worker RNG.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            offered_rate: 1_000.0,
+            total_arrivals: 2_000,
+            workers: 2,
+            virtual_clients: 1_000,
+            write_fraction: 0.2,
+            max_in_flight_per_worker: 2_048,
+            op_deadline: Duration::from_secs(10),
+            tail_deadline: Duration::from_secs(10),
+            seed: 0x09e4_100b,
+        }
+    }
+}
+
+/// The result of one open-loop measurement point.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// The configured offered rate (ops/sec).
+    pub offered_rate: f64,
+    /// Arrivals actually scheduled (= `total_arrivals`).
+    pub scheduled: u64,
+    /// Writes that completed their full quorum rendezvous.
+    pub completed_writes: u64,
+    /// Reads that completed with a safe value.
+    pub completed_reads: u64,
+    /// Reads that completed their rendezvous with an empty safe set.
+    pub inconclusive_reads: u64,
+    /// Arrivals shed at the in-flight cap (offered-but-never-sent load).
+    pub shed: u64,
+    /// Operations abandoned at their deadline with replies still missing.
+    pub timed_out: u64,
+    /// Arrivals that found no live quorum to contact.
+    pub no_live_quorum: u64,
+    /// Requests the transport refused outright (service shutting down).
+    pub rejected_sends: u64,
+    /// Reads that returned a fabricated (timestamp, value) pair.
+    pub safety_violations: u64,
+    /// Wall-clock seconds from first arrival to last completion.
+    pub elapsed_seconds: f64,
+    /// The arrival rate actually realised by the Poisson schedule
+    /// (`scheduled` over the span up to the last arrival). For small runs
+    /// this fluctuates around `offered_rate` by `~1/sqrt(scheduled)`;
+    /// saturation judgements should compare achieved throughput against
+    /// *this*, not the configured rate, or schedule noise reads as capacity.
+    pub realized_offered_ops_per_sec: f64,
+    /// Completed round trips (writes + safe reads + inconclusive reads) per
+    /// wall-clock second — the *achieved* rate to compare against offered.
+    pub achieved_ops_per_sec: f64,
+    /// Operations that contacted a full quorum — the load-accounting
+    /// denominator matching `ServiceReport::load_operations`.
+    pub load_operations: u64,
+    /// Peak operations simultaneously in flight across all workers (summed
+    /// per-worker peaks; an upper bound on the true global peak).
+    pub peak_in_flight: u64,
+    /// Mean end-to-end operation latency, nanoseconds.
+    pub latency_mean_ns: u64,
+    /// Exact latency percentiles over every completed operation, ns.
+    pub latency_p50_ns: u64,
+    /// 90th percentile latency, ns.
+    pub latency_p90_ns: u64,
+    /// 99th percentile latency, ns.
+    pub latency_p99_ns: u64,
+    /// Maximum observed latency, ns.
+    pub latency_max_ns: u64,
+}
+
+impl OpenLoopReport {
+    /// Completed round trips: full-rendezvous writes and reads (safe or
+    /// inconclusive).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed_writes + self.completed_reads + self.inconclusive_reads
+    }
+
+    /// True when no read returned a fabricated pair.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.safety_violations == 0
+    }
+
+    /// Fraction of the offered arrivals that completed a round trip.
+    #[must_use]
+    pub fn completion_ratio(&self) -> f64 {
+        if self.scheduled == 0 {
+            return 1.0;
+        }
+        self.completed() as f64 / self.scheduled as f64
+    }
+}
+
+/// One in-flight operation awaiting its quorum replies.
+struct PendingOp {
+    started: Instant,
+    deadline: Instant,
+    is_write: bool,
+    expected: usize,
+    replies: Vec<(usize, Option<Entry>)>,
+}
+
+/// Per-worker tallies folded into the final report.
+#[derive(Debug, Default)]
+struct WorkerTally {
+    writes: u64,
+    reads: u64,
+    inconclusive: u64,
+    shed: u64,
+    timed_out: u64,
+    no_live_quorum: u64,
+    rejected: u64,
+    violations: u64,
+    peak_in_flight: u64,
+    latencies_ns: Vec<u64>,
+    last_completion: Option<Instant>,
+    last_arrival: Option<Instant>,
+}
+
+/// Drives `transport` with Poisson arrivals at `config.offered_rate` and
+/// returns the achieved-rate / latency measurement. `responsive` is the
+/// failure detector's view used for quorum selection (pass the server side's
+/// view for in-process measurements, or a full set when no faults are
+/// injected); `b` is the masking level applied to reads.
+///
+/// The register is primed with one synchronous write before measurement
+/// starts (when a live quorum exists), so steady-state reads do not pay the
+/// cold-register inconclusive penalty.
+///
+/// # Panics
+///
+/// Panics if the transport's universe differs from the system's or the
+/// configuration is degenerate (zero rate/arrivals/workers/cap, or a
+/// write fraction outside `[0, 1]`).
+#[must_use]
+pub fn run_open_loop<Q, T>(
+    system: &Q,
+    b: usize,
+    transport: &T,
+    responsive: &bqs_core::bitset::ServerSet,
+    config: &OpenLoopConfig,
+) -> OpenLoopReport
+where
+    Q: QuorumSystem + ?Sized,
+    T: Transport + ?Sized,
+{
+    assert_eq!(
+        transport.universe_size(),
+        system.universe_size(),
+        "transport and quorum system must cover the same universe"
+    );
+    assert!(
+        config.offered_rate > 0.0 && config.offered_rate.is_finite(),
+        "offered rate must be positive"
+    );
+    assert!(config.total_arrivals > 0, "need at least one arrival");
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(
+        config.virtual_clients > 0,
+        "need at least one virtual client"
+    );
+    assert!(
+        config.max_in_flight_per_worker > 0,
+        "need a positive in-flight cap"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.write_fraction),
+        "write fraction is a probability"
+    );
+
+    let clock = TimestampOracle::new();
+    prime_register(system, transport, responsive, &clock, config.seed);
+
+    let workers = config.workers.min(config.total_arrivals);
+    let per_worker_rate = config.offered_rate / workers as f64;
+    let started = Instant::now();
+    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker_id in 0..workers {
+            let clock = &clock;
+            // Spread the remainder so exactly `total_arrivals` are scheduled.
+            let quota = config.total_arrivals / workers
+                + usize::from(worker_id < config.total_arrivals % workers);
+            handles.push(scope.spawn(move || {
+                worker_loop(
+                    system,
+                    b,
+                    transport,
+                    responsive,
+                    clock,
+                    config,
+                    worker_id,
+                    quota,
+                    per_worker_rate,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop workers do not panic"))
+            .collect()
+    });
+
+    let mut folded = WorkerTally::default();
+    let mut last_completion = started;
+    let mut last_arrival = started;
+    for t in tallies {
+        folded.writes += t.writes;
+        folded.reads += t.reads;
+        folded.inconclusive += t.inconclusive;
+        folded.shed += t.shed;
+        folded.timed_out += t.timed_out;
+        folded.no_live_quorum += t.no_live_quorum;
+        folded.rejected += t.rejected;
+        folded.violations += t.violations;
+        folded.peak_in_flight += t.peak_in_flight;
+        folded.latencies_ns.extend(t.latencies_ns);
+        if let Some(at) = t.last_completion {
+            last_completion = last_completion.max(at);
+        }
+        if let Some(at) = t.last_arrival {
+            last_arrival = last_arrival.max(at);
+        }
+    }
+    folded.latencies_ns.sort_unstable();
+    let elapsed = (last_completion - started).as_secs_f64();
+    let completed = folded.writes + folded.reads + folded.inconclusive;
+    let quantile = |q: f64| -> u64 {
+        if folded.latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = ((q * folded.latencies_ns.len() as f64).ceil() as usize)
+            .clamp(1, folded.latencies_ns.len());
+        folded.latencies_ns[rank - 1]
+    };
+    let mean = if folded.latencies_ns.is_empty() {
+        0
+    } else {
+        (folded
+            .latencies_ns
+            .iter()
+            .map(|&l| u128::from(l))
+            .sum::<u128>()
+            / folded.latencies_ns.len() as u128) as u64
+    };
+    OpenLoopReport {
+        offered_rate: config.offered_rate,
+        scheduled: config.total_arrivals as u64,
+        completed_writes: folded.writes,
+        completed_reads: folded.reads,
+        inconclusive_reads: folded.inconclusive,
+        shed: folded.shed,
+        timed_out: folded.timed_out,
+        no_live_quorum: folded.no_live_quorum,
+        rejected_sends: folded.rejected,
+        safety_violations: folded.violations,
+        elapsed_seconds: elapsed,
+        realized_offered_ops_per_sec: {
+            let span = (last_arrival - started).as_secs_f64();
+            if span > 0.0 {
+                config.total_arrivals as f64 / span
+            } else {
+                config.offered_rate
+            }
+        },
+        achieved_ops_per_sec: if elapsed > 0.0 {
+            completed as f64 / elapsed
+        } else {
+            0.0
+        },
+        load_operations: completed,
+        peak_in_flight: folded.peak_in_flight,
+        latency_mean_ns: mean,
+        latency_p50_ns: quantile(0.50),
+        latency_p90_ns: quantile(0.90),
+        latency_p99_ns: quantile(0.99),
+        latency_max_ns: folded.latencies_ns.last().copied().unwrap_or(0),
+    }
+}
+
+/// Writes one authentic entry synchronously so steady-state reads find a
+/// safe value. Best-effort: skipped when no live quorum exists or replies
+/// do not arrive within a bounded wait.
+fn prime_register<Q, T>(
+    system: &Q,
+    transport: &T,
+    responsive: &bqs_core::bitset::ServerSet,
+    clock: &TimestampOracle,
+    seed: u64,
+) where
+    Q: QuorumSystem + ?Sized,
+    T: Transport + ?Sized,
+{
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let Ok(quorum) = choose_access_quorum(system, responsive, &mut rng) else {
+        return;
+    };
+    let ts = clock.allocate();
+    let entry = Entry {
+        timestamp: ts,
+        value: authentic_value(ts),
+    };
+    let (tx, rx) = mpsc::channel();
+    let mut sent = 0usize;
+    for server in quorum.iter() {
+        if transport.send(Request {
+            server,
+            op: Operation::Write(entry),
+            request_id: u64::MAX - server as u64,
+            reply: tx.clone(),
+        }) {
+            sent += 1;
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for _ in 0..sent {
+        let now = Instant::now();
+        if now >= deadline || rx.recv_timeout(deadline - now).is_err() {
+            break;
+        }
+    }
+}
+
+/// One worker's event loop: schedule Poisson arrivals, pipeline quorum
+/// fan-outs, match replies by request id, expire deadlines.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<Q, T>(
+    system: &Q,
+    b: usize,
+    transport: &T,
+    responsive: &bqs_core::bitset::ServerSet,
+    clock: &TimestampOracle,
+    config: &OpenLoopConfig,
+    worker_id: usize,
+    quota: usize,
+    rate: f64,
+) -> WorkerTally
+where
+    Q: QuorumSystem + ?Sized,
+    T: Transport + ?Sized,
+{
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ 0x0be4_100bu64.wrapping_mul(worker_id as u64 + 1));
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let mut pending: HashMap<u64, PendingOp> = HashMap::new();
+    let mut tally = WorkerTally::default();
+    // Request ids encode (worker, operation): the low 8 bits distinguish the
+    // members of one fan-out (transports need per-request uniqueness), the
+    // rest is the operation key the reply is matched back to.
+    let worker_tag = (worker_id as u64 + 1) << 48;
+    let mut op_seq: u64 = 0;
+    let vclients_here = (config.virtual_clients / config.workers.max(1)).max(1);
+
+    let started = Instant::now();
+    let mut launched = 0usize;
+    let mut next_arrival = started + exp_gap(rate, &mut rng);
+    let mut tail_end: Option<Instant> = None;
+
+    loop {
+        let now = Instant::now();
+
+        // Arrival phase: fire every arrival whose time has come.
+        while launched < quota && now >= next_arrival {
+            launched += 1;
+            next_arrival += exp_gap(rate, &mut rng);
+            tally.last_arrival = Some(now);
+            if pending.len() >= config.max_in_flight_per_worker {
+                tally.shed += 1;
+                continue;
+            }
+            // The virtual client this arrival belongs to (uniform attribution
+            // — each of the worker's virtual clients is a Poisson source of
+            // rate `rate / vclients_here`).
+            let _vclient = rng.gen_range_u64(0, vclients_here as u64);
+            let quorum = match choose_access_quorum(system, responsive, &mut rng) {
+                Ok(q) => q,
+                Err(ProtocolError::NoLiveQuorum) => {
+                    tally.no_live_quorum += 1;
+                    continue;
+                }
+                Err(ProtocolError::NoSafeValue) => unreachable!("selection cannot lack values"),
+            };
+            let is_write = rng.gen_bool(config.write_fraction);
+            let op = if is_write {
+                let ts = clock.allocate();
+                Operation::Write(Entry {
+                    timestamp: ts,
+                    value: authentic_value(ts),
+                })
+            } else {
+                Operation::Read
+            };
+            op_seq += 1;
+            let op_key = worker_tag | (op_seq << 8);
+            let expected = quorum.len();
+            let op_started = Instant::now();
+            let mut rejected = false;
+            for (member, server) in quorum.iter().enumerate() {
+                if !transport.send(Request {
+                    server,
+                    op,
+                    request_id: op_key | member as u64,
+                    reply: reply_tx.clone(),
+                }) {
+                    rejected = true;
+                    break;
+                }
+            }
+            if rejected {
+                // The op is unaccounted on the wire; stragglers from the
+                // partially sent fan-out are dropped by the id match below.
+                tally.rejected += 1;
+                continue;
+            }
+            pending.insert(
+                op_key,
+                PendingOp {
+                    started: op_started,
+                    deadline: op_started + config.op_deadline,
+                    is_write,
+                    expected,
+                    replies: Vec::with_capacity(expected),
+                },
+            );
+            tally.peak_in_flight = tally.peak_in_flight.max(pending.len() as u64);
+        }
+
+        // Completion criteria: all arrivals fired and nothing left in flight
+        // (or the tail window has closed on what remains).
+        if launched >= quota {
+            if pending.is_empty() {
+                break;
+            }
+            let tail = *tail_end.get_or_insert_with(|| Instant::now() + config.tail_deadline);
+            if Instant::now() >= tail {
+                tally.timed_out += pending.len() as u64;
+                pending.clear();
+                break;
+            }
+        }
+
+        // Reply phase: wait until the next arrival is due (bounded so
+        // deadline expiry stays responsive), then drain everything ready.
+        let wait = if launched < quota {
+            next_arrival
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(20))
+        } else {
+            Duration::from_millis(20)
+        };
+        match reply_rx.recv_timeout(wait) {
+            Ok(reply) => {
+                handle_reply(reply, &mut pending, &mut tally, b, clock);
+                while let Ok(reply) = reply_rx.try_recv() {
+                    handle_reply(reply, &mut pending, &mut tally, b, clock);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("the worker holds its own reply sender")
+            }
+        }
+
+        // Expiry phase: abandon operations past their deadline.
+        let now = Instant::now();
+        if pending.values().any(|op| now >= op.deadline) {
+            let before = pending.len();
+            pending.retain(|_, op| now < op.deadline);
+            tally.timed_out += (before - pending.len()) as u64;
+        }
+    }
+    tally
+}
+
+/// Matches one reply to its pending operation and resolves the operation
+/// when the last quorum member has answered.
+fn handle_reply(
+    reply: Reply,
+    pending: &mut HashMap<u64, PendingOp>,
+    tally: &mut WorkerTally,
+    b: usize,
+    clock: &TimestampOracle,
+) {
+    let op_key = reply.request_id & !0xff;
+    let Some(op) = pending.get_mut(&op_key) else {
+        return; // straggler from an expired/rejected operation
+    };
+    op.replies.push((reply.server, reply.entry));
+    if op.replies.len() < op.expected {
+        return;
+    }
+    let op = pending.remove(&op_key).expect("just observed");
+    let latency = op.started.elapsed().as_nanos() as u64;
+    if op.is_write {
+        tally.writes += 1;
+    } else {
+        match resolve_read(&op.replies, b) {
+            Ok((best, _)) => {
+                tally.reads += 1;
+                if best.value != authentic_value(best.timestamp) || best.timestamp > clock.latest()
+                {
+                    tally.violations += 1;
+                }
+            }
+            Err(ProtocolError::NoSafeValue) => tally.inconclusive += 1,
+            Err(ProtocolError::NoLiveQuorum) => unreachable!("resolution cannot lack quorums"),
+        }
+    }
+    tally.latencies_ns.push(latency);
+    tally.last_completion = Some(Instant::now());
+}
+
+/// One exponential inter-arrival gap at `rate` arrivals per second.
+fn exp_gap<R: Rng>(rate: f64, rng: &mut R) -> Duration {
+    let u: f64 = rng.gen();
+    // 1 - u is in (0, 1]: the log is finite and non-positive.
+    Duration::from_secs_f64(-(1.0 - u).ln() / rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::LoopbackService;
+    use bqs_constructions::prelude::*;
+    use bqs_sim::fault::FaultPlan;
+    use bqs_sim::server::ByzantineStrategy;
+
+    fn quick(rate: f64, arrivals: usize) -> OpenLoopConfig {
+        OpenLoopConfig {
+            offered_rate: rate,
+            total_arrivals: arrivals,
+            workers: 2,
+            virtual_clients: 64,
+            write_fraction: 0.3,
+            max_in_flight_per_worker: 256,
+            op_deadline: Duration::from_secs(10),
+            tail_deadline: Duration::from_secs(10),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn accounting_identity_and_safety_on_loopback() {
+        let system = GridSystem::new(5, 1).unwrap();
+        let plan = FaultPlan::none(25);
+        let service = LoopbackService::spawn(&plan, 2, 42);
+        let report = run_open_loop(
+            &system,
+            1,
+            &service,
+            service.responsive_set(),
+            &quick(2_000.0, 400),
+        );
+        assert_eq!(
+            report.scheduled,
+            report.completed()
+                + report.shed
+                + report.timed_out
+                + report.no_live_quorum
+                + report.rejected_sends,
+            "every arrival must be accounted for exactly once: {report:?}"
+        );
+        assert!(report.is_safe());
+        // Far below the loopback's capacity: everything completes.
+        assert_eq!(report.completed(), 400);
+        assert!(report.completed_writes > 0 && report.completed_reads > 0);
+        assert!(report.achieved_ops_per_sec > 0.0);
+        assert!(report.latency_p50_ns > 0);
+        assert!(report.latency_p50_ns <= report.latency_p99_ns);
+        assert!(report.latency_p99_ns <= report.latency_max_ns);
+        assert!(report.peak_in_flight >= 1);
+        // Access counts accumulated on the server side for the load check
+        // (every completed operation contacted a quorum, which in Grid(5, 1)
+        // is at least 9 servers wide).
+        let accesses: u64 = service.metrics().access_counts().iter().sum();
+        assert!(accesses >= report.load_operations * 9);
+    }
+
+    #[test]
+    fn byzantine_fabrication_is_masked_under_open_loop() {
+        let system = MGridSystem::new(5, 2).unwrap();
+        let plan = FaultPlan::none(25)
+            .with_byzantine(
+                3,
+                ByzantineStrategy::FabricateHighTimestamp { value: 0xbad },
+            )
+            .with_byzantine(
+                17,
+                ByzantineStrategy::FabricateHighTimestamp { value: 0xbad },
+            );
+        let service = LoopbackService::spawn(&plan, 2, 43);
+        let report = run_open_loop(
+            &system,
+            2,
+            &service,
+            service.responsive_set(),
+            &quick(2_000.0, 300),
+        );
+        assert!(report.is_safe(), "b = 2 masks two fabricators: {report:?}");
+        assert!(report.completed_reads > 0);
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_instead_of_queueing_unboundedly() {
+        let system = GridSystem::new(5, 1).unwrap();
+        let plan = FaultPlan::none(25);
+        let service = LoopbackService::spawn(&plan, 1, 44);
+        let config = OpenLoopConfig {
+            max_in_flight_per_worker: 1,
+            workers: 1,
+            // Offered far past what one pipelined slot can serve.
+            offered_rate: 200_000.0,
+            total_arrivals: 2_000,
+            ..quick(0.0, 0)
+        };
+        let report = run_open_loop(&system, 1, &service, service.responsive_set(), &config);
+        assert!(
+            report.shed > 0,
+            "cap of 1 must shed at this rate: {report:?}"
+        );
+        assert_eq!(
+            report.scheduled,
+            report.completed()
+                + report.shed
+                + report.timed_out
+                + report.no_live_quorum
+                + report.rejected_sends
+        );
+        assert!(report.is_safe());
+    }
+
+    #[test]
+    fn crashes_beyond_resilience_surface_as_no_live_quorum() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        // 4 crashes out of 5 leave no live quorum (quorums need 4 of 5).
+        let plan = FaultPlan::none(5)
+            .with_crashed(0)
+            .with_crashed(1)
+            .with_crashed(2)
+            .with_crashed(3);
+        let service = LoopbackService::spawn(&plan, 1, 45);
+        let report = run_open_loop(
+            &system,
+            1,
+            &service,
+            service.responsive_set(),
+            &quick(1_000.0, 100),
+        );
+        assert_eq!(report.no_live_quorum, 100, "{report:?}");
+        assert_eq!(report.completed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate")]
+    fn zero_rate_is_rejected() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let plan = FaultPlan::none(5);
+        let service = LoopbackService::spawn(&plan, 1, 46);
+        let _ = run_open_loop(
+            &system,
+            1,
+            &service,
+            service.responsive_set(),
+            &quick(0.0, 10),
+        );
+    }
+}

@@ -6,13 +6,20 @@
 //! only ever touched by one thread — the same single-writer discipline a
 //! networked replica server would have, which is what lets a network backend
 //! replace [`LoopbackService`] behind the [`Transport`] trait without touching
-//! client code.
+//! client code (`bqs-net`'s `SocketServer` in fact *wraps* a
+//! `LoopbackService`, keeping one replica-ownership implementation).
 //!
 //! Fault injection reuses the simulator's [`FaultPlan`]/[`Replica`] machinery
 //! wholesale: a crashed replica ignores writes and reads as `None`, Byzantine
 //! replicas answer through their attack strategy, and the service exposes the
 //! failure-detector view ([`LoopbackService::responsive_set`]) that clients
 //! use for probe-and-fallback quorum selection.
+//!
+//! Besides protocol requests, shard mailboxes accept one control message:
+//! [`LoopbackService::reset_plan`] swaps every shard's replicas for a fresh
+//! set built from a new [`FaultPlan`] without respawning the worker threads.
+//! Repeated-trial harnesses (the availability validation in `bench_service`)
+//! rely on this: per-trial thread spin-up used to dominate at n ≥ 100.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -28,17 +35,57 @@ use rand::SeedableRng;
 use crate::metrics::ServiceMetrics;
 use crate::transport::{Operation, Reply, Request, Transport};
 
+/// A shard mailbox message: a protocol request, or the control message that
+/// re-arms the shard with fresh replicas between trials.
+enum ShardMsg {
+    Op(Request),
+    Reset {
+        replicas: Vec<(usize, Replica)>,
+        rng: StdRng,
+        ack: mpsc::Sender<()>,
+    },
+}
+
 /// An in-process sharded quorum service: replicas owned by worker threads,
 /// per-shard mailboxes, lock-free metrics.
 ///
 /// Dropping the service closes every mailbox and joins the workers.
 #[derive(Debug)]
 pub struct LoopbackService {
-    senders: Vec<mpsc::Sender<Request>>,
+    senders: Vec<mpsc::Sender<ShardMsg>>,
     workers: Vec<JoinHandle<()>>,
     n: usize,
     responsive: ServerSet,
     metrics: Arc<ServiceMetrics>,
+}
+
+/// Round-robin partition of a plan's replicas into per-shard ownership lists.
+fn partition_replicas(plan: &FaultPlan, shards: usize) -> Vec<Vec<(usize, Replica)>> {
+    let mut shard_replicas: Vec<Vec<(usize, Replica)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, replica) in plan.build_replicas().into_iter().enumerate() {
+        shard_replicas[i % shards].push((i, replica));
+    }
+    shard_replicas
+}
+
+/// The failure detector's view of a plan: servers that answer protocol
+/// messages (everything except crashed and silent-Byzantine replicas).
+fn responsive_view(plan: &FaultPlan) -> ServerSet {
+    let n = plan.universe_size();
+    ServerSet::from_indices(
+        n,
+        plan.build_replicas()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_responsive())
+            .map(|(i, _)| i),
+    )
+}
+
+/// A shard's private RNG, derived from the service seed and the shard id
+/// (used by equivocating Byzantine replicas).
+fn shard_rng(seed: u64, shard_id: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (0x5a5a_0001u64.wrapping_mul(shard_id as u64 + 1)))
 }
 
 impl LoopbackService {
@@ -55,29 +102,15 @@ impl LoopbackService {
         assert!(shards > 0, "a service needs at least one shard");
         assert!(n > 0, "a service needs at least one server");
         let shards = shards.min(n);
-        let replicas = plan.build_replicas();
-        let responsive = ServerSet::from_indices(
-            n,
-            replicas
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.is_responsive())
-                .map(|(i, _)| i),
-        );
+        let responsive = responsive_view(plan);
         let metrics = Arc::new(ServiceMetrics::new(n));
 
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        let mut shard_replicas: Vec<Vec<(usize, Replica)>> =
-            (0..shards).map(|_| Vec::new()).collect();
-        for (i, replica) in replicas.into_iter().enumerate() {
-            shard_replicas[i % shards].push((i, replica));
-        }
-        for (shard_id, owned) in shard_replicas.into_iter().enumerate() {
-            let (tx, rx) = mpsc::channel::<Request>();
+        for (shard_id, owned) in partition_replicas(plan, shards).into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<ShardMsg>();
             let metrics = Arc::clone(&metrics);
-            let rng =
-                StdRng::seed_from_u64(seed ^ (0x5a5a_0001u64.wrapping_mul(shard_id as u64 + 1)));
+            let rng = shard_rng(seed, shard_id);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("bqs-shard-{shard_id}"))
@@ -95,9 +128,49 @@ impl LoopbackService {
         }
     }
 
+    /// Re-arms the service with fresh replicas built from `plan`, without
+    /// respawning the shard worker threads: every shard swaps its ownership
+    /// list (and reseeds its RNG from `seed`), the failure-detector view is
+    /// recomputed, and the metrics are zeroed. Taking `&mut self` guarantees
+    /// no client holds the service across the swap, so no request can observe
+    /// half-old half-new replicas.
+    ///
+    /// This is what lets repeated-trial harnesses amortise thread spin-up:
+    /// one pool serves hundreds of independently drawn fault plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` covers a different universe than the one the service
+    /// was spawned with, or if a shard worker has died.
+    pub fn reset_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        assert_eq!(
+            plan.universe_size(),
+            self.n,
+            "reset_plan must keep the universe size"
+        );
+        let shards = self.senders.len();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        for (shard_id, replicas) in partition_replicas(plan, shards).into_iter().enumerate() {
+            self.senders[shard_id]
+                .send(ShardMsg::Reset {
+                    replicas,
+                    rng: shard_rng(seed, shard_id),
+                    ack: ack_tx.clone(),
+                })
+                .expect("shard workers outlive the service");
+        }
+        drop(ack_tx);
+        for _ in 0..shards {
+            ack_rx.recv().expect("every shard acknowledges the reset");
+        }
+        self.responsive = responsive_view(plan);
+        self.metrics.reset();
+    }
+
     /// The failure detector's view: servers that answer protocol messages
-    /// (everything except crashed and silent-Byzantine replicas). Static for
-    /// the lifetime of the service, exactly as in the simulator's model.
+    /// (everything except crashed and silent-Byzantine replicas). Static
+    /// between [`LoopbackService::reset_plan`] calls, exactly as in the
+    /// simulator's model.
     #[must_use]
     pub fn responsive_set(&self) -> &ServerSet {
         &self.responsive
@@ -129,7 +202,7 @@ impl Transport for LoopbackService {
             return false;
         }
         let shard = request.server % self.senders.len();
-        self.senders[shard].send(request).is_ok()
+        self.senders[shard].send(ShardMsg::Op(request)).is_ok()
     }
 }
 
@@ -144,16 +217,31 @@ impl Drop for LoopbackService {
 }
 
 /// One shard's event loop: drain the mailbox, apply each operation to the
-/// owned replica, always produce a reply frame (in-band `None` for silent
-/// servers — see [`Reply`]).
+/// owned replica, always produce a reply frame with the request's id echoed
+/// (in-band `None` for silent servers — see [`Reply`]); swap the ownership
+/// list on a reset.
 fn shard_worker(
     mut owned: Vec<(usize, Replica)>,
-    rx: mpsc::Receiver<Request>,
+    rx: mpsc::Receiver<ShardMsg>,
     metrics: Arc<ServiceMetrics>,
     mut rng: StdRng,
 ) {
     owned.sort_by_key(|(i, _)| *i);
-    while let Ok(request) = rx.recv() {
+    while let Ok(msg) = rx.recv() {
+        let request = match msg {
+            ShardMsg::Op(request) => request,
+            ShardMsg::Reset {
+                mut replicas,
+                rng: fresh_rng,
+                ack,
+            } => {
+                replicas.sort_by_key(|(i, _)| *i);
+                owned = replicas;
+                rng = fresh_rng;
+                let _ = ack.send(());
+                continue;
+            }
+        };
         let slot = owned
             .binary_search_by_key(&request.server, |(i, _)| *i)
             .expect("request routed to the shard owning the server");
@@ -169,6 +257,7 @@ fn shard_worker(
         // A dead client (reply receiver dropped) is not the shard's problem.
         let _ = request.reply.send(Reply {
             server: request.server,
+            request_id: request.request_id,
             entry,
         });
     }
@@ -213,6 +302,7 @@ mod tests {
         assert!(service.send(Request {
             server,
             op,
+            request_id: 7,
             reply: tx,
         }));
         rx.recv().expect("shard replies")
@@ -233,6 +323,7 @@ mod tests {
         for s in 0..5 {
             let reply = roundtrip(&service, s, Operation::Read);
             assert_eq!(reply.server, s);
+            assert_eq!(reply.request_id, 7, "shards must echo the request id");
             assert_eq!(reply.entry, Some(entry));
         }
         assert_eq!(service.metrics().access_counts(), vec![2; 5]);
@@ -257,6 +348,7 @@ mod tests {
         assert!(!service.send(Request {
             server: 3,
             op: Operation::Read,
+            request_id: 0,
             reply: tx,
         }));
         // The shards stay healthy afterwards.
@@ -268,6 +360,39 @@ mod tests {
         let service = LoopbackService::spawn(&FaultPlan::none(2), 8, 1);
         assert_eq!(service.shards(), 2);
         assert_eq!(roundtrip(&service, 1, Operation::Read).entry, None);
+    }
+
+    #[test]
+    fn reset_plan_swaps_replica_state_view_and_metrics() {
+        let mut service = LoopbackService::spawn(&FaultPlan::none(5), 2, 3);
+        let entry = Entry {
+            timestamp: 9,
+            value: 90,
+        };
+        for s in 0..5 {
+            roundtrip(&service, s, Operation::Write(entry));
+        }
+        assert_eq!(roundtrip(&service, 0, Operation::Read).entry, Some(entry));
+
+        // Re-arm with a plan that crashes server 1: replica state must be
+        // fresh (the old write gone), the view updated, the metrics zeroed.
+        service.reset_plan(&FaultPlan::none(5).with_crashed(1), 4);
+        assert_eq!(service.responsive_set().to_vec(), vec![0, 2, 3, 4]);
+        assert_eq!(roundtrip(&service, 0, Operation::Read).entry, None);
+        assert_eq!(roundtrip(&service, 1, Operation::Read).entry, None);
+        // Two reads since the reset, nothing from before.
+        assert_eq!(service.metrics().access_counts(), vec![1, 1, 0, 0, 0]);
+
+        // And back to a healthy plan: the crash does not stick.
+        service.reset_plan(&FaultPlan::none(5), 5);
+        assert_eq!(service.responsive_set().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size")]
+    fn reset_plan_rejects_universe_changes() {
+        let mut service = LoopbackService::spawn(&FaultPlan::none(5), 2, 3);
+        service.reset_plan(&FaultPlan::none(6), 0);
     }
 
     #[test]

@@ -3,10 +3,42 @@
 //! Clients never touch replica state directly: every protocol message is a
 //! [`Request`] addressed to a server index and handed to a [`Transport`],
 //! which routes it to whatever owns that server's replica — the in-process
-//! sharded loopback of [`crate::shard::LoopbackService`] today, a network
-//! backend tomorrow. Replies travel back over the per-client channel embedded
-//! in the request, so the transport itself is connectionless and the client
-//! needs no server-side registration.
+//! sharded loopback of [`crate::shard::LoopbackService`], or a real socket
+//! backend (`bqs-net`'s `SocketTransport`). Replies travel back over the
+//! per-client channel embedded in the request, so the transport itself is
+//! connectionless from the client's point of view and the client needs no
+//! server-side registration.
+//!
+//! # Correlation
+//!
+//! Every request carries a caller-chosen [`Request::request_id`] that the
+//! replica owner echoes verbatim in the matching [`Reply::request_id`]. A
+//! closed-loop client that gathers exactly one reply per quorum member can
+//! ignore it; anything that *multiplexes* — pipelined open-loop operations
+//! sharing one reply channel, or a socket transport matching wire replies to
+//! pending requests — relies on it. Transports must preserve it end to end.
+//!
+//! # The "no answer" contract
+//!
+//! `entry == None` in a [`Reply`] is the in-band representation of "this
+//! server gave no protocol answer": write acknowledgements, reads served by
+//! crashed or silent replicas, and — on deadline-enforcing transports — a
+//! request whose answer did not arrive in time. Timeouts are the *failure
+//! detector*: the transport converts "no answer within the deadline" into the
+//! same in-band frame a crashed server produces, so the masking protocol's
+//! `b + 1`-support rule treats lost messages and dead servers uniformly.
+//!
+//! What [`Transport::send`] returning `true` does **not** promise is that a
+//! reply will ever arrive. The loopback always answers (its shards reply even
+//! for crashed replicas) and `bqs-net`'s socket transport always answers
+//! (a deadline sweeper synthesises the in-band no-answer frame), but the
+//! trait cannot enforce liveness on implementations — a shard can die
+//! mid-request, a transport can be torn down with requests in flight.
+//! Clients therefore MUST bound every wait on the reply channel and surface
+//! expiry as a transport-level failure rather than blocking forever;
+//! [`crate::client::ServiceClient`] does exactly that (see
+//! `ServiceClient::with_reply_deadline`), which is what keeps the masking
+//! protocol's probe-and-fallback loop from hanging on a half-dead service.
 
 use std::sync::mpsc;
 
@@ -29,6 +61,10 @@ pub struct Request {
     pub server: usize,
     /// The operation to perform.
     pub op: Operation,
+    /// Caller-chosen correlation id, echoed verbatim in the reply. Closed-loop
+    /// clients may pass anything (e.g. 0); multiplexing callers pass ids
+    /// unique among their in-flight requests.
+    pub request_id: u64,
     /// Where the owning shard must send the [`Reply`].
     pub reply: mpsc::Sender<Reply>,
 }
@@ -36,16 +72,21 @@ pub struct Request {
 /// A server's answer to a [`Request`].
 ///
 /// Writes are acknowledged with `entry = None`; reads report the replica's
-/// (possibly adversarial) entry, or `None` when the server is crashed or
-/// stays silent. The loopback transport always produces a reply frame even
-/// for unresponsive servers — "no answer" is represented in-band so clients
-/// need no timeout machinery; quorum selection already avoids unresponsive
-/// servers through the failure-detector view.
+/// (possibly adversarial) entry, or `None` when the server is crashed, stays
+/// silent, or — on deadline-enforcing transports — did not answer in time.
+/// Every transport in the workspace produces a reply frame for every accepted
+/// request: "no answer" is represented in-band (see the module docs), so
+/// protocol code needs no per-transport timeout machinery. Clients still
+/// bound their waits defensively, because `Transport` cannot make liveness a
+/// type-level guarantee.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Reply {
     /// The replying server.
     pub server: usize,
-    /// The reported entry (reads), or `None` (write acks, crashed reads).
+    /// The [`Request::request_id`] this reply answers, echoed verbatim.
+    pub request_id: u64,
+    /// The reported entry (reads), or `None` (write acks, crashed reads,
+    /// expired deadlines).
     pub entry: Option<Entry>,
 }
 
@@ -53,7 +94,9 @@ pub struct Reply {
 ///
 /// Implementations must be callable from many client threads at once
 /// (`Send + Sync`) and must eventually produce exactly one [`Reply`] on the
-/// request's channel for every request accepted.
+/// request's channel for every request accepted — with the request's id
+/// echoed — except when the implementation itself dies with requests in
+/// flight (see the module docs; clients bound their waits for this reason).
 pub trait Transport: Send + Sync {
     /// The number of servers reachable through this transport.
     fn universe_size(&self) -> usize;

@@ -15,7 +15,8 @@
 //! | [`constructions`] | `bqs-constructions` (`crates/constructions`) | Threshold, Grid, M-Grid, RT(k, ℓ), FPP, boostFPP, M-Path and the regular baselines, each with closed-form analytics (and exact closed-form `F_p` where the structure admits one) |
 //! | [`analysis`] | `bqs-analysis` (`crates/analysis`) | Table 2, the Section 8 scenario, load/availability sweeps and ablations, all driven by one shared `Evaluator` |
 //! | [`sim`] | `bqs-sim` (`crates/sim`) | the masking read/write register protocol with Byzantine and crash fault injection |
-//! | [`service`] | `bqs-service` (`crates/service`) | the concurrent strategy-driven quorum service runtime: sharded replica ownership behind a pluggable transport, lock-free metrics, closed-loop load generation with online safety checking |
+//! | [`service`] | `bqs-service` (`crates/service`) | the concurrent strategy-driven quorum service runtime: sharded replica ownership behind a pluggable transport, lock-free metrics, closed-loop and open-loop (Poisson-arrival) load generation with online safety checking |
+//! | [`net`] | `bqs-net` (`crates/net`) | the socket side of the transport seam: length-prefixed wire codec, TCP/Unix-domain server over the sharded runtime, pooled client transport with reconnect and per-request deadlines |
 //! | [`combinatorics`] | `bqs-combinatorics` (`crates/combinatorics`) | binomials, finite fields, prime powers, projective planes |
 //! | [`lp`] | `bqs-lp` (`crates/lp`) | the simplex solver behind the explicit load LP, plus the incremental packing master behind certified column-generation load |
 //! | [`graph`] | `bqs-graph` (`crates/graph`) | triangulated grids, max-flow, percolation (the M-Path substrate) |
@@ -63,6 +64,7 @@ pub use bqs_constructions as constructions;
 pub use bqs_core as core;
 pub use bqs_graph as graph;
 pub use bqs_lp as lp;
+pub use bqs_net as net;
 pub use bqs_service as service;
 pub use bqs_sim as sim;
 
@@ -70,6 +72,7 @@ pub use bqs_sim as sim;
 pub mod prelude {
     pub use bqs_constructions::prelude::*;
     pub use bqs_core::prelude::*;
+    pub use bqs_net::prelude::*;
     pub use bqs_service::prelude::*;
     pub use bqs_sim::prelude::*;
 }
