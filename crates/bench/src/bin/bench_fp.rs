@@ -1,6 +1,6 @@
 //! Machine-readable crash-probability benchmark: times the evaluation engine
 //! across constructions, universe sizes and crash probabilities, and emits
-//! `BENCH_fp.json` (schema v3) so future changes have a performance
+//! `BENCH_fp.json` (schema v4) so future changes have a performance
 //! trajectory to compare against.
 //!
 //! Schema v2 records, beyond the v1 per-point rows:
@@ -25,18 +25,43 @@
 //!   batched transfer-matrix sweep (the state enumeration is shared across
 //!   the grid), versus the single-point cost it previously paid per point.
 //!
+//! Schema v4 adds a `fronts` section for the three raw-speed fronts of the
+//! lane-widening PR, each with its own timings and acceptance gates:
+//!
+//! * `a_lane_enumeration`: the batched (`u64x4`) enumeration loop plus the
+//!   structure-specialised range kernel for the line-quorum grids —
+//!   bit-parity asserted against the historical scalar loop, the n = 25 Grid
+//!   timed against both that loop and the committed v3 engine time
+//!   (gate: ≥ 2× over v3);
+//! * `b_pruned_dp`: the ε-pruned M-Path transfer-matrix sweep past the
+//!   exact-DP wall — certified `[lower, upper]` widths recorded at side 7
+//!   (every mode) and side 8 (full mode), gate: width ≤ 1e-9 at paper `p`;
+//! * `c_boostfpp_counting`: the counting-profile closed form at plane order
+//!   q = 5 (n = 31, past the `2^n` wall), gate: exact dispatch; and the
+//!   measured-infeasible q = 7 declining instantly rather than hanging.
+//!
+//! The top level also records `availability_lanes` (the enumeration lane
+//! width) next to the thread counts, so trajectory comparisons know both
+//! axes of parallelism.
+//!
 //! Run with: `cargo run --release -p bqs-bench --bin bench_fp [--quick] [output.json]`
 //!
 //! `--quick` runs a reduced matrix **and asserts the dispatch table**: if an
-//! exact-method construction (boostFPP at paper scale, M-Path at the DP gate)
-//! silently degrades to Monte-Carlo, the process exits non-zero — the CI
-//! smoke step runs this mode on every push.
+//! exact-method construction (boostFPP at paper scale and at q = 5, M-Path at
+//! the DP gate and in the pruned-DP band) silently degrades to Monte-Carlo,
+//! or a front gate above fails, the process exits non-zero — the CI smoke
+//! step runs this mode on every push.
 
 use bqs_bench::{json_escape, time};
 use bqs_constructions::prelude::*;
 use bqs_core::availability::exact_crash_probability_naive;
 use bqs_core::eval::{Evaluator, FpEstimate, FpMethod};
-use bqs_core::quorum::QuorumSystem;
+use bqs_core::quorum::{QuorumSystem, AVAILABILITY_LANES};
+
+/// The committed v3 engine time for exact `F_p` on the n = 25 Grid at
+/// `p = 0.125` (BENCH_fp.json, one core) — the baseline the lane-widened
+/// enumeration front must beat by ≥ 2×.
+const V3_GRID25_ENGINE_SECONDS: f64 = 0.2703;
 
 struct Row {
     construction: String,
@@ -113,6 +138,7 @@ fn method_speedup(
         std_error: Some(mc.std_error),
         trials: Some(mc.trials),
         method: FpMethod::MonteCarlo,
+        interval: None,
     };
     MethodSpeedup {
         construction: sys.name(),
@@ -159,6 +185,7 @@ fn main() {
     // The paper-scale instances (Section 8): every construction, including
     // the two this engine made exact, answers without sampling.
     let boost = BoostFppSystem::new(3, 19).unwrap();
+    let boost5 = BoostFppSystem::new(5, 2).unwrap();
     let mpath_dp = MPathSystem::new(6, 3).unwrap();
     eprintln!("timing the dispatch matrix ({} p values)...", ps.len());
     for &p in ps {
@@ -179,6 +206,10 @@ fn main() {
         // (Monte-Carlo, literally 0e0 at p = 0.05); now an exact closed form.
         let m = measure(&mut rows, &evaluator, &boost, p);
         expect("boostFPP(q=3, b=19)", m, FpMethod::ClosedForm);
+        // boostFPP at plane order q = 5 (n = 31, past the 2^n wall): the
+        // counting profile keeps the Theorem 4.7 composition exact.
+        let m = measure(&mut rows, &evaluator, &boost5, p);
+        expect("boostFPP(q=5, b=2)", m, FpMethod::ClosedForm);
         // M-Path at the DP gate (n = 36 — beyond the 2^25 enumeration limit).
         let m = measure(&mut rows, &evaluator, &mpath_dp, p);
         expect("M-Path(side=6)", m, FpMethod::Dp);
@@ -292,14 +323,46 @@ fn main() {
         (cores > 1).then(|| (serial_seconds, serial_seconds / batched_seconds.max(1e-12)));
     let sweep_points = sweep_systems.len() * sweep_ps.len();
 
-    // The v1 acceptance measurement, kept for trajectory continuity: n = 25
-    // Grid, engine versus the historical allocating scalar loop.
+    // ---- Front (a): lane-widened enumeration + grid range kernels. ----
+    // The parity gate runs in every mode: the engine's enumeration — the
+    // structure-specialised range kernel for the line-quorum grids, the
+    // 4-lane batched loop for everything else — must be *bit-identical* to
+    // the historical scalar loop.
+    let mut front_failures: Vec<String> = Vec::new();
+    assert_eq!(
+        AVAILABILITY_LANES, 4,
+        "enumeration lane width changed; re-baseline the front (a) gates"
+    );
+    eprintln!("front (a): enumeration parity gates (range kernel and lane loop)...");
+    let lane_parity_seconds = {
+        let t = std::time::Instant::now();
+        let g16 = GridSystem::new(4, 1).unwrap();
+        let th16 = ThresholdSystem::masking(16, 3).unwrap();
+        for (name, sys) in [
+            ("Grid(n=16)", &g16 as &dyn QuorumSystem),
+            ("Threshold(n=16)", &th16),
+        ] {
+            for &p in &[0.05, 0.125, 0.3] {
+                let engine = evaluator.exact(sys, p).expect("n = 16 is enumerable");
+                let naive = exact_crash_probability_naive(sys, p).expect("n = 16 is enumerable");
+                if engine.to_bits() != naive.to_bits() {
+                    front_failures.push(format!(
+                        "front (a): {name} at p = {p}: engine {engine:e} is not bit-identical to the scalar loop's {naive:e}"
+                    ));
+                }
+            }
+        }
+        t.elapsed().as_secs_f64()
+    };
+
+    // The n = 25 Grid acceptance measurement (kept from v1 for trajectory
+    // continuity), now also judged against the committed v3 engine time.
     let grid25 = GridSystem::new(5, 1).unwrap();
     let p25 = 0.125;
     let (grid25_speedup, engine_fp, naive_secs, engine_secs) = if quick {
         (None, 0.0, 0.0, 0.0)
     } else {
-        eprintln!("measuring the n = 25 Grid speedup (this runs the old scalar loop once)...");
+        eprintln!("front (a): n = 25 Grid vs the old scalar loop and the v3 baseline...");
         let (engine_fp, engine_secs) = time(|| evaluator.exact(&grid25, p25).unwrap());
         let (naive_fp, naive_secs) = time(|| exact_crash_probability_naive(&grid25, p25).unwrap());
         assert!(
@@ -313,11 +376,73 @@ fn main() {
             engine_secs,
         )
     };
+    let grid25_v3_speedup =
+        grid25_speedup.map(|_| V3_GRID25_ENGINE_SECONDS / engine_secs.max(1e-12));
+
+    // ---- Front (b): ε-pruned transfer-matrix DP past the exact wall. ----
+    // Side 7 runs in every mode (the CI smoke gate for the certified-interval
+    // path); side 8 — minutes on one core — only in the full run.
+    eprintln!("front (b): pruned-DP certified interval at M-Path side 7 (~25 s on one core)...");
+    let mpath7 = MPathSystem::new(7, 1).unwrap();
+    let (est7, side7_seconds) = time(|| evaluator.crash_probability(&mpath7, p25));
+    expect("M-Path(side=7)", est7.method, FpMethod::DpPruned);
+    let (lower7, upper7) = est7.interval.unwrap_or((est7.value, est7.value));
+    let width7 = upper7 - lower7;
+    if !est7.is_certified() || width7 > 1e-9 {
+        front_failures.push(format!(
+            "front (b): side-7 pruned DP width {width7:e} exceeds the 1e-9 gate (certified: {})",
+            est7.is_certified()
+        ));
+    }
+    let fp7 = est7.value;
+    push_row(&mut rows, &mpath7, p25, est7, side7_seconds);
+    let side8 = if quick {
+        None
+    } else {
+        eprintln!("front (b): side 8 (a few minutes on one core)...");
+        let mpath8 = MPathSystem::new(8, 1).unwrap();
+        let (est8, side8_seconds) = time(|| evaluator.crash_probability(&mpath8, p25));
+        expect("M-Path(side=8)", est8.method, FpMethod::DpPruned);
+        let (lower8, upper8) = est8.interval.unwrap_or((est8.value, est8.value));
+        if !est8.is_certified() || upper8 - lower8 > 1e-9 {
+            front_failures.push(format!(
+                "front (b): side-8 pruned DP width {:e} exceeds the 1e-9 gate (certified: {})",
+                upper8 - lower8,
+                est8.is_certified()
+            ));
+        }
+        let fp8 = est8.value;
+        push_row(&mut rows, &mpath8, p25, est8, side8_seconds);
+        Some((fp8, lower8, upper8, side8_seconds))
+    };
+
+    // ---- Front (c): boostFPP counting profile at q = 5, q = 7 declines. ----
+    eprintln!("front (c): q = 5 counting closed form and the q = 7 decline...");
+    let (est_b5, boost5_seconds) = time(|| evaluator.crash_probability(&boost5, p25));
+    if est_b5.method != FpMethod::ClosedForm {
+        front_failures.push(format!(
+            "front (c): boostFPP q = 5 dispatched to {} instead of the counting closed form",
+            est_b5.method.label()
+        ));
+    }
+    let boost7 = BoostFppSystem::new(7, 2).unwrap();
+    let (q7_declined, q7_decline_seconds) = time(|| boost7.crash_probability_exact(p25).is_none());
+    if !q7_declined {
+        front_failures.push(
+            "front (c): boostFPP q = 7 produced a closed form past the measured interface wall"
+                .to_string(),
+        );
+    }
+    if q7_decline_seconds > 1.0 {
+        front_failures.push(format!(
+            "front (c): boostFPP q = 7 took {q7_decline_seconds:.2} s to decline (must be instant)"
+        ));
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"bench_fp/v3\",\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"quick\": {},\n  \"results\": [\n",
+        "  \"schema\": \"bench_fp/v4\",\n  \"threads\": {},\n  \"available_parallelism\": {cores},\n  \"availability_lanes\": {AVAILABILITY_LANES},\n  \"quick\": {},\n  \"results\": [\n",
         evaluator.threads(),
         quick
     ));
@@ -339,6 +464,37 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"fronts\": {\n");
+    json.push_str(&format!(
+        "    \"a_lane_enumeration\": {{\"availability_lanes\": {AVAILABILITY_LANES}, \"parity\": \"bit-identical to the scalar loop (asserted)\", \"parity_gate_seconds\": {lane_parity_seconds:e}"
+    ));
+    if let (Some(vs_naive), Some(vs_v3)) = (grid25_speedup, grid25_v3_speedup) {
+        json.push_str(&format!(
+            ", \"grid25\": {{\"construction\": \"{}\", \"p\": {p25}, \"fp\": {engine_fp:e}, \"naive_seconds\": {naive_secs:e}, \"engine_seconds\": {engine_secs:e}, \"speedup_vs_naive\": {vs_naive:.2}, \"v3_engine_seconds\": {V3_GRID25_ENGINE_SECONDS}, \"speedup_vs_v3\": {vs_v3:.2}}}",
+            json_escape(&grid25.name())
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "    \"b_pruned_dp\": {{\"width_gate\": 1e-9, \"epsilon\": {:e}, \"state_budget\": {}, \"side7\": {{\"p\": {p25}, \"fp\": {fp7:e}, \"lower\": {lower7:e}, \"upper\": {upper7:e}, \"width\": {width7:e}, \"seconds\": {side7_seconds:e}}}",
+        bqs_constructions::mpath::PRUNED_DP_EPSILON,
+        bqs_constructions::mpath::PRUNED_DP_STATE_BUDGET
+    ));
+    if let Some((fp8, lower8, upper8, side8_seconds)) = side8 {
+        json.push_str(&format!(
+            ", \"side8\": {{\"p\": {p25}, \"fp\": {fp8:e}, \"lower\": {lower8:e}, \"upper\": {upper8:e}, \"width\": {:e}, \"seconds\": {side8_seconds:e}}}",
+            upper8 - lower8
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "    \"c_boostfpp_counting\": {{\"q5\": {{\"construction\": \"{}\", \"n\": {}, \"p\": {p25}, \"method\": \"{}\", \"fp\": {:e}, \"seconds\": {boost5_seconds:e}}}, \"q7_declines_instantly\": {q7_declined}, \"q7_decline_seconds\": {q7_decline_seconds:e}}}\n",
+        json_escape(&boost5.name()),
+        boost5.universe_size(),
+        est_b5.method.label(),
+        est_b5.value
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"exact_method_speedups\": {\n");
     for (key, s, last) in [
         ("boostfpp", &boost_speedup, false),
@@ -433,11 +589,23 @@ fn main() {
             "sweep of {sweep_points} points: batched {batched_seconds:.4}s, parity vs per-point verified (single core: wall-clock comparison skipped)"
         ),
     }
-    if let Some(ratio) = grid25_speedup {
+    if let (Some(ratio), Some(vs_v3)) = (grid25_speedup, grid25_v3_speedup) {
         println!(
-            "n = 25 Grid exact F_p at p = {p25}: engine {engine_secs:.3}s vs naive {naive_secs:.3}s -> {ratio:.1}x speedup"
+            "n = 25 Grid exact F_p at p = {p25}: engine {engine_secs:.3}s vs naive {naive_secs:.3}s -> {ratio:.1}x ({vs_v3:.1}x vs the committed v3 engine time {V3_GRID25_ENGINE_SECONDS}s)"
         );
     }
+    println!(
+        "M-Path side-7 pruned DP at p = {p25}: certified width {width7:.3e} in {side7_seconds:.1}s"
+    );
+    if let Some((_, lower8, upper8, side8_seconds)) = side8 {
+        println!(
+            "M-Path side-8 pruned DP at p = {p25}: certified width {:.3e} in {side8_seconds:.1}s",
+            upper8 - lower8
+        );
+    }
+    println!(
+        "boostFPP q = 5 counting closed form: {boost5_seconds:.4}s; q = 7 declines in {q7_decline_seconds:.4}s"
+    );
     println!("wrote {output}");
 
     // Fail the process (after writing the JSON) so the CI smoke step goes red
@@ -467,6 +635,20 @@ fn main() {
             eprintln!("ERROR: grid25 speedup {ratio:.1}x is below the 5x acceptance threshold");
             failed = true;
         }
+    }
+    if let Some(vs_v3) = grid25_v3_speedup {
+        if vs_v3 < 2.0 {
+            eprintln!(
+                "ERROR: grid25 engine time is only {vs_v3:.2}x faster than the committed v3 baseline (need >= 2x)"
+            );
+            failed = true;
+        }
+    }
+    if !front_failures.is_empty() {
+        for f in &front_failures {
+            eprintln!("ERROR: {f}");
+        }
+        failed = true;
     }
     if failed {
         std::process::exit(1);

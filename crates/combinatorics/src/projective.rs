@@ -11,12 +11,42 @@
 //! subspaces of GF(q)³ and lines the 2-dimensional subspaces, with incidence given by
 //! orthogonality of homogeneous coordinates.
 
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
 use crate::gf::{GfElem, GfField};
 
-/// Largest point count for which [`ProjectivePlane::line_free_profile`] runs its
-/// one-time `2^n` subset enumeration (`q² + q + 1 ≤ 22` admits `q ∈ {2, 3, 4}`;
-/// the next plane order, `q = 5`, already has 31 points).
+/// Largest point count for which
+/// [`ProjectivePlane::line_free_profile_enumerated`] runs its one-time `2^n`
+/// subset enumeration (`q² + q + 1 ≤ 22` admits `q ∈ {2, 3, 4}`; the next
+/// plane order, `q = 5`, already has 31 points). The counting path
+/// ([`ProjectivePlane::line_free_profile`]) pushes past this to `q = 5`; its
+/// own (measured) wall is [`LINE_FREE_COUNTING_MAX_POINTS`].
 pub const LINE_FREE_PROFILE_MAX_POINTS: usize = 22;
+
+/// The counting profile keeps its DP state as one `u64` bitmask over lines, so
+/// planes with more than 64 lines (`q ≥ 8`, where `q² + q + 1 = 73`) decline.
+pub const LINE_FREE_COUNTING_MAX_LINES: usize = 64;
+
+/// Fast-decline point cap for the counting profile. The boundary interface of
+/// PG(2, 7) (57 points) was *measured* to exceed the 2²⁶-state budget — after
+/// ~27 minutes of sweep — because a projective plane is a near-expander:
+/// mid-sweep, almost every line has both decided and undecided points, so the
+/// completable-mask support approaches all `q² + q + 1` lines regardless of
+/// the point order. Declining on the point count up front turns that 27-minute
+/// failure into an immediate one. `31` admits exactly the planes the budget is
+/// known to afford (`q ≤ 5`).
+pub const LINE_FREE_COUNTING_MAX_POINTS: usize = 31;
+
+/// Hard cap on live interface states in the counting DP. The boundary
+/// interface grows with the plane order (`q = 5` peaks in the tens of
+/// thousands; `q = 7` in the tens of millions); past this budget the sweep
+/// declines rather than exhausting memory.
+pub const LINE_FREE_COUNTING_STATE_BUDGET: usize = 1 << 26;
+
+/// Deterministically seeded hasher for the DP state maps (no per-process
+/// `RandomState`, so state counts and timings are reproducible run to run).
+type StateHasher = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
 
 /// A finite projective plane of order `q`, stored as an explicit point/line incidence
 /// structure.
@@ -123,11 +153,30 @@ impl ProjectivePlane {
     /// `n = q² + q + 1 ≤` [`LINE_FREE_PROFILE_MAX_POINTS`], i.e. `q ≤ 4`)
     /// yields a closed form evaluable in `O(n)` for every `r` thereafter.
     ///
+    /// The profile is computed by [`ProjectivePlane::line_free_profile_counting`],
+    /// an interface DP over points that never materialises the `2^n` subsets;
+    /// it reaches `q = 5` (31 points) and is pinned bit-for-bit against
+    /// [`ProjectivePlane::line_free_profile_enumerated`] on the small planes
+    /// where both run. Returns `None` when the counting sweep declines —
+    /// more than [`LINE_FREE_COUNTING_MAX_POINTS`] points (the measured
+    /// `q = 7` interface wall), more than [`LINE_FREE_COUNTING_MAX_LINES`]
+    /// lines, or a boundary interface past
+    /// [`LINE_FREE_COUNTING_STATE_BUDGET`] states.
+    #[must_use]
+    pub fn line_free_profile(&self) -> Option<Vec<u64>> {
+        self.line_free_profile_counting()
+    }
+
+    /// The historical reference implementation of the line-free profile: a
+    /// direct enumeration of all `2^n` point subsets. Exponentially slower
+    /// than the counting sweep but independent of it, which makes it the
+    /// cross-check oracle on planes small enough to afford it (`q ≤ 4`).
+    ///
     /// Returns `None` when the plane has more than
     /// [`LINE_FREE_PROFILE_MAX_POINTS`] points, where the one-time `2^n`
     /// enumeration is no longer worth it.
     #[must_use]
-    pub fn line_free_profile(&self) -> Option<Vec<u64>> {
+    pub fn line_free_profile_enumerated(&self) -> Option<Vec<u64>> {
         let n = self.num_points();
         if n > LINE_FREE_PROFILE_MAX_POINTS {
             return None;
@@ -145,6 +194,78 @@ impl ProjectivePlane {
                 mask.count_ones() >= min_line && line_masks.iter().any(|&l| l & !mask == 0);
             if !contains_line {
                 profile[mask.count_ones() as usize] += 1;
+            }
+        }
+        Some(profile)
+    }
+
+    /// Counts the line-free profile without enumerating subsets: an
+    /// inclusion-style interface DP that decides the points one at a time (in
+    /// the plane's row-major coordinate order) and keeps, per branch, only the
+    /// bitmask of lines that are still *completable* — every decided point on
+    /// them chosen. Deciding a point against membership kills all `q + 1`
+    /// lines through it; deciding the last point of a still-completable line
+    /// in favour would complete that line, so the branch is dropped from the
+    /// line-free count. Branches with equal completable-masks are merged by
+    /// summing their per-size count vectors, which is what collapses the
+    /// `2^n` tree to a boundary interface: every line is dead or decided
+    /// shortly after its last row, so the mask only carries the lines
+    /// crossing the current row boundary.
+    ///
+    /// Exact in `u64` (every profile entry is at most `C(n, m) ≤ C(31, 15)
+    /// < 2^29` at the largest admitted plane). Returns `None` when the plane
+    /// has more than [`LINE_FREE_COUNTING_MAX_POINTS`] points (the measured
+    /// `q = 7` wall — see that constant's docs), more than
+    /// [`LINE_FREE_COUNTING_MAX_LINES`] lines, or the interface exceeds
+    /// [`LINE_FREE_COUNTING_STATE_BUDGET`] states.
+    #[must_use]
+    pub fn line_free_profile_counting(&self) -> Option<Vec<u64>> {
+        let n = self.num_points();
+        let num_lines = self.num_lines();
+        if n > LINE_FREE_COUNTING_MAX_POINTS || num_lines > LINE_FREE_COUNTING_MAX_LINES {
+            return None;
+        }
+        // Incidence masks over *lines*: through[p] = lines containing point p,
+        // closing[p] = lines whose final point (in decision order) is p.
+        let mut through = vec![0u64; n];
+        let mut closing = vec![0u64; n];
+        for (li, line) in self.lines.iter().enumerate() {
+            for &p in line {
+                through[p] |= 1u64 << li;
+            }
+            closing[*line.iter().max().expect("lines are nonempty")] |= 1u64 << li;
+        }
+        let all_lines: u64 = if num_lines == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_lines) - 1
+        };
+        let mut states: HashMap<u64, Vec<u64>, StateHasher> = HashMap::default();
+        let mut initial = vec![0u64; n + 1];
+        initial[0] = 1;
+        states.insert(all_lines, initial);
+        let mut next: HashMap<u64, Vec<u64>, StateHasher> = HashMap::default();
+        for p in 0..n {
+            next.reserve(states.len() * 2);
+            for (mask, counts) in states.drain() {
+                // Exclude point p: every line through it loses a point for good.
+                merge_counts(&mut next, mask & !through[p], &counts, 0, n);
+                // Include point p: legal only when no still-completable line
+                // closes here (that would put a full line inside the subset).
+                if mask & closing[p] == 0 {
+                    merge_counts(&mut next, mask, &counts, 1, n);
+                }
+            }
+            std::mem::swap(&mut states, &mut next);
+            if states.len() > LINE_FREE_COUNTING_STATE_BUDGET {
+                return None;
+            }
+        }
+        // Every line is decided, so all surviving branches sit on the empty mask.
+        let mut profile = vec![0u64; n + 1];
+        for counts in states.values() {
+            for (slot, c) in profile.iter_mut().zip(counts) {
+                *slot += c;
             }
         }
         Some(profile)
@@ -182,6 +303,23 @@ impl ProjectivePlane {
             }
         }
         true
+    }
+}
+
+/// Folds a branch's per-size counts into the interface map, shifting by
+/// `shift` chosen points (0 = point excluded, 1 = point included).
+fn merge_counts(
+    map: &mut HashMap<u64, Vec<u64>, StateHasher>,
+    key: u64,
+    counts: &[u64],
+    shift: usize,
+    n: usize,
+) {
+    let entry = map.entry(key).or_insert_with(|| vec![0u64; n + 1]);
+    for (m, &c) in counts.iter().enumerate().take(n + 1 - shift) {
+        if c != 0 {
+            entry[m + shift] += c;
+        }
     }
 }
 
@@ -310,16 +448,58 @@ mod tests {
     }
 
     #[test]
-    fn line_free_profile_gated_by_point_count() {
-        // q = 4 (21 points) is within the gate; q = 5 (31 points) is not.
-        assert!(ProjectivePlane::new(4)
-            .unwrap()
-            .line_free_profile()
-            .is_some());
-        assert!(ProjectivePlane::new(5)
+    fn line_free_profile_counting_matches_enumeration_bit_for_bit() {
+        // On every plane small enough for the 2^n oracle, the counting DP must
+        // reproduce the enumerated profile entry for entry.
+        for q in [2u64, 3, 4] {
+            let plane = ProjectivePlane::new(q).unwrap();
+            let enumerated = plane.line_free_profile_enumerated().unwrap();
+            let counted = plane.line_free_profile_counting().unwrap();
+            assert_eq!(enumerated, counted, "q={q}");
+        }
+    }
+
+    #[test]
+    fn line_free_profile_reaches_order_five() {
+        // q = 5 (31 points) is past the enumeration wall but within reach of
+        // the counting DP.
+        let plane = ProjectivePlane::new(5).unwrap();
+        assert!(plane.line_free_profile_enumerated().is_none());
+        let profile = plane.line_free_profile().unwrap();
+        assert_eq!(profile.len(), 32);
+        // Subsets smaller than a line (q + 1 = 6 points) are trivially
+        // line-free: the low entries are full binomials.
+        let mut binom = 1u64;
+        for (m, &entry) in profile.iter().enumerate().take(6) {
+            assert_eq!(entry, binom, "m={m}");
+            binom = binom * (31 - m as u64) / (m as u64 + 1);
+        }
+        // A subset is line-free iff its complement is a blocking set, and the
+        // smallest blocking sets of PG(2, 5) are exactly its 31 lines: the
+        // profile vanishes above m = n - (q + 1) = 25, where it counts the
+        // line complements themselves.
+        assert_eq!(profile[25], 31);
+        assert!(profile[26..].iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn line_free_profile_gated_by_line_count() {
+        // q = 8 has 73 lines, past the u64 interface mask of the counting DP.
+        assert!(ProjectivePlane::new(8)
             .unwrap()
             .line_free_profile()
             .is_none());
+    }
+
+    #[test]
+    fn line_free_profile_declines_order_seven_immediately() {
+        // q = 7 fits the 64-line mask but its interface was measured to blow
+        // the 2^26-state budget ~27 minutes into the sweep; the point cap
+        // must turn that into an instant decline.
+        let plane = ProjectivePlane::new(7).unwrap();
+        let t = std::time::Instant::now();
+        assert!(plane.line_free_profile().is_none());
+        assert!(t.elapsed().as_secs_f64() < 1.0, "decline was not fast");
     }
 
     #[test]

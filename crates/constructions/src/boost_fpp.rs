@@ -99,9 +99,11 @@ impl BoostFppSystem {
     /// `F_p(boostFPP) = F_{r(p)}(FPP)` with `r(p)` the exact crash probability
     /// of the inner `Thresh(3b+1 of 4b+1)` (a binomial tail) and the outer FPP
     /// evaluated through its line-free survivor profile. Exact for **any** `b`
-    /// whenever the plane is small enough to profile (`q ≤ 4` — which covers
-    /// the paper's Section 8 instance `boostFPP(q=3, b=19)` at `n = 1001`);
-    /// `None` for larger plane orders.
+    /// whenever the plane is small enough to profile (`q ≤ 5` via the
+    /// counting-DP profile — which covers the paper's Section 8 instance
+    /// `boostFPP(q=3, b=19)` at `n = 1001` and reaches `boostFPP(q=5, ·)` at
+    /// 31 copies); `None` for larger plane orders (`q ≥ 7`, the measured
+    /// interface wall of the counting profile).
     #[must_use]
     pub fn crash_probability_exact(&self, p: f64) -> Option<f64> {
         self.composed.crash_probability_closed_form(p)
@@ -351,9 +353,35 @@ mod tests {
     }
 
     #[test]
-    fn exact_closed_form_gated_for_large_plane_orders() {
-        // q = 5's plane has 31 points: no survivor profile, no closed form.
+    fn exact_closed_form_reaches_plane_order_five() {
+        // q = 5's plane has 31 points — past the 2^n enumeration wall — but
+        // the counting profile makes the Theorem 4.7 closed form exact:
+        // F_p(boostFPP) = F_{r(p)}(FPP(5)) with r(p) the inner threshold's
+        // exact crash probability.
         let sys = BoostFppSystem::new(5, 2).unwrap();
+        let fpp = FppSystem::new(5).unwrap();
+        for &p in &[0.05, 0.125, 0.3] {
+            let closed = sys.crash_probability_exact(p).unwrap();
+            let r = sys.threshold().crash_probability(p);
+            let outer = fpp.crash_probability_exact(r).unwrap();
+            assert!(
+                (closed - outer).abs() <= 1e-12,
+                "p={p}: composed {closed} vs outer-at-r {outer}"
+            );
+            // Inside the analytic envelope of Proposition 6.3.
+            assert!(closed <= sys.crash_probability_numeric_bound(p) + 1e-12);
+        }
+        // And the evaluation engine reports it as exact closed form.
+        let est = Evaluator::new().crash_probability(&sys, 0.125);
+        assert_eq!(est.method, FpMethod::ClosedForm);
+        assert!(est.is_exact());
+    }
+
+    #[test]
+    fn exact_closed_form_gated_for_large_plane_orders() {
+        // q = 7 is past the counting profile's measured interface wall: no
+        // survivor profile, no closed form.
+        let sys = BoostFppSystem::new(7, 2).unwrap();
         assert!(sys.crash_probability_exact(0.1).is_none());
     }
 

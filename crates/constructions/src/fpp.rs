@@ -11,10 +11,13 @@
 //! `n → ∞` [RST92, Woo96] — which is also inherited, and is why boostFPP needs
 //! `p < 1/4`.
 //!
-//! For enumerable planes (`q ≤ 4`) the crash probability is computed
+//! For planes up to order `q = 5` the crash probability is computed
 //! **exactly** from the plane's line-free survivor profile
 //! ([`FppSystem::crash_probability_exact`]) — the outer factor of boostFPP's
-//! exact evaluation via Theorem 4.7.
+//! exact evaluation via Theorem 4.7. The profile comes from a counting
+//! interface DP ([`ProjectivePlane::line_free_profile`]), so `q = 5`
+//! (31 points, far past the `2^n` enumeration wall) is exact too; `q = 7`'s
+//! interface was measured to exceed the DP's state budget and declines.
 
 use std::sync::OnceLock;
 
@@ -67,9 +70,10 @@ impl FppSystem {
     ///
     /// `F_p(FPP) = Σ_m N_m (1 − p)^m p^{n − m}`.
     ///
-    /// Returns `None` for planes whose one-time profile enumeration is gated
-    /// out (`q ≥ 5`); the profile is cached, so sweeps over many `p` values
-    /// pay the `2^n` enumeration at most once per system.
+    /// Returns `None` for planes whose one-time profile computation is gated
+    /// out (`q ≥ 7`, the measured interface wall of the counting DP); the
+    /// profile is cached, so sweeps over many `p` values pay the one-time
+    /// counting sweep at most once per system.
     #[must_use]
     pub fn crash_probability_exact(&self, p: f64) -> Option<f64> {
         let profile = self
@@ -297,10 +301,39 @@ mod tests {
     }
 
     #[test]
-    fn exact_closed_form_gated_for_large_planes() {
-        // q = 5 has 31 points: the one-time 2^31 enumeration is gated out and
-        // the engine falls back to its usual dispatch.
+    fn exact_closed_form_reaches_order_five() {
+        // q = 5 has 31 points — far past the 2^n enumeration wall — but the
+        // counting profile makes its closed form exact. Pin it against the
+        // Monte-Carlo estimator and the analytic envelope.
         let fpp = FppSystem::new(5).unwrap();
+        let exact = fpp.crash_probability_exact(0.1).unwrap();
+        assert!((0.0..=1.0).contains(&exact));
+        assert_eq!(
+            fpp.crash_probability_closed_form(0.1).unwrap().to_bits(),
+            exact.to_bits()
+        );
+        // Proposition 4.3 lower bound with MT = q + 1.
+        assert!(exact >= fpp.crash_probability_lower_bound(0.1).unwrap() - 1e-12);
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = monte_carlo_crash_probability(&fpp, 0.1, 40_000, &mut rng);
+        assert!(
+            (est.mean - exact).abs() <= 4.0 * est.ci95_half_width() + 1e-9,
+            "exact {exact} vs MC {} ± {}",
+            est.mean,
+            est.ci95_half_width()
+        );
+        // F_p is monotone in p and the profile evaluation respects the edges.
+        assert_eq!(fpp.crash_probability_exact(0.0).unwrap(), 0.0);
+        assert_eq!(fpp.crash_probability_exact(1.0).unwrap(), 1.0);
+        assert!(fpp.crash_probability_exact(0.3).unwrap() > exact);
+    }
+
+    #[test]
+    fn exact_closed_form_gated_for_large_planes() {
+        // q = 7 fits the counting DP's 64-line mask but its interface was
+        // measured past the state budget: the closed form declines (fast) and
+        // the engine falls back to its usual dispatch.
+        let fpp = FppSystem::new(7).unwrap();
         assert!(fpp.crash_probability_exact(0.1).is_none());
         assert!(fpp.crash_probability_closed_form(0.1).is_none());
     }

@@ -22,9 +22,12 @@ use crate::AnalyzedConstruction;
 
 /// Subset-enumeration budget for the exact M-Grid pricing oracle: the oracle
 /// enumerates `C(side, ⌈√(b+1)⌉)` line sets per call, which covers every
-/// Section 8-scale instance (`C(32, 4) ≈ 3.6·10⁴`) with room to spare but
-/// declines degenerate parameterisations that would make pricing slower than
-/// the explicit LP it replaces.
+/// Section 8-scale instance (`C(32, 4) ≈ 3.6·10⁴`) with room to spare.
+/// Degenerate parameterisations past the budget no longer decline outright:
+/// they fall through to an exact branch-and-bound pricer with the same
+/// budget counted in search nodes, which declines only when *it* cannot
+/// prove optimality in budget (see
+/// [`crate::square::min_price_rows_and_columns`]).
 pub const ORACLE_SUBSET_BUDGET: u128 = 2_000_000;
 
 /// The M-Grid(b) quorum system over a `side × side` universe.
@@ -204,9 +207,27 @@ impl QuorumSystem for MGridSystem {
             && self.grid.fully_alive_column_count(alive) >= self.lines
     }
 
+    #[inline]
     fn is_available_u64(&self, alive: u64, _scratch: &mut ServerSet) -> bool {
         self.grid.fully_alive_row_count_u64(alive) >= self.lines
             && self.grid.fully_alive_column_count_u64(alive) >= self.lines
+    }
+
+    #[inline]
+    fn is_available_u64x4(
+        &self,
+        alive: [u64; bqs_core::quorum::AVAILABILITY_LANES],
+        _scratch: &mut bqs_core::quorum::LaneScratch,
+    ) -> [bool; bqs_core::quorum::AVAILABILITY_LANES] {
+        // One lane-parallel pass over the rows answers all four masks.
+        let counts = self.grid.fully_alive_counts_u64x4(alive);
+        std::array::from_fn(|i| counts[i].0 >= self.lines && counts[i].1 >= self.lines)
+    }
+
+    fn unavailable_mass_u64_range(&self, weights: &[f64], start: u64, end: u64) -> Option<f64> {
+        // Exact-enumeration fast path — see `GridSystem::unavailable_mass_u64_range`.
+        let tables = self.grid.line_count_tables();
+        Some(tables.unavailable_mass_range(self.lines, self.lines, weights, start, end))
     }
 
     fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {
@@ -428,6 +449,32 @@ mod tests {
             m.analytic_load()
         );
         assert!(certified.gap <= 1e-9, "gap={}", certified.gap);
+    }
+
+    #[test]
+    fn pricing_oracle_handles_previously_over_budget_parameterisation() {
+        // M-Grid(b = 36) on side 73: 7 rows × 7 columns per quorum, and
+        // C(73, 7) ≈ 1.6·10⁹ subsets — far past ORACLE_SUBSET_BUDGET, so the
+        // enumeration path declines and, before the branch-and-bound
+        // fallback, min_weight_quorum returned None outright. A planted
+        // price structure (lines 0..7 free, everything else expensive) keeps
+        // the optimum unique and lets branch-and-bound prove it in a handful
+        // of nodes.
+        let side = 73;
+        let m = MGridSystem::new(side, 36).unwrap();
+        assert_eq!(m.lines_per_quorum(), 7);
+        let mut prices = vec![1.0; side * side];
+        for r in 0..side {
+            for c in 0..side {
+                if r < 7 || c < 7 {
+                    prices[r * side + c] = 0.0;
+                }
+            }
+        }
+        let (q, v) = m.min_weight_quorum(&prices).unwrap();
+        assert_eq!(v, 0.0);
+        assert_eq!(q.len(), 2 * 7 * side - 49);
+        assert!(q.iter().all(|u| prices[u] == 0.0));
     }
 
     #[test]

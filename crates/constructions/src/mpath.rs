@@ -18,8 +18,13 @@
 //! [`EXACT_DP_MAX_SIDE`] via the transfer-matrix DP of
 //! [`bqs_graph::crossing_dp`] (dispatched through
 //! [`QuorumSystem::crash_probability_closed_form`] and tagged
-//! [`FpMethod::Dp`]); larger grids fall back to Monte-Carlo, since exact
-//! crossing probabilities are exponential in `√n` for every known method.
+//! [`FpMethod::Dp`]); sides up to [`PRUNED_DP_MAX_SIDE`] with at most
+//! [`PRUNED_DP_MAX_PATHS`] paths per direction get a **certified enclosure**
+//! from the ε-pruned sweep (tagged [`FpMethod::DpPruned`], with the rigorous
+//! `[lower, upper]` carried on the estimate); larger grids — or wider path
+//! counts, whose interface alphabet explodes — fall back to Monte-Carlo,
+//! since exact crossing probabilities are exponential in `√n` for every
+//! known method.
 
 use rand::RngCore;
 
@@ -28,7 +33,10 @@ use bqs_core::error::QuorumError;
 use bqs_core::eval::FpMethod;
 use bqs_core::oracle::MinWeightQuorumOracle;
 use bqs_core::quorum::QuorumSystem;
-use bqs_graph::crossing_dp::mpath_crash_probability_exact;
+use bqs_graph::crossing_dp::{
+    mpath_crash_probability_exact, mpath_crash_probability_pruned,
+    mpath_crash_probability_pruned_grid, ProbabilityInterval,
+};
 use bqs_graph::disjoint_paths::{
     find_disjoint_paths, find_straight_disjoint_paths, min_price_crossing,
 };
@@ -49,6 +57,51 @@ pub const EXACT_DP_MAX_SIDE: usize = 6;
 /// [`EXACT_DP_MAX_SIDE`] the worst case (`k = 4`, `p ≈ 1/2`) stays well
 /// within it.
 pub const EXACT_DP_STATE_BUDGET: usize = 4_000_000;
+
+/// Largest grid side dispatched to the **ε-pruned** transfer-matrix sweep
+/// ([`MPathSystem::crash_probability_pruned`], tagged
+/// [`FpMethod::DpPruned`]). Past [`EXACT_DP_MAX_SIDE`] the exact state set
+/// explodes, but the mass distribution over interface states is so skewed
+/// that dropping states below [`PRUNED_DP_EPSILON`] certifies `F_p` to
+/// widths orders of magnitude under `1e-9` at paper-scale `p` (measured at
+/// the dispatch settings: `~1e-12` at side 7 and `~5e-11` at side 8 for a
+/// single point at `p = 0.125`; grid sweeps certify tighter still — a state
+/// survives if *any* lane keeps it, so a three-point paper `p`-grid at side
+/// 8 stays below `5e-12` everywhere). Sides 9–10 remain
+/// reachable through [`bqs_graph::crossing_dp`] directly with a
+/// caller-chosen ε and budget, but a single sweep there costs tens of
+/// minutes on one core, so the evaluator hands them to Monte-Carlo with
+/// Wilson bounds instead.
+pub const PRUNED_DP_MAX_SIDE: usize = 8;
+
+/// Surviving-state budget handed to the ε-pruned sweep. Sized so that at
+/// [`PRUNED_DP_MAX_SIDE`] with [`PRUNED_DP_EPSILON`] forced budget pruning
+/// never fires and ε alone controls the certified width (the forced-prune
+/// path yields uselessly wide intervals: the mass the budget evicts is not
+/// concentrated in few states). The budget still bounds memory, not
+/// correctness: overflow is force-pruned into the interval width rather
+/// than aborting (see
+/// [`bqs_graph::crossing_dp::mpath_crash_probability_pruned`]).
+pub const PRUNED_DP_STATE_BUDGET: usize = 1 << 26;
+
+/// Mass floor for the dispatched ε-pruned sweep. The certified width
+/// scales linearly in ε (states dropped per step ≈ states alive × ε), so
+/// `1e-16` lands the side-8 widths three to six orders of magnitude under
+/// the `1e-9` acceptance gate while keeping a side-7 sweep around 25 s and
+/// a side-8 sweep around 5 min on one core. The library default
+/// ([`bqs_graph::crossing_dp::DEFAULT_PRUNE_EPSILON`] `= 1e-24`) is tighter
+/// than needed here and roughly doubles the sweep time.
+pub const PRUNED_DP_EPSILON: f64 = 1e-16;
+
+/// Largest path count `k = ⌈√(2b+1)⌉` dispatched to the ε-pruned sweep. The
+/// interface alphabet is combinatorial in `k` (states track pairwise
+/// connectivity among `k` frontier paths per direction), so the sweep cost
+/// jumps by orders of magnitude from `k = 2` to `k = 3`: every dispatch
+/// measurement above (widths, sweep times) is at `k = 2`, while a `k = 3`
+/// side-8 sweep at the dispatch ε and budget runs for hours on one core.
+/// Systems with `b ≥ 2` (hence `k ≥ 3`) therefore decline the pruned entry
+/// and fall through to Monte-Carlo with Wilson bounds.
+pub const PRUNED_DP_MAX_PATHS: usize = 2;
 
 /// The M-Path(b) quorum system over a triangulated `side × side` grid.
 #[derive(Debug, Clone)]
@@ -200,6 +253,35 @@ impl MPathSystem {
         mpath_crash_probability_exact(self.grid.side(), self.paths, p, EXACT_DP_STATE_BUDGET)
     }
 
+    /// Certified enclosure of the crash probability by the **ε-pruned**
+    /// transfer-matrix sweep, for grids past the exact wall
+    /// ([`EXACT_DP_MAX_SIDE`]`< side ≤`[`PRUNED_DP_MAX_SIDE`]): interface
+    /// states below the mass floor — or beyond the state budget, lowest
+    /// mass first — are dropped and their total mass is banked into the
+    /// interval width, so the true `F_p` lies in the returned `[lower,
+    /// upper]` by construction. At paper-scale `p` the width is orders of
+    /// magnitude below `1e-9` (pinned in tests).
+    ///
+    /// Returns `None` outside the side range or above
+    /// [`PRUNED_DP_MAX_PATHS`] paths per direction — small grids should use
+    /// the exact sweep, larger grids and wider path counts Monte-Carlo.
+    #[must_use]
+    pub fn crash_probability_pruned(&self, p: f64) -> Option<ProbabilityInterval> {
+        let side = self.grid.side();
+        if !(EXACT_DP_MAX_SIDE + 1..=PRUNED_DP_MAX_SIDE).contains(&side)
+            || self.paths > PRUNED_DP_MAX_PATHS
+        {
+            return None;
+        }
+        mpath_crash_probability_pruned(
+            side,
+            self.paths,
+            p,
+            PRUNED_DP_STATE_BUDGET,
+            PRUNED_DP_EPSILON,
+        )
+    }
+
     /// The percolation-flavoured crash-probability upper bound used in the worked
     /// example of Section 8: combine the counting bound on the crossing probability
     /// (remark after Theorem B.1, valid for `p' < 1/3`) with the ACCFR interior-event
@@ -349,6 +431,32 @@ impl QuorumSystem for MPathSystem {
         // The "closed form" is the transfer-matrix sweep, not an algebraic
         // expression — tag it so dispatch tables and benchmarks can tell.
         FpMethod::Dp
+    }
+
+    fn crash_probability_interval(&self, p: f64) -> Option<(f64, f64)> {
+        self.crash_probability_pruned(p)
+            .map(|iv| (iv.lower, iv.upper))
+    }
+
+    fn crash_probability_interval_batch(&self, ps: &[f64]) -> Option<Vec<(f64, f64)>> {
+        let side = self.grid.side();
+        if !(EXACT_DP_MAX_SIDE + 1..=PRUNED_DP_MAX_SIDE).contains(&side)
+            || self.paths > PRUNED_DP_MAX_PATHS
+        {
+            return None;
+        }
+        // One pruned sweep for the whole grid; each lane keeps its own
+        // discarded-mass total so every interval is certified for its own p.
+        // (A state survives if any lane keeps it, so batch intervals can be
+        // *tighter* than per-point ones — never less rigorous.)
+        mpath_crash_probability_pruned_grid(
+            side,
+            self.paths,
+            ps,
+            PRUNED_DP_STATE_BUDGET,
+            PRUNED_DP_EPSILON,
+        )
+        .map(|ivs| ivs.into_iter().map(|iv| (iv.lower, iv.upper)).collect())
     }
 
     fn min_quorum_size(&self) -> usize {
@@ -584,6 +692,71 @@ mod tests {
             .with_exact_limit(0)
             .crash_probability(&big, 0.125);
         assert_eq!(fp_big.method, FpMethod::MonteCarlo);
+    }
+
+    #[test]
+    fn pruned_dispatch_boundaries_are_sharp() {
+        // Below the exact wall the pruned entry declines (the exact sweep is
+        // the right tool); above PRUNED_DP_MAX_SIDE it declines instantly so
+        // the evaluator can fall through to Monte-Carlo.
+        let small = MPathSystem::new(EXACT_DP_MAX_SIDE, 2).unwrap();
+        assert!(small.crash_probability_pruned(0.125).is_none());
+        let big = MPathSystem::new(PRUNED_DP_MAX_SIDE + 1, 2).unwrap();
+        assert!(big.crash_probability_pruned(0.125).is_none());
+        assert!(big.crash_probability_interval(0.125).is_none());
+        assert!(big.crash_probability_interval_batch(&[0.125]).is_none());
+        let fp = Evaluator::new()
+            .with_trials(50)
+            .with_exact_limit(0)
+            .crash_probability(&big, 0.125);
+        assert_eq!(fp.method, FpMethod::MonteCarlo);
+        assert!(!fp.is_certified());
+        // Inside the side range but past the path gate (b = 3 gives k = 3,
+        // whose interface alphabet makes the pruned sweep run for hours) the
+        // entry must decline *instantly* so capped-effort evaluators — like
+        // the analysis sweeps — land on Monte-Carlo, not a surprise DP.
+        let wide = MPathSystem::new(PRUNED_DP_MAX_SIDE, 3).unwrap();
+        assert!(wide.paths_per_direction() > PRUNED_DP_MAX_PATHS);
+        assert!(wide.crash_probability_pruned(0.125).is_none());
+        assert!(wide.crash_probability_interval(0.125).is_none());
+        assert!(wide.crash_probability_interval_batch(&[0.125]).is_none());
+        let fp_wide = Evaluator::new()
+            .with_trials(50)
+            .with_exact_limit(0)
+            .crash_probability(&wide, 0.125);
+        assert_eq!(fp_wide.method, FpMethod::MonteCarlo);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "side-7 pruned sweeps take ≈25 s in release and ~20× that without optimizations"
+    )]
+    fn engine_dispatches_past_exact_wall_to_pruned_dp() {
+        // Side 7 (n = 49) is past both the 2^25 enumeration limit and the
+        // exact-DP wall: the evaluator must return the certified ε-pruned
+        // enclosure, not a Monte-Carlo estimate.
+        let m = MPathSystem::new(7, 1).unwrap();
+        let fp = Evaluator::new().crash_probability(&m, 0.125);
+        assert_eq!(fp.method, FpMethod::DpPruned);
+        assert!(fp.is_certified());
+        assert!(!fp.is_exact());
+        let (lower, upper) = fp.interval.unwrap();
+        assert!(upper - lower <= 1e-9, "width {}", upper - lower);
+        assert!(lower >= 0.0 && upper <= 1.0 && upper > 0.0);
+        assert_eq!(fp.value.to_bits(), (0.5 * (lower + upper)).to_bits());
+        // The sweep path shares one state enumeration across the p-grid and
+        // must stay certified lane by lane.
+        let ps = [0.05, 0.125];
+        let swept = Evaluator::new().sweep(&m, &ps);
+        for (est, &p) in swept.iter().zip(&ps) {
+            assert_eq!(est.method, FpMethod::DpPruned, "p={p}");
+            let (lo, up) = est.interval.unwrap();
+            assert!(up - lo <= 1e-9, "p={p} width {}", up - lo);
+        }
+        // Per-point and batch runs agree far inside the certified widths.
+        let (blo, bup) = swept[1].interval.unwrap();
+        assert!((0.5 * (blo + bup) - fp.value).abs() <= 1e-9);
     }
 
     #[test]

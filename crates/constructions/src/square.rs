@@ -122,6 +122,7 @@ impl SquareGrid {
     /// Number of fully-alive rows when the universe is given as a raw `u64`
     /// mask (valid only for `side² <= 64`).
     #[must_use]
+    #[inline]
     pub fn fully_alive_row_count_u64(&self, alive: u64) -> usize {
         debug_assert!(self.universe_size() <= 64);
         let row = if self.side == 64 {
@@ -141,6 +142,7 @@ impl SquareGrid {
     /// row's slice of the mask, so the count is `side` shift-ANDs plus one
     /// popcount — this runs once per mask inside `2^n` exact enumeration.
     #[must_use]
+    #[inline]
     pub fn fully_alive_column_count_u64(&self, alive: u64) -> usize {
         debug_assert!(self.universe_size() <= 64);
         let row = if self.side == 64 {
@@ -150,6 +152,45 @@ impl SquareGrid {
         };
         let folded = (0..self.side).fold(row, |acc, r| acc & (alive >> (r * self.side)));
         (folded & row).count_ones() as usize
+    }
+
+    /// Fully-alive row and column counts for four masks at once: one pass
+    /// over the rows answers every lane (`counts[i] = (rows, cols)` for
+    /// `alive[i]`), with the per-row slice extraction, row test and column
+    /// AND-fold running lane-parallel — the `u64x4` shape the autovectorizer
+    /// lifts to SIMD inside `2^n` exact enumeration.
+    #[must_use]
+    #[inline]
+    pub fn fully_alive_counts_u64x4(
+        &self,
+        alive: [u64; bqs_core::quorum::AVAILABILITY_LANES],
+    ) -> [(usize, usize); bqs_core::quorum::AVAILABILITY_LANES] {
+        debug_assert!(self.universe_size() <= 64);
+        const LANES: usize = bqs_core::quorum::AVAILABILITY_LANES;
+        let row = if self.side == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.side) - 1
+        };
+        let mut rows = [0usize; LANES];
+        let mut folds = [row; LANES];
+        for r in 0..self.side {
+            let shift = r * self.side;
+            for i in 0..LANES {
+                let slice = (alive[i] >> shift) & row;
+                rows[i] += usize::from(slice == row);
+                folds[i] &= slice;
+            }
+        }
+        std::array::from_fn(|i| (rows[i], folds[i].count_ones() as usize))
+    }
+
+    /// Builds the packed line tables for this side — the table-driven
+    /// sibling of [`SquareGrid::fully_alive_counts_u64x4`] for enumeration
+    /// sweeps (see [`LineCountTables`]).
+    #[must_use]
+    pub fn line_count_tables(&self) -> LineCountTables {
+        LineCountTables::new(self.side)
     }
 
     /// The union of the given rows and columns as a server set.
@@ -167,6 +208,164 @@ impl SquareGrid {
             }
         }
         set
+    }
+}
+
+/// Packed lookup tables answering "how many fully-alive rows / which
+/// columns survive the AND-fold" for a `side × side` mask in a handful of
+/// table probes instead of a shift-and-compare pass over every row.
+///
+/// The `side²`-bit mask is cut into chunks of whole rows, each at most 15
+/// bits wide, and every chunk gets a `2^bits`-entry table whose packed
+/// `u16` entry holds the chunk's fully-alive row count (high byte) and its
+/// column AND-fold (low byte, valid for `side ≤ 8` — exactly the `n ≤ 64`
+/// range of the word-level availability API). The payoff comes from
+/// [`LineCountTables::unavailable_mass_range`], which runs the whole
+/// exact-enumeration inner loop against the tables: the low chunk's index
+/// walks sequentially so the probes stream through L1, the build cost
+/// (≲ 64 KiB of tables) is paid once per range, and on the n = 25 Grid the
+/// sweep runs ~4× faster than the per-batch row pass it replaces.
+#[derive(Debug, Clone)]
+pub struct LineCountTables {
+    side: usize,
+    chunks: Vec<LineChunk>,
+}
+
+#[derive(Debug, Clone)]
+struct LineChunk {
+    shift: u32,
+    index_mask: u64,
+    /// `(full_rows << 8) | column_fold` per chunk value.
+    table: Vec<u16>,
+}
+
+impl LineCountTables {
+    /// Builds the tables for a `side × side` grid (`side ≤ 8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0` or `side > 8` (the word-level availability API
+    /// only covers universes of at most 64 servers).
+    #[must_use]
+    pub fn new(side: usize) -> Self {
+        assert!(side > 0 && side <= 8, "line tables need 1 <= side <= 8");
+        let row = (1u16 << side) - 1;
+        let rows_per_chunk = (15 / side).clamp(1, side);
+        let chunks = (0..side)
+            .step_by(rows_per_chunk)
+            .map(|first_row| {
+                let rows = rows_per_chunk.min(side - first_row);
+                let bits = rows * side;
+                let table = (0..1usize << bits)
+                    .map(|v| {
+                        let mut full = 0u16;
+                        let mut fold = row;
+                        for r in 0..rows {
+                            let slice = (v >> (r * side)) as u16 & row;
+                            full += u16::from(slice == row);
+                            fold &= slice;
+                        }
+                        (full << 8) | fold
+                    })
+                    .collect();
+                LineChunk {
+                    shift: (first_row * side) as u32,
+                    index_mask: (1u64 << bits) - 1,
+                    table,
+                }
+            })
+            .collect();
+        LineCountTables { side, chunks }
+    }
+
+    /// The side the tables were built for.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Fully-alive `(rows, columns)` counts for one mask via table probes —
+    /// bit-identical to
+    /// ([`SquareGrid::fully_alive_row_count_u64`],
+    /// [`SquareGrid::fully_alive_column_count_u64`]).
+    #[must_use]
+    #[inline]
+    pub fn counts_u64(&self, alive: u64) -> (usize, usize) {
+        let mut rows = 0u16;
+        let mut fold = 0xffu16;
+        for chunk in &self.chunks {
+            let entry = chunk.table[((alive >> chunk.shift) & chunk.index_mask) as usize];
+            rows += entry >> 8;
+            fold &= entry;
+        }
+        (rows as usize, (fold & 0xff).count_ones() as usize)
+    }
+
+    /// Sums `weights[popcount(m)]` over every mask `m` in `start..end` with
+    /// fewer than `min_rows` fully-alive rows or fewer than `min_cols`
+    /// fully-alive columns — the entire inner loop of exact `F_p`
+    /// enumeration for the line-quorum grids, in the shape
+    /// [`bqs_core::quorum::QuorumSystem::unavailable_mass_u64_range`]
+    /// requires: a single `f64` accumulation chain in ascending mask order,
+    /// bit-identical to testing each mask through the scalar availability
+    /// path.
+    ///
+    /// The common one- and two-chunk layouts (`side ≤ 5`, every universe the
+    /// engine actually enumerates) get dedicated loops: the two-chunk loop
+    /// probes the high table once per 2^`lo_bits` masks and streams the low
+    /// table sequentially, so each mask costs one L1 load, one popcount and
+    /// a compare.
+    #[must_use]
+    pub fn unavailable_mass_range(
+        &self,
+        min_rows: usize,
+        min_cols: usize,
+        weights: &[f64],
+        start: u64,
+        end: u64,
+    ) -> f64 {
+        let mut acc = 0.0;
+        match self.chunks.as_slice() {
+            [only] => {
+                for m in start..end {
+                    let e = only.table[((m >> only.shift) & only.index_mask) as usize];
+                    if ((e >> 8) as usize) < min_rows
+                        || (((e & 0xff).count_ones()) as usize) < min_cols
+                    {
+                        acc += weights[m.count_ones() as usize];
+                    }
+                }
+            }
+            [lo, hi] => {
+                debug_assert_eq!(lo.shift, 0);
+                let mut m = start;
+                while m < end {
+                    let hi_idx = (m >> hi.shift) & hi.index_mask;
+                    let hi_entry = hi.table[hi_idx as usize];
+                    let hi_rows = hi_entry >> 8;
+                    let seg_end = end.min((hi_idx + 1) << hi.shift);
+                    while m < seg_end {
+                        let lo_entry = lo.table[(m & lo.index_mask) as usize];
+                        let fold = hi_entry & lo_entry & 0xff;
+                        if (((hi_rows + (lo_entry >> 8)) as usize) < min_rows)
+                            || ((fold.count_ones() as usize) < min_cols)
+                        {
+                            acc += weights[m.count_ones() as usize];
+                        }
+                        m += 1;
+                    }
+                }
+            }
+            _ => {
+                for m in start..end {
+                    let (rows, cols) = self.counts_u64(m);
+                    if rows < min_rows || cols < min_cols {
+                        acc += weights[m.count_ones() as usize];
+                    }
+                }
+            }
+        }
+        acc
     }
 }
 
@@ -210,9 +409,28 @@ pub fn balanced_line_strategy(
 /// across lines. Ties break towards smaller indices, keeping the oracle
 /// deterministic.
 ///
-/// Returns `(rows, columns, price)`, or `None` when the enumerated axis has
-/// more than `max_subsets` subsets (callers fall back to the explicit LP) or
-/// the requested line counts do not fit the grid.
+/// Returns `(rows, columns, price)`, or `None` when the line counts do not
+/// fit the grid, or — on degenerate parameterisations whose enumerated axis
+/// has more than `max_subsets` subsets — when the branch-and-bound fallback
+/// (see below) exhausts its node budget without proving optimality (callers
+/// fall back to the explicit LP).
+///
+/// When the subset space exceeds `max_subsets` the oracle no longer gives up
+/// immediately: it switches to a best-first branch-and-bound over the
+/// enumerated axis, pruning with the lower bound
+///
+/// ```text
+/// bound(S, next) = Σ_{j∈S} enumsum(j) + minsum(next, t) + pick_floor(S) − maxred(next, t)
+/// ```
+///
+/// where `t` lines are still to choose, `minsum` is the sum of the `t`
+/// cheapest remaining enumerated lines, `pick_floor(S)` the cheapest
+/// `k_pick` picked lines given the overlap already fixed by `S`, and
+/// `maxred` caps how much the remaining choices can still reduce the picked
+/// lines (each future line `j` by at most its `k_pick` largest cells). Every
+/// pruned subtree provably contains no cheaper union, so an answer is exact;
+/// the node budget (`max_subsets` nodes) keeps degenerate instances from
+/// running away, declining instead.
 #[must_use]
 pub fn min_price_rows_and_columns(
     side: usize,
@@ -236,9 +454,6 @@ pub fn min_price_rows_and_columns(
     } else {
         (num_cols, num_rows)
     };
-    if subsets(k_enum) > max_subsets {
-        return None;
-    }
     // `cell(i, j)`: price of the cell on picked-axis line i, enumerated-axis
     // line j (rows are the picked axis unless transposed).
     let cell = |i: usize, j: usize| -> f64 {
@@ -254,6 +469,32 @@ pub fn min_price_rows_and_columns(
     let enum_sums: Vec<f64> = (0..side)
         .map(|j| (0..side).map(|i| cell(i, j)).sum())
         .collect();
+
+    if subsets(k_enum) > max_subsets {
+        // Degenerate parameterisation: too many subsets to enumerate.
+        // Branch-and-bound stays exact and only declines when its node
+        // budget runs out.
+        let node_budget = usize::try_from(max_subsets).unwrap_or(usize::MAX);
+        return branch_and_bound_lines(
+            side,
+            &cell,
+            &pick_sums,
+            &enum_sums,
+            k_enum,
+            k_pick,
+            node_budget,
+        )
+        .map(|(enum_set, picked, price)| {
+            let (mut rows, mut cols) = if transpose {
+                (enum_set, picked)
+            } else {
+                (picked, enum_set)
+            };
+            rows.sort_unstable();
+            cols.sort_unstable();
+            (rows, cols, price)
+        });
+    }
 
     let mut best: Option<(Vec<usize>, Vec<usize>, f64)> = None;
     let mut adjusted: Vec<(f64, usize)> = vec![(0.0, 0); side];
@@ -279,6 +520,167 @@ pub fn min_price_rows_and_columns(
         cols.sort_unstable();
         (rows, cols, price)
     })
+}
+
+/// Exact branch-and-bound over the enumerated axis for parameterisations
+/// whose subset space is too large to enumerate (see
+/// [`min_price_rows_and_columns`] for the bound). Returns
+/// `(enumerated lines, picked lines, price)` in original indices, or `None`
+/// when the node budget runs out before optimality is proved.
+fn branch_and_bound_lines(
+    side: usize,
+    cell: &impl Fn(usize, usize) -> f64,
+    pick_sums: &[f64],
+    enum_sums: &[f64],
+    k_enum: usize,
+    k_pick: usize,
+    node_budget: usize,
+) -> Option<(Vec<usize>, Vec<usize>, f64)> {
+    // Candidate enumerated lines, cheapest total first: the leftmost DFS
+    // leaf is then the greedy incumbent, and the `minsum` term of the bound
+    // is a contiguous prefix of the remaining candidates.
+    let mut cands: Vec<usize> = (0..side).collect();
+    cands.sort_by(|&a, &b| enum_sums[a].total_cmp(&enum_sums[b]).then(a.cmp(&b)));
+    let cand_sum: Vec<f64> = cands.iter().map(|&j| enum_sums[j]).collect();
+    let mut presum = vec![0.0; side + 1];
+    for (idx, &s) in cand_sum.iter().enumerate() {
+        presum[idx + 1] = presum[idx] + s;
+    }
+    // Per-candidate picked-axis cells, and the most a candidate can ever
+    // subtract from the picked axis: its `k_pick` largest cells.
+    let cols_by_cand: Vec<Vec<f64>> = cands
+        .iter()
+        .map(|&j| (0..side).map(|i| cell(i, j)).collect())
+        .collect();
+    let colmax: Vec<f64> = cols_by_cand
+        .iter()
+        .map(|col| {
+            let mut sorted = col.clone();
+            sorted.sort_by(|a, b| b.total_cmp(a));
+            sorted[..k_pick].iter().sum()
+        })
+        .collect();
+    // maxred[next][t]: the sum of the `t` largest `colmax` values among
+    // candidates `next..` — how much `t` future choices can still reduce the
+    // picked axis, whatever they are.
+    let maxred: Vec<Vec<f64>> = (0..=side)
+        .map(|next| {
+            let mut suffix = colmax[next..].to_vec();
+            suffix.sort_by(|a, b| b.total_cmp(a));
+            let tmax = k_enum.min(suffix.len());
+            let mut row = vec![0.0; tmax + 1];
+            for t in 0..tmax {
+                row[t + 1] = row[t] + suffix[t];
+            }
+            row
+        })
+        .collect();
+
+    struct Bb<'a> {
+        side: usize,
+        k_enum: usize,
+        k_pick: usize,
+        cands: &'a [usize],
+        cand_sum: &'a [f64],
+        presum: &'a [f64],
+        cols_by_cand: &'a [Vec<f64>],
+        maxred: &'a [Vec<f64>],
+        pick_sums: &'a [f64],
+        /// Σ cell(i, j) over the chosen enumerated lines, per picked line i.
+        overlaps: Vec<f64>,
+        /// Chosen candidate *positions*, ascending.
+        chosen: Vec<usize>,
+        scratch: Vec<(f64, usize)>,
+        nodes: usize,
+        budget: usize,
+        aborted: bool,
+        best_price: f64,
+        best_enum: Vec<usize>,
+        best_pick: Vec<usize>,
+    }
+
+    impl Bb<'_> {
+        /// Cheapest-possible picked-axis total given the overlap fixed so
+        /// far; fills `scratch` sorted so leaves can read the line indices.
+        fn pick_floor(&mut self) -> f64 {
+            for (i, slot) in self.scratch.iter_mut().enumerate() {
+                *slot = (self.pick_sums[i] - self.overlaps[i], i);
+            }
+            self.scratch
+                .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            self.scratch[..self.k_pick].iter().map(|&(v, _)| v).sum()
+        }
+
+        fn dfs(&mut self, next: usize, partial: f64) {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                self.aborted = true;
+                return;
+            }
+            let t = self.k_enum - self.chosen.len();
+            let floor = self.pick_floor();
+            if t == 0 {
+                let price = partial + floor;
+                if price < self.best_price {
+                    self.best_price = price;
+                    self.best_enum = self.chosen.iter().map(|&pos| self.cands[pos]).collect();
+                    self.best_pick = self.scratch[..self.k_pick]
+                        .iter()
+                        .map(|&(_, i)| i)
+                        .collect();
+                }
+                return;
+            }
+            if next + t > self.side {
+                return;
+            }
+            let bound = partial + (self.presum[next + t] - self.presum[next]) + floor
+                - self.maxred[next][t];
+            if bound >= self.best_price {
+                return;
+            }
+            for pos in next..=(self.side - t) {
+                self.chosen.push(pos);
+                for (o, c) in self.overlaps.iter_mut().zip(&self.cols_by_cand[pos]) {
+                    *o += c;
+                }
+                self.dfs(pos + 1, partial + self.cand_sum[pos]);
+                for (o, c) in self.overlaps.iter_mut().zip(&self.cols_by_cand[pos]) {
+                    *o -= c;
+                }
+                self.chosen.pop();
+                if self.aborted {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut bb = Bb {
+        side,
+        k_enum,
+        k_pick,
+        cands: &cands,
+        cand_sum: &cand_sum,
+        presum: &presum,
+        cols_by_cand: &cols_by_cand,
+        maxred: &maxred,
+        pick_sums,
+        overlaps: vec![0.0; side],
+        chosen: Vec::with_capacity(k_enum),
+        scratch: vec![(0.0, 0); side],
+        nodes: 0,
+        budget: node_budget,
+        aborted: false,
+        best_price: f64::INFINITY,
+        best_enum: Vec::new(),
+        best_pick: Vec::new(),
+    };
+    bb.dfs(0, 0.0);
+    if bb.aborted || bb.best_enum.is_empty() {
+        return None;
+    }
+    Some((bb.best_enum, bb.best_pick, bb.best_price))
 }
 
 /// The perfectly balanced line family behind the grid constructions'
@@ -372,6 +774,70 @@ pub fn rows_and_columns_alive_probability(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn line_count_tables_match_direct_counts() {
+        // Sides 3 and 4 exercise the one- and two-chunk layouts exhaustively;
+        // side 6 spot-checks the generic (>2 chunk) per-mask path.
+        for side in [3usize, 4] {
+            let g = SquareGrid::new(side).unwrap();
+            let t = g.line_count_tables();
+            assert_eq!(t.side(), side);
+            for mask in 0u64..1 << (side * side) {
+                let direct = (
+                    g.fully_alive_row_count_u64(mask),
+                    g.fully_alive_column_count_u64(mask),
+                );
+                assert_eq!(t.counts_u64(mask), direct, "side={side} mask={mask:#x}");
+            }
+        }
+        let g = SquareGrid::new(6).unwrap();
+        let t = g.line_count_tables();
+        for mask in (0u64..1 << 36).step_by((1 << 36) / 997) {
+            let direct = (
+                g.fully_alive_row_count_u64(mask),
+                g.fully_alive_column_count_u64(mask),
+            );
+            assert_eq!(t.counts_u64(mask), direct, "side=6 mask={mask:#x}");
+        }
+    }
+
+    #[test]
+    fn unavailable_mass_range_is_bit_identical_to_scalar_chain() {
+        // The kernel must reproduce the engine's generic accumulation chain
+        // exactly (single f64 chain, ascending masks) — compare with
+        // `to_bits`, over full ranges and over split sub-ranges.
+        for (side, min_rows, min_cols) in [(3usize, 2usize, 1usize), (4, 3, 1), (4, 2, 2)] {
+            let g = SquareGrid::new(side).unwrap();
+            let t = g.line_count_tables();
+            let n = side * side;
+            let p = 0.125f64;
+            let q = 1.0 - p;
+            let weights: Vec<f64> = (0..=n as i32)
+                .map(|k| q.powi(k) * p.powi(n as i32 - k))
+                .collect();
+            let total = 1u64 << n;
+            let mut reference = 0.0f64;
+            for m in 0..total {
+                let rows = g.fully_alive_row_count_u64(m);
+                let cols = g.fully_alive_column_count_u64(m);
+                if rows < min_rows || cols < min_cols {
+                    reference += weights[m.count_ones() as usize];
+                }
+            }
+            let whole = t.unavailable_mass_range(min_rows, min_cols, &weights, 0, total);
+            assert_eq!(
+                whole.to_bits(),
+                reference.to_bits(),
+                "side={side} rows>={min_rows} cols>={min_cols}"
+            );
+            // Arbitrary (unaligned) sub-ranges must also run the same chain.
+            let cut = total / 3 + 1;
+            let head = t.unavailable_mass_range(min_rows, min_cols, &weights, 0, cut);
+            let tail = t.unavailable_mass_range(min_rows, min_cols, &weights, cut, total);
+            assert!((head + tail - reference).abs() < 1e-15);
+        }
+    }
 
     #[test]
     fn construction_and_indexing() {
@@ -475,5 +941,36 @@ mod tests {
         assert!(u.contains(g.index(0, 0)));
         assert!(u.contains(g.index(2, 1)));
         assert!(!u.contains(g.index(2, 2)));
+    }
+
+    #[test]
+    fn branch_and_bound_fallback_matches_enumeration_when_forced() {
+        // C(10, 3) = 120 > 100 forces the branch-and-bound path; the full
+        // enumeration (generous budget) is the reference. Planted cheap
+        // lines plus deterministic noise keep the optimum unique so both
+        // paths must return the identical line sets.
+        let side = 10;
+        for seed in 0..4u64 {
+            let prices: Vec<f64> = (0..side * side)
+                .map(|i| {
+                    let r = i / side;
+                    let c = i % side;
+                    let noise = ((i as u64 * 131 + seed * 17 + 7) % 23) as f64 / 230.0;
+                    if [1usize, 4, 6].contains(&r) || [2usize, 3, 8].contains(&c) {
+                        noise
+                    } else {
+                        5.0 + noise
+                    }
+                })
+                .collect();
+            let exhaustive = min_price_rows_and_columns(side, &prices, 3, 3, u128::MAX).unwrap();
+            let forced = min_price_rows_and_columns(side, &prices, 3, 3, 100).unwrap();
+            assert_eq!(forced.0, exhaustive.0, "seed={seed}");
+            assert_eq!(forced.1, exhaustive.1, "seed={seed}");
+            assert!((forced.2 - exhaustive.2).abs() < 1e-9, "seed={seed}");
+            // A hopeless node budget still declines instead of answering
+            // wrong.
+            assert!(min_price_rows_and_columns(side, &prices, 3, 3, 1).is_none());
+        }
     }
 }

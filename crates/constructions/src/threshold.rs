@@ -152,8 +152,18 @@ impl QuorumSystem for ThresholdSystem {
         alive.len() >= self.quorum_size
     }
 
+    #[inline]
     fn is_available_u64(&self, alive: u64, _scratch: &mut ServerSet) -> bool {
         alive.count_ones() as usize >= self.quorum_size
+    }
+
+    #[inline]
+    fn is_available_u64x4(
+        &self,
+        alive: [u64; bqs_core::quorum::AVAILABILITY_LANES],
+        _scratch: &mut bqs_core::quorum::LaneScratch,
+    ) -> [bool; bqs_core::quorum::AVAILABILITY_LANES] {
+        std::array::from_fn(|i| alive[i].count_ones() as usize >= self.quorum_size)
     }
 
     fn crash_probability_closed_form(&self, p: f64) -> Option<f64> {

@@ -33,7 +33,7 @@ use rand::{Rng, SeedableRng};
 use crate::availability::CrashEstimate;
 use crate::bitset::ServerSet;
 use crate::error::QuorumError;
-use crate::quorum::QuorumSystem;
+use crate::quorum::{LaneScratch, QuorumSystem, AVAILABILITY_LANES};
 
 /// Largest universe size accepted by the exact enumerator (`2^25`
 /// configurations by default; raise with [`Evaluator::with_exact_limit`], the
@@ -54,6 +54,10 @@ pub enum FpMethod {
     /// A structure-aware transfer-matrix dynamic program (exact; feasibility
     /// depends on the instance, e.g. the M-Path boundary-interface sweep).
     Dp,
+    /// An ε-pruned transfer-matrix dynamic program: the value is the midpoint
+    /// of a **certified** `[lower, upper]` enclosure (carried in
+    /// [`FpEstimate::interval`]) whose width accounts for all pruned mass.
+    DpPruned,
     /// Exhaustive enumeration of all `2^n` crash configurations (exact).
     Exact,
     /// Monte-Carlo estimation (unbiased, with sampling error).
@@ -67,6 +71,7 @@ impl FpMethod {
         match self {
             FpMethod::ClosedForm => "closed_form",
             FpMethod::Dp => "dp",
+            FpMethod::DpPruned => "dp_pruned",
             FpMethod::Exact => "exact",
             FpMethod::MonteCarlo => "monte_carlo",
         }
@@ -84,6 +89,10 @@ pub struct FpEstimate {
     pub trials: Option<usize>,
     /// The method that produced the value.
     pub method: FpMethod,
+    /// Certified `[lower, upper]` enclosure of the true value, when the
+    /// method provides one ([`FpMethod::DpPruned`]); `value` is its midpoint.
+    /// Unlike a Monte-Carlo confidence interval this is a *rigorous* bound.
+    pub interval: Option<(f64, f64)>,
 }
 
 impl FpEstimate {
@@ -107,6 +116,7 @@ impl FpEstimate {
             (FpMethod::MonteCarlo, Some(trials)) => {
                 crate::availability::wilson_score_interval(self.value, trials)
             }
+            (FpMethod::DpPruned, _) => self.interval.unwrap_or((self.value, self.value)),
             _ => (self.value, self.value),
         }
     }
@@ -118,9 +128,21 @@ impl FpEstimate {
     }
 
     /// Whether the estimate is exact (closed form, DP or full enumeration).
+    /// Pruned-DP answers are *not* exact — they are certified enclosures; see
+    /// [`FpEstimate::is_certified`].
     #[must_use]
     pub fn is_exact(&self) -> bool {
-        self.method != FpMethod::MonteCarlo
+        matches!(
+            self.method,
+            FpMethod::ClosedForm | FpMethod::Dp | FpMethod::Exact
+        )
+    }
+
+    /// Whether the true value is covered by a rigorous (non-statistical)
+    /// guarantee: exact methods, or a pruned-DP certified enclosure.
+    #[must_use]
+    pub fn is_certified(&self) -> bool {
+        self.is_exact() || (self.method == FpMethod::DpPruned && self.interval.is_some())
     }
 
     /// Whether `value` lies within the 95% confidence interval — the Wilson
@@ -242,6 +264,7 @@ impl Evaluator {
                 std_error: None,
                 trials: None,
                 method: system.closed_form_method(),
+                interval: None,
             };
         }
         match self.exact(system, p) {
@@ -250,14 +273,28 @@ impl Evaluator {
                 std_error: None,
                 trials: None,
                 method: FpMethod::Exact,
+                interval: None,
             },
             Err(_) => {
+                // Past the enumeration limit, a certified enclosure (the
+                // ε-pruned DP) still beats sampling: rigorous bounds at any
+                // width the construction can certify.
+                if let Some((lower, upper)) = system.crash_probability_interval(p) {
+                    return FpEstimate {
+                        value: 0.5 * (lower + upper),
+                        std_error: None,
+                        trials: None,
+                        method: FpMethod::DpPruned,
+                        interval: Some((lower, upper)),
+                    };
+                }
                 let est = self.monte_carlo(system, p);
                 FpEstimate {
                     value: est.mean,
                     std_error: Some(est.std_error),
                     trials: Some(est.trials),
                     method: FpMethod::MonteCarlo,
+                    interval: None,
                 }
             }
         }
@@ -352,17 +389,36 @@ impl Evaluator {
             let next = std::sync::atomic::AtomicUsize::new(0);
             let run = |i: usize| -> Option<Vec<FpEstimate>> {
                 let sys = systems[i];
-                sys.crash_probability_closed_form_batch(ps).map(|values| {
-                    values
-                        .into_iter()
-                        .map(|value| FpEstimate {
-                            value,
-                            std_error: None,
-                            trials: None,
-                            method: sys.closed_form_method(),
+                sys.crash_probability_closed_form_batch(ps)
+                    .map(|values| {
+                        values
+                            .into_iter()
+                            .map(|value| FpEstimate {
+                                value,
+                                std_error: None,
+                                trials: None,
+                                method: sys.closed_form_method(),
+                                interval: None,
+                            })
+                            .collect()
+                    })
+                    .or_else(|| {
+                        // No exact batch: a certified-interval batch (the
+                        // ε-pruned DP sharing one state enumeration across
+                        // the whole p-grid) still beats per-point sampling.
+                        sys.crash_probability_interval_batch(ps).map(|intervals| {
+                            intervals
+                                .into_iter()
+                                .map(|(lower, upper)| FpEstimate {
+                                    value: 0.5 * (lower + upper),
+                                    std_error: None,
+                                    trials: None,
+                                    method: FpMethod::DpPruned,
+                                    interval: Some((lower, upper)),
+                                })
+                                .collect()
                         })
-                        .collect()
-                })
+                    })
             };
             if workers <= 1 {
                 systems.iter().enumerate().for_each(|(i, _)| {
@@ -506,24 +562,51 @@ impl Evaluator {
 pub const MC_BLOCK_TRIALS: usize = 1024;
 
 /// Sums the probability mass of the *unavailable* alive-masks in
-/// `start..end`, allocation-free: one scratch set for the whole range.
+/// `start..end`, allocation-free: one scratch pool for the whole range.
 ///
 /// The per-mask probability depends only on the popcount, so the `n + 1`
 /// possible weights are computed once up front — with the exact expression
 /// the historical scalar loop used per mask, which keeps the summed terms
-/// (and hence the bit-for-bit parity the tests pin down) unchanged.
+/// unchanged.
+///
+/// Masks are checked [`AVAILABILITY_LANES`] at a time through
+/// [`QuorumSystem::is_available_u64x4`] — the availability test is where the
+/// cycles go, and the batched form lets structure-aware systems answer four
+/// masks per pass (SIMD-shaped for the autovectorizer). The weight
+/// accumulation stays a single scalar chain in ascending mask order, so the
+/// sum — and hence the bit-for-bit parity with the historical scalar loop
+/// that the regression tests pin down — is untouched by the lane width.
 fn enumerate_masks<Q: QuorumSystem + ?Sized>(system: &Q, p: f64, start: u64, end: u64) -> f64 {
     let n = system.universe_size();
     let q = 1.0 - p;
     let weight: Vec<f64> = (0..=n as i32)
         .map(|k| q.powi(k) * p.powi(n as i32 - k))
         .collect();
-    let mut scratch = ServerSet::new(n);
+    // Structure-aware systems can swallow the whole range in one specialised
+    // kernel (bit-identical by contract); the lane loop below is the generic
+    // fallback.
+    if let Some(mass) = system.unavailable_mass_u64_range(&weight, start, end) {
+        return mass;
+    }
+    let mut scratch = LaneScratch::new(n);
     let mut crash_prob = 0.0;
-    for mask in start..end {
-        if !system.is_available_u64(mask, &mut scratch) {
+    let lanes = AVAILABILITY_LANES as u64;
+    let mut mask = start;
+    while mask + lanes <= end {
+        let batch: [u64; AVAILABILITY_LANES] = std::array::from_fn(|i| mask + i as u64);
+        let available = system.is_available_u64x4(batch, &mut scratch);
+        for (&m, &ok) in batch.iter().zip(&available) {
+            if !ok {
+                crash_prob += weight[m.count_ones() as usize];
+            }
+        }
+        mask += lanes;
+    }
+    while mask < end {
+        if !system.is_available_u64(mask, scratch.lane_mut(0)) {
             crash_prob += weight[mask.count_ones() as usize];
         }
+        mask += 1;
     }
     crash_prob
 }

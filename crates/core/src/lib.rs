@@ -69,7 +69,9 @@ pub use bitset::ServerSet;
 pub use composition::{compose_explicit, ComposedSystem};
 pub use error::QuorumError;
 pub use eval::{Evaluator, FpEstimate, FpMethod};
-pub use load::{fair_load, optimal_load, optimal_load_oracle, CertifiedLoad};
+pub use load::{
+    fair_load, optimal_load, optimal_load_oracle, optimal_load_oracle_for_quorums, CertifiedLoad,
+};
 pub use masking::{is_b_masking, masking_level};
 pub use oracle::MinWeightQuorumOracle;
 pub use quorum::{ExplicitQuorumSystem, QuorumSystem};
@@ -91,8 +93,8 @@ pub mod prelude {
     pub use crate::error::QuorumError;
     pub use crate::eval::{Evaluator, FpEstimate, FpMethod};
     pub use crate::load::{
-        fair_load, optimal_load, optimal_load_oracle, optimal_load_oracle_with, strategy_load,
-        CertifiedLoad,
+        fair_load, optimal_load, optimal_load_oracle, optimal_load_oracle_for_quorums,
+        optimal_load_oracle_with, strategy_load, CertifiedLoad,
     };
     pub use crate::masking::{is_b_masking, mask_votes, masking_feasible, masking_level};
     pub use crate::measures::{

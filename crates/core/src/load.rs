@@ -177,6 +177,31 @@ pub fn optimal_load_oracle<S: MinWeightQuorumOracle + ?Sized>(
     )
 }
 
+/// The certified load of a **hand-built explicit quorum list** — the entry
+/// point for custom systems that are not one of the paper's constructions
+/// and need not be fair, so neither Proposition 3.9's `c(Q)/n` closed form
+/// ([`fair_load`] rejects them) nor a structured pricing oracle applies.
+///
+/// Wraps the list in an [`crate::quorum::ExplicitQuorumSystem`], whose
+/// linear-scan pricing oracle is exact, and runs the same certified
+/// column-generation engine as the structured constructions — the result
+/// carries the identical `load − lower_bound ≤` [`CERTIFIED_GAP_TOLERANCE`]
+/// certificate.
+///
+/// # Errors
+///
+/// * [`QuorumError::EmptySystem`] / [`QuorumError::InvalidParameters`] when
+///   the list is empty or a quorum does not fit the universe (via
+///   [`crate::quorum::ExplicitQuorumSystem::new`]).
+/// * As [`optimal_load_oracle`] for certification failures.
+pub fn optimal_load_oracle_for_quorums(
+    universe_size: usize,
+    quorums: Vec<ServerSet>,
+) -> Result<CertifiedLoad, QuorumError> {
+    let sys = crate::quorum::ExplicitQuorumSystem::new(universe_size, quorums)?;
+    optimal_load_oracle(&sys)
+}
+
 /// [`optimal_load_oracle`] with an explicit gap tolerance and round cap.
 ///
 /// # Errors
@@ -523,6 +548,42 @@ mod tests {
             optimal_load(&[], 3),
             Err(QuorumError::EmptySystem)
         ));
+    }
+
+    #[test]
+    fn explicit_list_entry_certifies_a_non_fair_custom_system() {
+        // Hand-built non-fair system on 4 servers: an asymmetric star plus
+        // the complement quorum. Not fair (mixed quorum sizes, server 0
+        // privileged), so c(Q)/n does not apply — the analytic optimum puts
+        // weight 2/5 on {1,2,3} and 1/5 on each star, equalising every
+        // server's load at 3/5.
+        let quorums = vec![
+            ServerSet::from_indices(4, [0, 1]),
+            ServerSet::from_indices(4, [0, 2]),
+            ServerSet::from_indices(4, [0, 3]),
+            ServerSet::from_indices(4, [1, 2, 3]),
+        ];
+        assert!(fair_load(&quorums, 4).is_err());
+        let certified = optimal_load_oracle_for_quorums(4, quorums.clone()).unwrap();
+        assert!(
+            certified.gap <= CERTIFIED_GAP_TOLERANCE,
+            "gap={}",
+            certified.gap
+        );
+        assert!(
+            (certified.load - 0.6).abs() <= 1e-9,
+            "certified {} vs analytic 3/5",
+            certified.load
+        );
+        // The certified answer agrees with the dense explicit LP.
+        let (dense, _) = optimal_load(&quorums, 4).unwrap();
+        assert!((certified.load - dense).abs() <= 1e-9);
+        // Every strategy quorum is one of the hand-built ones.
+        for q in &certified.quorums {
+            assert!(quorums.contains(q));
+        }
+        // Invalid lists surface the constructor's errors.
+        assert!(optimal_load_oracle_for_quorums(4, vec![]).is_err());
     }
 
     fn explicit(n: usize, quorums: Vec<ServerSet>) -> crate::quorum::ExplicitQuorumSystem {

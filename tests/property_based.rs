@@ -224,6 +224,70 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The lane-batched exact enumeration ([`QuorumSystem::is_available_u64x4`]
+    /// under the hood) is bit-identical to the historical scalar loop for
+    /// every construction family with a universe of at most 20 servers.
+    /// (boostFPP's smallest instance already exceeds 20 servers and is exact
+    /// through Theorem 4.7 rather than enumeration, so it has no lane path.)
+    #[test]
+    fn lane_batched_enumeration_bit_identical_to_scalar(
+        n in 12usize..21,
+        p in 0.0f64..1.0,
+        shape in 0usize..6,
+    ) {
+        use byzantine_quorums::core::availability::exact_crash_probability_naive;
+        let sys: Box<dyn QuorumSystem> = match shape {
+            0 => Box::new(ThresholdSystem::new(n, n / 2 + 1).unwrap()),
+            1 => Box::new(GridSystem::new(4, 1).unwrap()),
+            2 => Box::new(MGridSystem::new(4, 1).unwrap()),
+            3 => Box::new(FppSystem::new(3).unwrap()),
+            4 => Box::new(MPathSystem::new(3, 1).unwrap()),
+            _ => Box::new(RtSystem::new(4, 3, 2).unwrap()),
+        };
+        let lanes = exact_crash_probability(sys.as_ref(), p).unwrap();
+        let scalar = exact_crash_probability_naive(sys.as_ref(), p).unwrap();
+        prop_assert_eq!(
+            lanes.to_bits(),
+            scalar.to_bits(),
+            "shape={} n={} p={}: lanes {} vs scalar {}",
+            shape, sys.universe_size(), p, lanes, scalar
+        );
+    }
+
+    /// On every side the unpruned M-Path sweep affords, the ε-pruned sweep's
+    /// certified interval contains the exact value at random `p`, and the
+    /// enclosure is no wider than 1e-12 (the sides ≤ 6 acceptance bar; sides
+    /// kept ≤ 5 here so the unpruned reference stays fast in debug builds —
+    /// side 6 is pinned deterministically in the `bqs-graph` suite).
+    #[test]
+    fn pruned_dp_interval_contains_exact_at_random_p(
+        side in 2usize..6,
+        k in 1usize..3,
+        p in 0.0f64..1.0,
+    ) {
+        use byzantine_quorums::graph::crossing_dp::{
+            mpath_crash_probability_exact, mpath_crash_probability_pruned, DEFAULT_PRUNE_EPSILON,
+        };
+        prop_assume!(k <= side);
+        let exact = mpath_crash_probability_exact(side, k, p, 1 << 22).unwrap();
+        let iv = mpath_crash_probability_pruned(side, k, p, 1 << 22, DEFAULT_PRUNE_EPSILON)
+            .unwrap();
+        prop_assert!(
+            iv.lower <= exact && exact <= iv.upper,
+            "side={} k={} p={}: exact {} outside [{}, {}]",
+            side, k, p, exact, iv.lower, iv.upper
+        );
+        prop_assert!(
+            iv.width() <= 1e-12,
+            "side={} k={} p={}: width {}",
+            side, k, p, iv.width()
+        );
+    }
+}
+
 /// Non-proptest regression: a composed system's crash probability is the composition
 /// of the component crash probabilities (Theorem 4.7's availability clause) for a
 /// non-threshold composition as well.
