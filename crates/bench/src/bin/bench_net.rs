@@ -1,6 +1,7 @@
 //! Machine-readable benchmark of the socket transport subsystem: emits
-//! `BENCH_net.json` (schema v1) — latency vs *offered* load across transport
-//! backends, with the saturation knee identified per backend.
+//! `BENCH_net.json` (schema v2) — latency vs *offered* load across transport
+//! backends, with the saturation knee identified per backend and compared
+//! against the committed pre-batching (schema v1) baseline knees.
 //!
 //! For each backend (in-process loopback, Unix-domain socket, TCP loopback)
 //! and each paper construction in the matrix, the open-loop generator
@@ -18,9 +19,16 @@
 //!
 //! `--quick` sweeps small rates on loopback + UDS only and **asserts the
 //! gate**: zero safety violations in every row, exact arrival accounting,
-//! and knee sanity (the lowest offered rate must not saturate). CI runs this
-//! mode on every push, next to `bench_fp`/`bench_load`/`bench_service
-//! --quick`.
+//! knee sanity (the lowest offered rate must not saturate), and batching
+//! parity (an unbatched UDS point at a below-knee rate must complete like
+//! its batched twin — coalescing must never be load-bearing for
+//! correctness). CI runs this mode on every push, next to
+//! `bench_fp`/`bench_load`/`bench_service --quick`.
+//!
+//! The full run additionally gates the tentpole: each socket backend's knee
+//! must sit at `>= KNEE_GATE_RATIO` times the committed v1 baseline knee
+//! (measured before wire batching, drain-whole-batch mailboxes, and
+//! slot-table completions landed).
 
 use std::time::Duration;
 
@@ -53,6 +61,29 @@ const LOSS_FRACTION: f64 = 0.01;
 /// (`~1/sqrt(arrivals)`) from tripping it on short sweeps.
 const INJECTION_FRACTION: f64 = 0.85;
 
+/// Required improvement of each socket backend's knee over the committed v1
+/// baseline (full mode only).
+const KNEE_GATE_RATIO: f64 = 1.5;
+
+/// The committed `BENCH_net.json` schema-v1 knees (PR 6, 1-core runner,
+/// pre-batching): `(backend, construction, knee_offered_rate)`. The v2 gate
+/// measures this PR's knees against them.
+const BASELINE_KNEES: &[(&str, &str, Option<f64>)] = &[
+    ("loopback", "Grid(n=25, b=1) [strategic]", Some(192_000.0)),
+    ("loopback", "M-Grid(n=25, b=2) [strategic]", None),
+    ("uds", "Grid(n=25, b=1) [strategic]", Some(32_000.0)),
+    ("uds", "M-Grid(n=25, b=2) [strategic]", Some(32_000.0)),
+    ("tcp", "Grid(n=25, b=1) [strategic]", Some(16_000.0)),
+    ("tcp", "M-Grid(n=25, b=2) [strategic]", Some(32_000.0)),
+];
+
+fn baseline_knee(backend: &str, construction: &str) -> Option<f64> {
+    BASELINE_KNEES
+        .iter()
+        .find(|(b, c, _)| *b == backend && *c == construction)
+        .and_then(|(_, _, knee)| *knee)
+}
+
 /// One transport backend under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Backend {
@@ -78,6 +109,9 @@ struct SweepPoint {
     n: usize,
     b: usize,
     offered_rate: f64,
+    /// Whether the socket transport coalesced fan-outs into `WireBatch`
+    /// frames (always `true` on loopback, whose batching has no switch).
+    batching: bool,
     saturated: bool,
     report: OpenLoopReport,
     /// Load validation against the certified `L(Q)`; only meaningful below
@@ -93,10 +127,26 @@ struct KneeRow {
     n: usize,
     /// Offered rate of the first saturated point, if the sweep saturated.
     knee_offered_rate: Option<f64>,
+    /// Highest offered rate the sweep tried — the lower bound on the knee
+    /// when the sweep never saturated.
+    max_offered_rate: f64,
     /// Highest achieved throughput anywhere in the sweep.
     capacity_ops_per_sec: f64,
     /// All below-knee rows passed the 3σ load band.
     below_knee_load_ok: bool,
+}
+
+impl KneeRow {
+    /// The knee for gating purposes: where the sweep saturated, or (as a
+    /// conservative lower bound) the top rate swept when it never did.
+    fn effective_knee(&self) -> f64 {
+        self.knee_offered_rate.unwrap_or(self.max_offered_rate)
+    }
+
+    /// Improvement over the committed v1 baseline knee, when one exists.
+    fn knee_ratio(&self) -> Option<f64> {
+        baseline_knee(self.backend, &self.construction).map(|b| self.effective_knee() / b)
+    }
 }
 
 fn uds_path(tag: usize) -> std::path::PathBuf {
@@ -114,6 +164,7 @@ fn run_point<S>(
     rate: f64,
     config: &OpenLoopConfig,
     point_tag: usize,
+    batching: bool,
     failures: &mut Vec<String>,
 ) -> SweepPoint
 where
@@ -130,9 +181,10 @@ where
         ..*config
     };
     eprintln!(
-        "bench_net: {} / {name} at {rate:.0} offered ops/s ({} arrivals)...",
+        "bench_net: {} / {name} at {rate:.0} offered ops/s ({} arrivals{})...",
         backend.name(),
-        config.total_arrivals
+        config.total_arrivals,
+        if batching { "" } else { ", batching off" }
     );
     let ((report, access_counts), seconds) = time(|| match backend {
         Backend::Loopback => {
@@ -153,6 +205,7 @@ where
                 NetConfig {
                     pool: 2,
                     request_deadline: Duration::from_secs(3),
+                    batching,
                     ..NetConfig::default()
                 },
             )
@@ -202,6 +255,7 @@ where
         n,
         b,
         offered_rate: rate,
+        batching,
         saturated,
         report,
         load_check,
@@ -241,6 +295,7 @@ where
             rate,
             &config,
             tag_base + i,
+            true,
             failures,
         ));
     }
@@ -262,6 +317,7 @@ where
         construction: strategic.name(),
         n: strategic.universe_size(),
         knee_offered_rate,
+        max_offered_rate: rates.last().copied().unwrap_or(0.0),
         capacity_ops_per_sec: capacity,
         below_knee_load_ok,
     }
@@ -347,6 +403,38 @@ fn main() {
                 ));
             }
         }
+        // Batching parity: the same below-knee rate with coalescing disabled
+        // must behave like its batched twin — safe, fully accounted (both
+        // asserted inside `run_point`) and unsaturated. Batching is a
+        // throughput optimisation and must never be load-bearing for
+        // correctness.
+        let parity_rate = rates[2];
+        let parity = run_point(
+            Backend::Uds,
+            &grid,
+            1,
+            grid_load,
+            parity_rate,
+            &OpenLoopConfig {
+                total_arrivals: arrivals(parity_rate),
+                ..base_config
+            },
+            900,
+            false,
+            &mut failures,
+        );
+        if parity.saturated {
+            failures.push(format!(
+                "uds/unbatched parity point saturated at {parity_rate:.0} ops/s"
+            ));
+        }
+        if parity.report.completed() * 10 < parity.report.scheduled * 9 {
+            failures.push(format!(
+                "uds/unbatched parity point lost arrivals below the knee: {:?}",
+                parity.report
+            ));
+        }
+        points.push(parity);
     } else {
         let mgrid = MGridSystem::new(5, 2).unwrap();
         let mgrid_cert = optimal_load_oracle(&mgrid).expect("m-grid certifies");
@@ -396,6 +484,20 @@ fn main() {
                     knee.backend, knee.construction
                 ));
             }
+            // The tentpole gate: socket knees must have moved by
+            // KNEE_GATE_RATIO over the committed pre-batching baseline.
+            if knee.backend != "loopback" {
+                if let Some(ratio) = knee.knee_ratio() {
+                    if ratio < KNEE_GATE_RATIO {
+                        failures.push(format!(
+                            "{}/{}: knee {:.0} is only {ratio:.2}x the v1 baseline (gate {KNEE_GATE_RATIO}x)",
+                            knee.backend,
+                            knee.construction,
+                            knee.effective_knee()
+                        ));
+                    }
+                }
+            }
         }
     }
 
@@ -404,7 +506,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
-        "  \"schema\": \"bench_net/v1\",\n  \"available_parallelism\": {cores},\n  \"quick\": {quick},\n  \"knee_fraction\": {KNEE_FRACTION},\n"
+        "  \"schema\": \"bench_net/v2\",\n  \"available_parallelism\": {cores},\n  \"quick\": {quick},\n  \"knee_fraction\": {KNEE_FRACTION},\n  \"knee_gate_ratio\": {KNEE_GATE_RATIO},\n"
     ));
     json.push_str("  \"sweep\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -417,11 +519,12 @@ fn main() {
             None => "\"certified_load\": null, \"empirical_max_load\": null, \"sigma\": null, \"tolerance\": null, \"z\": null, \"within_tolerance\": null".to_string(),
         };
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"construction\": \"{}\", \"n\": {}, \"b\": {}, \"generator\": \"open_loop\", \"offered_ops_per_sec\": {:.1}, \"realized_offered_ops_per_sec\": {:.1}, \"achieved_ops_per_sec\": {:.1}, \"saturated\": {}, \"scheduled\": {}, \"completed_writes\": {}, \"completed_reads\": {}, \"inconclusive_reads\": {}, \"shed\": {}, \"timed_out\": {}, \"no_live_quorum\": {}, \"rejected_sends\": {}, \"safety_violations\": {}, \"peak_in_flight\": {}, \"latency_mean_ns\": {}, \"latency_p50_ns\": {}, \"latency_p90_ns\": {}, \"latency_p99_ns\": {}, \"latency_max_ns\": {}, \"elapsed_seconds\": {:e}, \"seconds\": {:e}, {}}}{}\n",
+            "    {{\"backend\": \"{}\", \"construction\": \"{}\", \"n\": {}, \"b\": {}, \"generator\": \"open_loop\", \"batching\": {}, \"offered_ops_per_sec\": {:.1}, \"realized_offered_ops_per_sec\": {:.1}, \"achieved_ops_per_sec\": {:.1}, \"saturated\": {}, \"scheduled\": {}, \"completed_writes\": {}, \"completed_reads\": {}, \"inconclusive_reads\": {}, \"shed\": {}, \"timed_out\": {}, \"no_live_quorum\": {}, \"rejected_sends\": {}, \"safety_violations\": {}, \"peak_in_flight\": {}, \"latency_mean_ns\": {}, \"latency_p50_ns\": {}, \"latency_p90_ns\": {}, \"latency_p99_ns\": {}, \"latency_max_ns\": {}, \"latency_hist_p50_ns\": {}, \"latency_hist_p99_ns\": {}, \"latency_hist_p999_ns\": {}, \"elapsed_seconds\": {:e}, \"seconds\": {:e}, {}}}{}\n",
             p.backend,
             json_escape(&p.construction),
             p.n,
             p.b,
+            p.batching,
             p.offered_rate,
             r.realized_offered_ops_per_sec,
             r.achieved_ops_per_sec,
@@ -441,6 +544,9 @@ fn main() {
             r.latency_p90_ns,
             r.latency_p99_ns,
             r.latency_max_ns,
+            r.latency_hist_p50_ns,
+            r.latency_hist_p99_ns,
+            r.latency_hist_p999_ns,
             r.elapsed_seconds,
             p.seconds,
             load_fields,
@@ -452,12 +558,20 @@ fn main() {
         let knee = k
             .knee_offered_rate
             .map_or("null".to_string(), |v| format!("{v:.1}"));
+        let baseline = baseline_knee(k.backend, &k.construction)
+            .map_or("null".to_string(), |v| format!("{v:.1}"));
+        let ratio = k
+            .knee_ratio()
+            .map_or("null".to_string(), |v| format!("{v:.3}"));
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"construction\": \"{}\", \"n\": {}, \"knee_offered_rate\": {}, \"capacity_ops_per_sec\": {:.1}, \"below_knee_load_ok\": {}}}{}\n",
+            "    {{\"backend\": \"{}\", \"construction\": \"{}\", \"n\": {}, \"knee_offered_rate\": {}, \"max_offered_rate\": {:.1}, \"baseline_knee_offered_rate\": {}, \"knee_ratio\": {}, \"capacity_ops_per_sec\": {:.1}, \"below_knee_load_ok\": {}}}{}\n",
             k.backend,
             json_escape(&k.construction),
             k.n,
             knee,
+            k.max_offered_rate,
+            baseline,
+            ratio,
             k.capacity_ops_per_sec,
             k.below_knee_load_ok,
             if i + 1 == knees.len() { "" } else { "," }
@@ -497,17 +611,19 @@ fn main() {
         );
     }
     println!(
-        "\n{:<10} {:<22} {:>12} {:>12} {:>14}",
-        "backend", "construction", "knee", "capacity", "load ok"
+        "\n{:<10} {:<22} {:>12} {:>12} {:>8} {:>14}",
+        "backend", "construction", "knee", "capacity", "ratio", "load ok"
     );
     for k in &knees {
         println!(
-            "{:<10} {:<22} {:>12} {:>12.0} {:>14}",
+            "{:<10} {:<22} {:>12} {:>12.0} {:>8} {:>14}",
             k.backend,
             k.construction,
             k.knee_offered_rate
                 .map_or("none".to_string(), |v| format!("{v:.0}")),
             k.capacity_ops_per_sec,
+            k.knee_ratio()
+                .map_or("-".to_string(), |v| format!("{v:.2}x")),
             k.below_knee_load_ok
         );
     }

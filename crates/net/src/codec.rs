@@ -11,7 +11,29 @@
 //! op       = 0x00 (read)  |  0x01 ts u64 LE value u64 LE (write)
 //! reply    = 0x02 | request_id u64 LE | server u32 LE | entry
 //! entry    = 0x00 (none)  |  0x01 ts u64 LE value u64 LE (some)
+//! batch    = 0x03 | count u8 (1..=64) | item{count}
+//! item     = request | reply          (self-describing 14/30-byte layouts)
 //! ```
+//!
+//! # Batched frames
+//!
+//! A **`WireBatch`** frame (kind `0x03`) carries up to [`MAX_BATCH`]
+//! messages under one `MAGIC | LEN` header, so a writer that has several
+//! messages queued — a client's pipelined quorum fan-outs, a server's
+//! coalesced replies — pays one header and one syscall for the lot instead
+//! of one each. Items reuse the single-message payload layouts verbatim
+//! (each item is self-describing: its entry/op tag determines whether it is
+//! 14 or 30 bytes), so batching changes *framing only*, never message
+//! semantics: [`FrameReader`] delivers the items of a batch one at a time
+//! through the same [`FrameReader::next_message`] the single-message frames
+//! use, in order. A batch that fails validation anywhere (bad count, corrupt
+//! item, trailing bytes) is discarded **whole** and counted as one resync —
+//! per-item salvage could silently reorder the stream.
+//!
+//! [`encode_request_batch`] / [`encode_reply_batch`] chunk arbitrarily long
+//! message runs into maximal batch frames, emitting a plain single-message
+//! frame when a chunk has only one message (a single-message frame is 2
+//! bytes shorter than a 1-batch).
 //!
 //! # Robustness
 //!
@@ -36,20 +58,32 @@ use bqs_sim::server::Entry;
 /// Frame preamble: "BQN" + wire-format version 1.
 pub const MAGIC: [u8; 4] = *b"BQN1";
 
-/// Hard ceiling on a frame's payload length. The largest legal payload (a
-/// write request or entry-bearing reply) is 30 bytes; anything above this is
-/// corruption and is rejected before allocation.
-pub const MAX_PAYLOAD: usize = 64;
+/// Hard ceiling on a frame's payload length. The largest legal payload is a
+/// full batch of entry-bearing messages (`2 + 64 * 30 = 1922` bytes);
+/// anything above this is corruption and is rejected before allocation.
+pub const MAX_PAYLOAD: usize = 2048;
+
+/// Maximum messages one `WireBatch` frame may carry (the batch `count` byte
+/// is `1..=MAX_BATCH`). Sized so a full batch of 30-byte items stays under
+/// [`MAX_PAYLOAD`] while amortising the frame header and the per-write
+/// syscall ~64×.
+pub const MAX_BATCH: usize = 64;
 
 /// Bytes of `MAGIC | LEN` preceding every payload.
 pub const HEADER_LEN: usize = MAGIC.len() + 4;
 
 const KIND_REQUEST: u8 = 0x01;
 const KIND_REPLY: u8 = 0x02;
+const KIND_BATCH: u8 = 0x03;
 const OP_READ: u8 = 0x00;
 const OP_WRITE: u8 = 0x01;
 const ENTRY_NONE: u8 = 0x00;
 const ENTRY_SOME: u8 = 0x01;
+
+/// Wire size of one message payload/item: the kind byte, id, server, and the
+/// tagged 0- or 16-byte entry body.
+const ITEM_SHORT: usize = 14;
+const ITEM_LONG: usize = 30;
 
 /// A request as it travels on the wire: [`bqs_service::transport::Request`]
 /// minus the in-process reply channel (the connection itself is the reply
@@ -73,19 +107,25 @@ pub enum WireMessage {
     Reply(Reply),
 }
 
-/// Appends one encoded request frame to `buf`.
-///
-/// # Panics
-///
-/// Panics if `server` does not fit the wire's `u32` server index.
-pub fn encode_request(request: &WireRequest, buf: &mut Vec<u8>) {
+/// Wire size of a request's payload/item.
+fn request_item_len(request: &WireRequest) -> usize {
+    match request.op {
+        Operation::Read => ITEM_SHORT,
+        Operation::Write(_) => ITEM_LONG,
+    }
+}
+
+/// Wire size of a reply's payload/item.
+fn reply_item_len(reply: &Reply) -> usize {
+    match reply.entry {
+        None => ITEM_SHORT,
+        Some(_) => ITEM_LONG,
+    }
+}
+
+/// Appends one request item (the single-message payload layout) to `buf`.
+fn encode_request_item(request: &WireRequest, buf: &mut Vec<u8>) {
     let server = u32::try_from(request.server).expect("server index fits the wire format");
-    let payload_len: u32 = match request.op {
-        Operation::Read => 14,
-        Operation::Write(_) => 30,
-    };
-    buf.extend_from_slice(&MAGIC);
-    buf.extend_from_slice(&payload_len.to_le_bytes());
     buf.push(KIND_REQUEST);
     buf.extend_from_slice(&request.request_id.to_le_bytes());
     buf.extend_from_slice(&server.to_le_bytes());
@@ -99,19 +139,9 @@ pub fn encode_request(request: &WireRequest, buf: &mut Vec<u8>) {
     }
 }
 
-/// Appends one encoded reply frame to `buf`.
-///
-/// # Panics
-///
-/// Panics if `reply.server` does not fit the wire's `u32` server index.
-pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
+/// Appends one reply item (the single-message payload layout) to `buf`.
+fn encode_reply_item(reply: &Reply, buf: &mut Vec<u8>) {
     let server = u32::try_from(reply.server).expect("server index fits the wire format");
-    let payload_len: u32 = match reply.entry {
-        None => 14,
-        Some(_) => 30,
-    };
-    buf.extend_from_slice(&MAGIC);
-    buf.extend_from_slice(&payload_len.to_le_bytes());
     buf.push(KIND_REPLY);
     buf.extend_from_slice(&reply.request_id.to_le_bytes());
     buf.extend_from_slice(&server.to_le_bytes());
@@ -125,63 +155,169 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
     }
 }
 
-/// Decodes one payload (the bytes after `MAGIC | LEN`). `None` means the
-/// payload is malformed — the caller resynchronises.
-fn decode_payload(payload: &[u8]) -> Option<WireMessage> {
-    let (&kind, rest) = payload.split_first()?;
+fn frame_header(payload_len: usize, buf: &mut Vec<u8>) {
+    debug_assert!(payload_len <= MAX_PAYLOAD);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Appends one encoded request frame to `buf`.
+///
+/// # Panics
+///
+/// Panics if `server` does not fit the wire's `u32` server index.
+pub fn encode_request(request: &WireRequest, buf: &mut Vec<u8>) {
+    frame_header(request_item_len(request), buf);
+    encode_request_item(request, buf);
+}
+
+/// Appends one encoded reply frame to `buf`.
+///
+/// # Panics
+///
+/// Panics if `reply.server` does not fit the wire's `u32` server index.
+pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
+    frame_header(reply_item_len(reply), buf);
+    encode_reply_item(reply, buf);
+}
+
+/// Appends `requests` to `buf` as a run of maximal `WireBatch` frames
+/// (chunks of one message fall back to the plain single-message frame).
+/// Encoding nothing appends nothing.
+///
+/// # Panics
+///
+/// Panics if any server index does not fit the wire's `u32`.
+pub fn encode_request_batch(requests: &[WireRequest], buf: &mut Vec<u8>) {
+    for chunk in requests.chunks(MAX_BATCH) {
+        match chunk {
+            [] => {}
+            [single] => encode_request(single, buf),
+            _ => {
+                let payload_len = 2 + chunk.iter().map(request_item_len).sum::<usize>();
+                frame_header(payload_len, buf);
+                buf.push(KIND_BATCH);
+                buf.push(chunk.len() as u8);
+                for request in chunk {
+                    encode_request_item(request, buf);
+                }
+            }
+        }
+    }
+}
+
+/// Appends `replies` to `buf` as a run of maximal `WireBatch` frames (chunks
+/// of one message fall back to the plain single-message frame). Encoding
+/// nothing appends nothing.
+///
+/// # Panics
+///
+/// Panics if any server index does not fit the wire's `u32`.
+pub fn encode_reply_batch(replies: &[Reply], buf: &mut Vec<u8>) {
+    for chunk in replies.chunks(MAX_BATCH) {
+        match chunk {
+            [] => {}
+            [single] => encode_reply(single, buf),
+            _ => {
+                let payload_len = 2 + chunk.iter().map(reply_item_len).sum::<usize>();
+                frame_header(payload_len, buf);
+                buf.push(KIND_BATCH);
+                buf.push(chunk.len() as u8);
+                for reply in chunk {
+                    encode_reply_item(reply, buf);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one message item from the front of `bytes`, returning it with the
+/// number of bytes it occupied. `None` means the item is malformed.
+fn decode_item(bytes: &[u8]) -> Option<(WireMessage, usize)> {
+    let (&kind, rest) = bytes.split_first()?;
     let (id_bytes, rest) = rest.split_first_chunk::<8>()?;
     let request_id = u64::from_le_bytes(*id_bytes);
     let (server_bytes, rest) = rest.split_first_chunk::<4>()?;
     let server = u32::from_le_bytes(*server_bytes) as usize;
     let (&tag, rest) = rest.split_first()?;
-    let entry = match tag {
-        ENTRY_NONE => {
-            if !rest.is_empty() {
-                return None;
-            }
-            None
-        }
+    let (entry, consumed) = match tag {
+        ENTRY_NONE => (None, ITEM_SHORT),
         ENTRY_SOME => {
             let (ts_bytes, rest) = rest.split_first_chunk::<8>()?;
-            let (value_bytes, rest) = rest.split_first_chunk::<8>()?;
-            if !rest.is_empty() {
-                return None;
-            }
-            Some(Entry {
-                timestamp: u64::from_le_bytes(*ts_bytes),
-                value: u64::from_le_bytes(*value_bytes),
-            })
+            let (value_bytes, _) = rest.split_first_chunk::<8>()?;
+            (
+                Some(Entry {
+                    timestamp: u64::from_le_bytes(*ts_bytes),
+                    value: u64::from_le_bytes(*value_bytes),
+                }),
+                ITEM_LONG,
+            )
         }
         _ => return None,
     };
-    match (kind, entry) {
-        (KIND_REQUEST, None) => Some(WireMessage::Request(WireRequest {
+    let message = match (kind, entry) {
+        (KIND_REQUEST, None) => WireMessage::Request(WireRequest {
             request_id,
             server,
             op: Operation::Read,
-        })),
-        (KIND_REQUEST, Some(entry)) => Some(WireMessage::Request(WireRequest {
+        }),
+        (KIND_REQUEST, Some(entry)) => WireMessage::Request(WireRequest {
             request_id,
             server,
             op: Operation::Write(entry),
-        })),
-        (KIND_REPLY, entry) => Some(WireMessage::Reply(Reply {
+        }),
+        (KIND_REPLY, entry) => WireMessage::Reply(Reply {
             server,
             request_id,
             entry,
-        })),
-        _ => None,
+        }),
+        _ => return None,
+    };
+    Some((message, consumed))
+}
+
+/// Decodes one payload (the bytes after `MAGIC | LEN`) — a single message or
+/// a whole batch — appending the decoded messages to `out` in wire order.
+/// `None` means the payload is malformed (nothing is appended — a batch is
+/// accepted or rejected whole); the caller resynchronises.
+fn decode_payload(payload: &[u8], out: &mut std::collections::VecDeque<WireMessage>) -> Option<()> {
+    if payload.first() == Some(&KIND_BATCH) {
+        let count = *payload.get(1)? as usize;
+        if count == 0 || count > MAX_BATCH {
+            return None;
+        }
+        let mut items = payload.get(2..)?;
+        let mut decoded = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (message, consumed) = decode_item(items)?;
+            decoded.push(message);
+            items = &items[consumed..];
+        }
+        if !items.is_empty() {
+            return None; // trailing bytes: the count lied, reject the frame
+        }
+        out.extend(decoded);
+        return Some(());
     }
+    let (message, consumed) = decode_item(payload)?;
+    if consumed != payload.len() {
+        return None;
+    }
+    out.push_back(message);
+    Some(())
 }
 
 /// Incremental frame decoder over a byte stream with resynchronisation.
 ///
 /// Feed it chunks as they arrive ([`FrameReader::push`]) and drain decoded
 /// messages ([`FrameReader::next_message`]); partial frames simply wait for
-/// more bytes. See the module docs for the corruption-handling rules.
+/// more bytes. Batch frames are delivered item by item through the same
+/// `next_message` (the `ready` queue holds a decoded batch's remainder).
+/// See the module docs for the corruption-handling rules.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
+    ready: std::collections::VecDeque<WireMessage>,
     resyncs: u64,
     oversized: u64,
 }
@@ -218,8 +354,12 @@ impl FrameReader {
 
     /// Decodes the next complete message, or `None` when the buffer holds no
     /// complete frame (garbage is scanned past; corrupt frames are skipped).
+    /// The items of a batch frame come out one call at a time, in wire order.
     pub fn next_message(&mut self) -> Option<WireMessage> {
         loop {
+            if let Some(message) = self.ready.pop_front() {
+                return Some(message);
+            }
             self.skip_to_magic();
             if self.buf.len() < HEADER_LEN {
                 return None;
@@ -238,15 +378,17 @@ impl FrameReader {
             if self.buf.len() < HEADER_LEN + payload_len {
                 return None; // partial frame: wait for more bytes
             }
-            let message = decode_payload(&self.buf[HEADER_LEN..HEADER_LEN + payload_len]);
-            match message {
-                Some(message) => {
+            match decode_payload(
+                &self.buf[HEADER_LEN..HEADER_LEN + payload_len],
+                &mut self.ready,
+            ) {
+                Some(()) => {
                     self.buf.drain(..HEADER_LEN + payload_len);
-                    return Some(message);
                 }
                 None => {
-                    // Corrupt payload: skip the magic and rescan from inside
-                    // the frame (the payload may contain the next real magic).
+                    // Corrupt payload (a batch is rejected whole): skip the
+                    // magic and rescan from inside the frame (the payload may
+                    // contain the next real magic).
                     self.resyncs += 1;
                     self.buf.drain(..MAGIC.len());
                 }
@@ -403,6 +545,163 @@ mod tests {
         assert_eq!(reader.next_message(), Some(WireMessage::Reply(good)));
         assert_eq!(reader.oversized(), 1);
         assert!(reader.buffered() < HEADER_LEN);
+    }
+
+    #[test]
+    fn batch_frames_round_trip_in_order() {
+        let requests: Vec<WireRequest> = (0..5)
+            .map(|i| WireRequest {
+                request_id: i,
+                server: i as usize,
+                op: if i % 2 == 0 {
+                    Operation::Read
+                } else {
+                    Operation::Write(Entry {
+                        timestamp: i,
+                        value: i * 10,
+                    })
+                },
+            })
+            .collect();
+        let mut wire = Vec::new();
+        encode_request_batch(&requests, &mut wire);
+        // One batch frame: a single header for all five messages.
+        assert_eq!(wire.len(), HEADER_LEN + 2 + 3 * 14 + 2 * 30);
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        let decoded = read_all(&mut reader);
+        assert_eq!(
+            decoded,
+            requests
+                .iter()
+                .copied()
+                .map(WireMessage::Request)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(reader.resyncs(), 0);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn reply_batches_chunk_at_max_batch_and_single_chunks_fall_back() {
+        // MAX_BATCH + 1 replies: one full batch frame plus one plain frame.
+        let replies: Vec<Reply> = (0..=MAX_BATCH as u64)
+            .map(|i| Reply {
+                server: (i % 7) as usize,
+                request_id: i,
+                entry: (i % 3 == 0).then_some(Entry {
+                    timestamp: i,
+                    value: i + 1,
+                }),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        encode_reply_batch(&replies, &mut wire);
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        let decoded = read_all(&mut reader);
+        assert_eq!(
+            decoded,
+            replies
+                .iter()
+                .copied()
+                .map(WireMessage::Reply)
+                .collect::<Vec<_>>()
+        );
+        // A one-message "batch" is exactly the single-message encoding.
+        let mut single_batch = Vec::new();
+        encode_reply_batch(&replies[..1], &mut single_batch);
+        let mut single = Vec::new();
+        encode_reply(&replies[0], &mut single);
+        assert_eq!(single_batch, single);
+        // And encoding nothing emits nothing.
+        let mut empty = Vec::new();
+        encode_reply_batch(&[], &mut empty);
+        encode_request_batch(&[], &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn batch_frames_survive_torn_delivery() {
+        let requests: Vec<WireRequest> = (0..3)
+            .map(|i| WireRequest {
+                request_id: 100 + i,
+                server: i as usize,
+                op: Operation::Read,
+            })
+            .collect();
+        let mut wire = Vec::new();
+        encode_request_batch(&requests, &mut wire);
+        let mut reader = FrameReader::new();
+        // Nothing decodes until the last byte of the batch arrives; then
+        // everything does.
+        for &byte in &wire[..wire.len() - 1] {
+            reader.push(&[byte]);
+            assert_eq!(reader.next_message(), None);
+        }
+        reader.push(&wire[wire.len() - 1..]);
+        assert_eq!(read_all(&mut reader).len(), 3);
+    }
+
+    #[test]
+    fn corrupt_batch_is_rejected_whole_and_the_stream_recovers() {
+        let requests: Vec<WireRequest> = (0..3)
+            .map(|i| WireRequest {
+                request_id: i,
+                server: 0,
+                op: Operation::Read,
+            })
+            .collect();
+        let mut wire = Vec::new();
+        encode_request_batch(&requests, &mut wire);
+        // Corrupt the *second* item's kind byte: items 1 and 3 are intact,
+        // but the frame must be discarded whole — no partial salvage.
+        wire[HEADER_LEN + 2 + 14] = 0xee;
+        let good = Reply {
+            server: 1,
+            request_id: 50,
+            entry: None,
+        };
+        encode_reply(&good, &mut wire);
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert_eq!(read_all(&mut reader), vec![WireMessage::Reply(good)]);
+        assert!(reader.resyncs() >= 1);
+    }
+
+    #[test]
+    fn batch_with_a_lying_count_is_rejected() {
+        for bad_count in [0u8, 3] {
+            let mut wire = Vec::new();
+            // A batch frame claiming `bad_count` items but carrying two.
+            let items: Vec<WireRequest> = (0..2)
+                .map(|i| WireRequest {
+                    request_id: i,
+                    server: 0,
+                    op: Operation::Read,
+                })
+                .collect();
+            frame_header(2 + 2 * 14, &mut wire);
+            wire.push(KIND_BATCH);
+            wire.push(bad_count);
+            for item in &items {
+                encode_request_item(item, &mut wire);
+            }
+            let good = Reply {
+                server: 2,
+                request_id: 9,
+                entry: None,
+            };
+            encode_reply(&good, &mut wire);
+            let mut reader = FrameReader::new();
+            reader.push(&wire);
+            assert_eq!(
+                read_all(&mut reader),
+                vec![WireMessage::Reply(good)],
+                "count {bad_count} must reject the frame"
+            );
+            assert!(reader.resyncs() >= 1);
+        }
     }
 
     #[test]

@@ -9,19 +9,25 @@
 //! rather than a channel send.
 //!
 //! * [`codec`] — a hand-rolled length-prefixed binary wire format for
-//!   protocol requests and replies (no serialisation dependency), with an
+//!   protocol requests and replies (no serialisation dependency), including
+//!   multi-message `WireBatch` frames that coalesce up to
+//!   [`codec::MAX_BATCH`] messages behind one length prefix, with an
 //!   incremental [`codec::FrameReader`] that resynchronises after torn or
 //!   corrupt input and rejects oversized frames before allocation;
 //! * [`stream`] — one [`stream::Endpoint`]/[`stream::Stream`] surface over
 //!   TCP and Unix-domain sockets, so backend choice is a bind-time decision;
 //! * [`server`] — [`server::SocketServer`]: a
 //!   [`bqs_service::shard::LoopbackService`] behind a listener, one
-//!   reader/writer thread pair per connection, per-server addressing
+//!   reader/writer thread pair per connection (reader hands each read
+//!   chunk's requests to the shards in one batched send, writer drains its
+//!   reply mailbox a whole batch per wakeup), per-server addressing
 //!   preserved end to end;
 //! * [`transport`] — [`transport::SocketTransport`]: the client side, a
-//!   connection pool with request-id correlation, reconnect-with-backoff,
-//!   and per-request deadlines that surface as in-band "no answer" replies
-//!   (timeouts as the failure detector, per the transport contract).
+//!   connection pool with slot-table completions (pre-allocated slots,
+//!   freelist reuse, generation-tagged wire ids), coalesced batch writes,
+//!   jittered reconnect backoff, and a min-heap deadline sweeper whose
+//!   expiries surface as in-band "no answer" replies (timeouts as the
+//!   failure detector, per the transport contract).
 //!
 //! Everything above the seam — `ServiceClient`, the closed-loop runner, the
 //! open-loop generator — runs unmodified over either backend; `bench_net`
@@ -63,14 +69,20 @@ pub mod server;
 pub mod stream;
 pub mod transport;
 
-pub use codec::{FrameReader, WireMessage, WireRequest, MAX_PAYLOAD};
+pub use codec::{
+    encode_reply_batch, encode_request_batch, FrameReader, WireMessage, WireRequest, MAX_BATCH,
+    MAX_PAYLOAD,
+};
 pub use server::SocketServer;
 pub use stream::{Endpoint, Listener, Stream};
 pub use transport::{NetConfig, NetStats, SocketTransport};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
-    pub use crate::codec::{FrameReader, WireMessage, WireRequest, MAX_PAYLOAD};
+    pub use crate::codec::{
+        encode_reply_batch, encode_request_batch, FrameReader, WireMessage, WireRequest, MAX_BATCH,
+        MAX_PAYLOAD,
+    };
     pub use crate::server::SocketServer;
     pub use crate::stream::{Endpoint, Listener, Stream};
     pub use crate::transport::{NetConfig, NetStats, SocketTransport};

@@ -2,41 +2,50 @@
 //!
 //! [`SocketServer`] owns a [`LoopbackService`] — the same sharded replica
 //! runtime the in-process benchmarks drive — and exposes it on a socket. The
-//! thread structure per accepted connection is the classic split pair:
+//! thread structure per accepted connection is the classic split pair, and
+//! both halves are batched end to end:
 //!
-//! * a **reader** thread decodes request frames ([`crate::codec`]) and hands
-//!   each one to the service exactly as an in-process client would
-//!   (`Transport::send` with the connection's reply channel), so replica
-//!   semantics, fault injection, and metrics are byte-identical to the
-//!   loopback path;
-//! * a **writer** thread drains the connection's reply channel, encodes
-//!   frames, and batches consecutive ready replies into single `write_all`
-//!   calls (syscall coalescing matters at high offered rates).
+//! * a **reader** thread decodes request frames ([`crate::codec`], including
+//!   multi-message `WireBatch` frames) and hands every request decoded from
+//!   one read chunk to the service in a single
+//!   [`Transport::send_batch`] call — one shard-mailbox wakeup per
+//!   destination shard per chunk, exactly as an in-process batching client
+//!   would, so replica semantics, fault injection, and metrics are
+//!   byte-identical to the loopback path;
+//! * a **writer** thread drains the connection's reply
+//!   [`Mailbox`](bqs_service::mailbox::Mailbox) a whole
+//!   batch per wakeup and encodes each drained batch into coalesced
+//!   `WireBatch` frames ([`crate::codec::encode_reply_batch`]) written with
+//!   one `write_all` — syscall count scales with wakeups, not replies.
 //!
 //! Per-server addressing is preserved end to end: a frame addressed to
 //! server `i` reaches replica `i`'s owning shard, and only that shard. A
-//! request naming a server outside the universe — or arriving while the
-//! service is shutting down — is answered with the in-band "no answer" frame
-//! (`entry = None`) rather than dropped, keeping the transport contract's
-//! "every accepted request gets a reply" promise cheap to rely on.
+//! request naming a server outside the universe is answered with the in-band
+//! "no answer" frame (`entry = None`) rather than dropped. Requests that
+//! arrive while the service itself is tearing down can be dropped by their
+//! closing shard mailbox; the client's deadline sweeper backstops that
+//! (shutdown-only) window.
 //!
-//! Connections are independent: each gets its own reply channel, so one slow
-//! or dead client only ever stalls its own writer.
+//! Connections are independent: each gets its own reply mailbox, so one slow
+//! or dead client only ever stalls its own writer. The reader closes the
+//! mailbox when its connection dies, which both wakes the writer to exit and
+//! turns any still-in-flight shard completions into silent no-ops.
 
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bqs_service::mailbox::{ReplyHandle, ReplyMailbox};
 use bqs_service::metrics::ServiceMetrics;
 use bqs_service::shard::LoopbackService;
 use bqs_service::transport::{Reply, Request, Transport};
 use bqs_sim::fault::FaultPlan;
 
-use crate::codec::{encode_reply, FrameReader, WireMessage};
+use crate::codec::{encode_reply_batch, FrameReader, WireMessage};
 use crate::stream::{Endpoint, Listener, Stream};
 
 /// How often blocked reads wake to check the shutdown flag.
@@ -171,87 +180,99 @@ fn accept_loop(
             Ok(clone) => clone,
             Err(_) => continue,
         };
-        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let mailbox = Arc::new(ReplyMailbox::new());
         let reader = {
             let service = Arc::clone(service);
             let shutdown = Arc::clone(shutdown);
-            std::thread::spawn(move || connection_reader(stream, &service, &reply_tx, &shutdown))
+            let mailbox = Arc::clone(&mailbox);
+            std::thread::spawn(move || connection_reader(stream, &service, &mailbox, &shutdown))
         };
-        let writer = std::thread::spawn(move || connection_writer(writer_stream, &reply_rx));
+        let writer = std::thread::spawn(move || connection_writer(writer_stream, &mailbox));
         let mut registry = conns.lock().expect("conn registry lock");
         registry.push(reader);
         registry.push(writer);
     }
 }
 
-/// Decodes inbound frames and forwards each request to its replica's shard.
+/// Decodes inbound frames and forwards every request decoded from one read
+/// chunk to the service in a single batched send — shard wakeups scale with
+/// read chunks, not with individual requests.
 fn connection_reader(
     mut stream: Stream,
     service: &LoopbackService,
-    reply_tx: &mpsc::Sender<Reply>,
+    mailbox: &Arc<ReplyMailbox>,
     shutdown: &AtomicBool,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let n = service.universe_size();
     let mut frames = FrameReader::new();
     let mut chunk = [0u8; 16 * 1024];
+    let mut batch: Vec<Request> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             stream.shutdown();
-            return;
+            break;
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return, // clean EOF: client went away
+            Ok(0) => break, // clean EOF: client went away
             Ok(got) => {
                 frames.push(&chunk[..got]);
+                debug_assert!(batch.is_empty());
                 while let Some(message) = frames.next_message() {
                     let request = match message {
                         WireMessage::Request(request) => request,
                         WireMessage::Reply(_) => continue, // confused peer
                     };
-                    let delivered = request.server < n
-                        && service.send(Request {
-                            server: request.server,
-                            op: request.op,
-                            request_id: request.request_id,
-                            reply: reply_tx.clone(),
-                        });
-                    if !delivered {
-                        // Out-of-universe address or a shard that is gone:
-                        // answer in-band so the client's deadline machinery
-                        // is a backstop, not the common path.
-                        let _ = reply_tx.send(Reply {
+                    if request.server >= n {
+                        // Out-of-universe address: answer in-band so the
+                        // client's deadline machinery is a backstop, not the
+                        // common path.
+                        let _ = mailbox.push(Reply {
                             server: request.server,
                             request_id: request.request_id,
                             entry: None,
                         });
+                        continue;
                     }
+                    batch.push(Request {
+                        server: request.server,
+                        op: request.op,
+                        request_id: request.request_id,
+                        reply: Arc::clone(mailbox) as ReplyHandle,
+                    });
+                }
+                // One batched hand-off per read chunk. A `false` here means a
+                // shard mailbox has closed — service teardown — and the
+                // affected requests are backstopped by the client's deadline
+                // sweeper.
+                if !batch.is_empty() {
+                    let _ = service.send_batch(&mut batch);
+                    batch.clear();
                 }
             }
             Err(err) if Stream::is_timeout(&err) => continue,
-            Err(_) => return, // connection reset
+            Err(_) => break, // connection reset
         }
     }
+    // Wake the writer to exit and turn late shard completions into no-ops.
+    mailbox.close();
 }
 
-/// Encodes replies back onto the connection, batching ready frames into one
-/// write.
-fn connection_writer(mut stream: Stream, replies: &mpsc::Receiver<Reply>) {
+/// Encodes drained reply batches back onto the connection — one mailbox
+/// drain, one batched encode, one write per wakeup.
+fn connection_writer(mut stream: Stream, mailbox: &ReplyMailbox) {
+    let mut batch: Vec<Reply> = Vec::new();
     let mut buf = Vec::with_capacity(4096);
-    while let Ok(first) = replies.recv() {
+    while mailbox.drain_blocking(&mut batch) {
         buf.clear();
-        encode_reply(&first, &mut buf);
-        // Coalesce everything already queued into the same syscall.
-        while buf.len() < 60 * 1024 {
-            match replies.try_recv() {
-                Ok(reply) => encode_reply(&reply, &mut buf),
-                Err(_) => break,
-            }
-        }
+        encode_reply_batch(&batch, &mut buf);
+        batch.clear();
         if stream.write_all(&buf).is_err() {
-            return; // connection reset: shard sends into a closed channel now
+            // Connection reset: the reader's next read on the same socket
+            // fails too and closes the mailbox, so late shard completions
+            // become no-ops rather than piling up.
+            return;
         }
     }
-    // Channel disconnected: the reader (and any in-flight shard handles) are
-    // done with this connection.
+    // Mailbox closed and drained: the reader is done with this connection.
 }

@@ -3,8 +3,8 @@
 //! chunking and garbage injection, and oversized-frame rejection.
 
 use bqs_net::codec::{
-    encode_reply, encode_request, FrameReader, WireMessage, WireRequest, HEADER_LEN, MAGIC,
-    MAX_PAYLOAD,
+    encode_reply, encode_reply_batch, encode_request, encode_request_batch, FrameReader,
+    WireMessage, WireRequest, HEADER_LEN, MAGIC, MAX_PAYLOAD,
 };
 use bqs_service::transport::{Operation, Reply};
 use bqs_sim::server::Entry;
@@ -57,6 +57,36 @@ fn encode_all(messages: &[WireMessage]) -> Vec<u8> {
             WireMessage::Reply(reply) => encode_reply(reply, &mut wire),
         }
     }
+    wire
+}
+
+/// Encodes the same message sequence through the batch encoders: maximal
+/// same-kind runs become `WireBatch` frames (chunked at `MAX_BATCH` inside
+/// the encoders), preserving order across run boundaries.
+fn encode_all_batched(messages: &[WireMessage]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    let mut requests: Vec<WireRequest> = Vec::new();
+    let mut replies: Vec<Reply> = Vec::new();
+    for message in messages {
+        match message {
+            WireMessage::Request(request) => {
+                if !replies.is_empty() {
+                    encode_reply_batch(&replies, &mut wire);
+                    replies.clear();
+                }
+                requests.push(*request);
+            }
+            WireMessage::Reply(reply) => {
+                if !requests.is_empty() {
+                    encode_request_batch(&requests, &mut wire);
+                    requests.clear();
+                }
+                replies.push(*reply);
+            }
+        }
+    }
+    encode_request_batch(&requests, &mut wire);
+    encode_reply_batch(&replies, &mut wire);
     wire
 }
 
@@ -141,6 +171,98 @@ proptest! {
         prop_assert_eq!(decode_all(&mut reader), messages);
         prop_assert!(reader.oversized() >= 1);
         prop_assert!(reader.buffered() < HEADER_LEN + MAX_PAYLOAD);
+    }
+
+    /// Batched encoding is transparent: the same message sequence, pushed
+    /// through the batch encoders, decodes to the identical frame stream —
+    /// and never costs more bytes than one frame per message.
+    fn batched_round_trip_matches_unbatched(seed in 0u64..1_000_000, count in 1usize..200) {
+        let messages = random_messages(seed, count);
+        let batched = encode_all_batched(&messages);
+        prop_assert!(batched.len() <= encode_all(&messages).len());
+        let mut reader = FrameReader::new();
+        reader.push(&batched);
+        prop_assert_eq!(decode_all(&mut reader), messages);
+        prop_assert_eq!(reader.resyncs(), 0);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+
+    /// Batch frame boundaries never matter either: any chunking of the
+    /// batched byte stream (1-byte dribbles included) decodes to the same
+    /// messages in order.
+    fn batched_round_trip_survives_arbitrary_chunking(
+        seed in 0u64..1_000_000,
+        count in 1usize..80,
+        chunk in 1usize..64,
+    ) {
+        let messages = random_messages(seed, count);
+        let wire = encode_all_batched(&messages);
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            reader.push(piece);
+            decoded.extend(decode_all(&mut reader));
+        }
+        prop_assert_eq!(decoded, messages);
+    }
+
+    /// The resync contract holds for batch frames: after random garbage, the
+    /// next intact batch decodes in full.
+    fn batched_stream_resynchronises_after_garbage(
+        seed in 0u64..1_000_000,
+        garbage_len in 1usize..48,
+        count in 1usize..40,
+    ) {
+        let messages = random_messages(seed, count);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let garbage: Vec<u8> = (0..garbage_len)
+            .map(|_| {
+                let b = rng.gen::<u64>() as u8;
+                if b == MAGIC[0] { b ^ 0x80 } else { b }
+            })
+            .collect();
+        let mut wire = garbage;
+        wire.extend_from_slice(&encode_all_batched(&messages));
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        prop_assert_eq!(decode_all(&mut reader), messages);
+        prop_assert!(reader.resyncs() >= 1);
+    }
+
+    /// A batch whose count byte is corrupted — any flip, any batch size — is
+    /// rejected *whole* (one resync, no partial salvage, no fabrication) and
+    /// the next intact frames decode untouched.
+    fn corrupt_batch_count_rejects_the_whole_batch(
+        seed in 0u64..1_000_000,
+        count in 2usize..65,
+        flip in 1u32..256,
+    ) {
+        let flip = flip as u8;
+        // All requests, 2..=MAX_BATCH of them: exactly one batch frame.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests: Vec<WireRequest> = (0..count)
+            .map(|_| WireRequest {
+                request_id: rng.gen(),
+                server: rng.gen_range_u64(0, u64::from(u32::MAX)) as usize,
+                op: if rng.gen_range_u64(0, 2) == 0 {
+                    Operation::Read
+                } else {
+                    Operation::Write(Entry { timestamp: rng.gen(), value: rng.gen() })
+                },
+            })
+            .collect();
+        let mut wire = Vec::new();
+        encode_request_batch(&requests, &mut wire);
+        prop_assert_eq!(wire[HEADER_LEN + 1] as usize, count, "count byte location");
+        let tail = random_messages(seed ^ 1, 3);
+        wire.extend_from_slice(&encode_all_batched(&tail));
+        // Any corruption of the count makes the item bytes inconsistent with
+        // the claimed count, so the whole batch must be rejected.
+        wire[HEADER_LEN + 1] ^= flip;
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        prop_assert_eq!(decode_all(&mut reader), tail);
+        prop_assert!(reader.resyncs() >= 1);
     }
 
     /// Pure noise never panics the reader and never fabricates a frame

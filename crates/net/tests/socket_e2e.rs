@@ -21,6 +21,7 @@ fn quick_net() -> NetConfig {
         request_deadline: Duration::from_millis(500),
         reconnect_backoff: Duration::from_millis(20),
         reconnect_attempts: 3,
+        ..NetConfig::default()
     }
 }
 

@@ -8,8 +8,13 @@
 //!    access strategy (the certified-optimal one when the system is a
 //!    [`bqs_core::strategic::StrategicQuorumSystem`]), retry a few times under
 //!    sporadic failures, fall back to deterministic live-quorum discovery;
-//! 2. fan the operation out to every quorum member through the transport;
-//! 3. gather exactly one reply per member on the client's private channel;
+//! 2. fan the operation out to every quorum member in **one**
+//!    [`Transport::send_batch`] call (one shard wake / one syscall per
+//!    destination, not one per member);
+//! 3. gather exactly one reply per member from the client's private reply
+//!    mailbox, matching by request id — ids are strictly increasing across
+//!    the client's lifetime, so stragglers from an aborted earlier operation
+//!    are recognised and dropped without reallocating anything;
 //! 4. for reads, resolve the value with the shared masking rule
 //!    ([`bqs_sim::client::resolve_read`]): entries with at least `b + 1`
 //!    supporters are safe, the freshest safe entry wins.
@@ -18,7 +23,7 @@
 //! the same protocol logic as the single-threaded simulator's client, re-cast
 //! over message passing so many of them can run against shared shards.
 
-use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bqs_core::bitset::ServerSet;
@@ -27,6 +32,7 @@ use bqs_sim::client::{choose_access_quorum, resolve_read, ProtocolError};
 use bqs_sim::server::Entry;
 use rand::Rng;
 
+use crate::mailbox::{ReplyHandle, ReplyMailbox};
 use crate::transport::{Operation, Reply, Request, Transport};
 
 /// Default bound on how long a client waits for a single reply before
@@ -88,8 +94,14 @@ pub struct ServiceClient<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> {
     b: usize,
     reply_deadline: Duration,
     next_request_id: u64,
-    reply_tx: mpsc::Sender<Reply>,
-    reply_rx: mpsc::Receiver<Reply>,
+    /// The client's one reply sink, shared by every operation it ever issues.
+    /// Stragglers from aborted operations are filtered by id, so the mailbox
+    /// never needs replacing.
+    reply_mailbox: Arc<ReplyMailbox>,
+    /// Scratch buffers reused across operations (fan-out requests, drained
+    /// replies): the steady-state hot path allocates nothing.
+    fanout: Vec<Request>,
+    drained: Vec<Reply>,
 }
 
 impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T> {
@@ -97,7 +109,6 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
     /// `transport`, with `responsive` as its failure detector's view.
     #[must_use]
     pub fn new(system: &'s Q, transport: &'s T, responsive: ServerSet, b: usize) -> Self {
-        let (reply_tx, reply_rx) = mpsc::channel();
         ServiceClient {
             system,
             transport,
@@ -105,8 +116,9 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
             b,
             reply_deadline: DEFAULT_REPLY_DEADLINE,
             next_request_id: 0,
-            reply_tx,
-            reply_rx,
+            reply_mailbox: Arc::new(ReplyMailbox::new()),
+            fanout: Vec::new(),
+            drained: Vec::new(),
         }
     }
 
@@ -125,49 +137,52 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
         self.b
     }
 
-    /// Fans `op` out to every member of `quorum` and gathers one reply per
-    /// member.
+    /// Fans `op` out to every member of `quorum` in one batched transport
+    /// call and gathers one reply per member, matching by request id.
+    ///
+    /// Ids are strictly increasing across the client's lifetime, so a reply
+    /// with an id below this operation's range is a straggler from an aborted
+    /// earlier rendezvous and is silently dropped — the mailbox is never
+    /// replaced, unlike the old channel-per-failure scheme.
     fn rendezvous(
         &mut self,
         quorum: &ServerSet,
         op: Operation,
     ) -> Result<Vec<(usize, Option<Entry>)>, ServiceError> {
         let expected = quorum.len();
+        let first_id = self.next_request_id + 1;
         for server in quorum.iter() {
             self.next_request_id += 1;
-            let accepted = self.transport.send(Request {
+            self.fanout.push(Request {
                 server,
                 op,
                 request_id: self.next_request_id,
-                reply: self.reply_tx.clone(),
+                reply: Arc::clone(&self.reply_mailbox) as ReplyHandle,
             });
-            if !accepted {
-                self.reset_channel();
-                return Err(ServiceError::TransportFailure);
-            }
+        }
+        if !self.transport.send_batch(&mut self.fanout) {
+            // Partial delivery is possible; the id filter below absorbs any
+            // replies the accepted members still produce.
+            self.fanout.clear();
+            return Err(ServiceError::TransportFailure);
         }
         let mut replies = Vec::with_capacity(expected);
-        for _ in 0..expected {
-            match self.reply_rx.recv_timeout(self.reply_deadline) {
-                Ok(reply) => replies.push((reply.server, reply.entry)),
-                Err(_) => {
-                    self.reset_channel();
-                    return Err(ServiceError::TransportFailure);
+        while replies.len() < expected {
+            debug_assert!(self.drained.is_empty());
+            if self
+                .reply_mailbox
+                .drain_timeout(self.reply_deadline, &mut self.drained)
+                == 0
+            {
+                return Err(ServiceError::TransportFailure);
+            }
+            for reply in self.drained.drain(..) {
+                if reply.request_id >= first_id {
+                    replies.push((reply.server, reply.entry));
                 }
             }
         }
         Ok(replies)
-    }
-
-    /// After a failed rendezvous the channel may still receive stragglers from
-    /// the aborted operation (requests already accepted by live shards reply
-    /// later); a drain cannot remove replies that have not arrived yet, so the
-    /// only way to keep later operations in phase is a fresh channel — the old
-    /// one's stragglers go to a disconnected receiver.
-    fn reset_channel(&mut self) {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        self.reply_tx = reply_tx;
-        self.reply_rx = reply_rx;
     }
 
     /// Writes `entry` to a quorum chosen by the access strategy.

@@ -12,6 +12,10 @@
 //! * [`transport`] — the [`transport::Transport`] trait: protocol messages
 //!   addressed to server indices with in-band replies, so the in-process
 //!   loopback can later be swapped for a network backend;
+//! * [`mailbox`] — [`mailbox::Mailbox`]: the swap-buffer queue
+//!   (`Mutex<Vec>` + `Condvar`, drain the whole batch per wakeup) that
+//!   carries every hot-path message, and [`mailbox::ReplySink`], the
+//!   allocation-free completion handle replies are delivered through;
 //! * [`shard`] — [`shard::LoopbackService`]: replicas partitioned across
 //!   worker threads that own them outright (per-shard mailboxes, no locks),
 //!   reusing the simulator's `Replica`/`FaultPlan` fault machinery, plus the
@@ -71,6 +75,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod mailbox;
 pub mod metrics;
 pub mod openloop;
 pub mod runner;
@@ -78,6 +83,7 @@ pub mod shard;
 pub mod transport;
 
 pub use client::{ServiceClient, ServiceError, ServiceReadOutcome};
+pub use mailbox::{Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
 pub use runner::{authentic_value, run_service, run_service_on, ServiceConfig, ServiceReport};
@@ -87,6 +93,7 @@ pub use transport::{Operation, Reply, Request, Transport};
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::client::{ServiceClient, ServiceError, ServiceReadOutcome};
+    pub use crate::mailbox::{Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
     pub use crate::metrics::{LatencyHistogram, ServiceMetrics};
     pub use crate::openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
     pub use crate::runner::{

@@ -1,0 +1,295 @@
+//! Swap-buffer mailboxes and the reply-completion sink.
+//!
+//! Every queue on the request path used to be an `mpsc` channel, which costs
+//! one allocation per channel, one atomic handoff per message, and one
+//! futex wake per `recv`. At socket rates the wakes dominate: a shard worker
+//! paid a park/unpark round trip *per operation*. [`Mailbox`] replaces that
+//! with the classic swap-buffer scheme:
+//!
+//! * producers lock a plain `Mutex<Vec<T>>`, push, and signal the condvar
+//!   **only when the queue was empty** (a consumer might be parked);
+//! * the consumer swaps the whole queue against its private drain buffer
+//!   under one lock acquisition and processes the batch lock-free.
+//!
+//! A batch of `k` messages therefore costs one wake and two lock
+//! acquisitions total, instead of `k` of each — and both `Vec`s keep their
+//! capacity, so the steady state allocates nothing.
+//!
+//! [`ReplySink`] is the completion half: a [`crate::transport::Request`]
+//! carries an [`ReplyHandle`] (a shared sink) instead of a per-operation
+//! `mpsc::Sender`, so issuing an operation no longer allocates a channel
+//! pair. [`ReplyMailbox`] is the standard sink — clients drain whole batches
+//! of replies per wakeup and match them back by
+//! [`crate::transport::Reply::request_id`].
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::transport::Reply;
+
+/// A multi-producer single-consumer swap-buffer queue (see module docs).
+///
+/// "Single-consumer" is a usage convention, not a type-level guarantee: any
+/// number of threads may call the drain methods, but each drained batch goes
+/// to exactly one of them.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    state: Mutex<MailboxState<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct MailboxState<T> {
+    queue: Vec<T>,
+    closed: bool,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Mailbox::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// An empty, open mailbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Mailbox {
+            state: Mutex::new(MailboxState {
+                queue: Vec::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one item. Returns `false` (dropping the item) when the
+    /// mailbox is closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("mailbox lock");
+        if state.closed {
+            return false;
+        }
+        let was_empty = state.queue.is_empty();
+        state.queue.push(item);
+        drop(state);
+        if was_empty {
+            // Only an empty->non-empty transition can have a parked consumer;
+            // signalling on every push would reintroduce the per-op wake.
+            self.available.notify_one();
+        }
+        true
+    }
+
+    /// Enqueues a whole batch under one lock acquisition, draining `items`
+    /// (its capacity is kept for reuse). Returns `false` — with `items`
+    /// drained and dropped — when the mailbox is closed. All-or-nothing:
+    /// a closed mailbox accepts none of the batch.
+    pub fn push_batch(&self, items: &mut Vec<T>) -> bool {
+        if items.is_empty() {
+            return !self.state.lock().expect("mailbox lock").closed;
+        }
+        let mut state = self.state.lock().expect("mailbox lock");
+        if state.closed {
+            items.clear();
+            return false;
+        }
+        let was_empty = state.queue.is_empty();
+        if was_empty && state.queue.capacity() < items.capacity() {
+            // The producer's buffer is the bigger one: swap instead of copy.
+            std::mem::swap(&mut state.queue, items);
+        } else {
+            state.queue.append(items);
+        }
+        drop(state);
+        if was_empty {
+            self.available.notify_one();
+        }
+        true
+    }
+
+    /// Closes the mailbox: subsequent pushes are refused, and drains return
+    /// whatever is still queued before reporting closure.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("mailbox lock");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Number of items currently queued (diagnostic).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("mailbox lock").queue.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until items are available or the mailbox is closed, then swaps
+    /// the whole queue into `into` (which must be empty — the caller's drain
+    /// buffer). Returns `false` only when the mailbox is closed *and* empty:
+    /// the consumer's loop condition.
+    pub fn drain_blocking(&self, into: &mut Vec<T>) -> bool {
+        debug_assert!(into.is_empty(), "drain buffer must be consumed");
+        let mut state = self.state.lock().expect("mailbox lock");
+        while state.queue.is_empty() {
+            if state.closed {
+                return false;
+            }
+            state = self.available.wait(state).expect("mailbox lock");
+        }
+        std::mem::swap(&mut state.queue, into);
+        true
+    }
+
+    /// Waits up to `timeout` for items, then swaps whatever is queued into
+    /// `into` (which must be empty). Returns the number of items drained —
+    /// zero on timeout or closure.
+    pub fn drain_timeout(&self, timeout: Duration, into: &mut Vec<T>) -> usize {
+        debug_assert!(into.is_empty(), "drain buffer must be consumed");
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("mailbox lock");
+        while state.queue.is_empty() {
+            if state.closed {
+                return 0;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return 0;
+            }
+            let (next, timed_out) = self
+                .available
+                .wait_timeout(state, deadline - now)
+                .expect("mailbox lock");
+            state = next;
+            if timed_out.timed_out() && state.queue.is_empty() {
+                return 0;
+            }
+        }
+        std::mem::swap(&mut state.queue, into);
+        into.len()
+    }
+}
+
+/// A completion sink for [`Reply`]s — what a [`crate::transport::Request`]
+/// carries in place of a per-operation channel sender.
+///
+/// Implementations must be callable from any thread. Delivering to a dead
+/// client (a closed mailbox, a torn-down connection) is a silent no-op:
+/// exactly the old "reply receiver dropped" semantics.
+pub trait ReplySink: Send + Sync + std::fmt::Debug {
+    /// Delivers one reply. Must not block beyond a short critical section.
+    fn complete(&self, reply: Reply);
+}
+
+/// A shared, cloneable handle to a reply sink. Cloning is one atomic
+/// increment — no channel allocation per operation.
+pub type ReplyHandle = Arc<dyn ReplySink>;
+
+/// The standard sink: a swap-buffer mailbox of replies, drained in whole
+/// batches by the owning client.
+pub type ReplyMailbox = Mailbox<Reply>;
+
+impl ReplySink for ReplyMailbox {
+    fn complete(&self, reply: Reply) {
+        let _ = self.push(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_drain_returns_the_whole_batch() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        assert!(mb.push(1));
+        assert!(mb.push(2));
+        assert!(mb.push(3));
+        let mut batch = Vec::new();
+        assert!(mb.drain_blocking(&mut batch));
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn push_batch_moves_everything_and_keeps_the_producer_buffer() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        let mut producer = vec![7, 8, 9];
+        assert!(mb.push_batch(&mut producer));
+        assert!(producer.is_empty());
+        assert!(producer.capacity() > 0 || mb.len() == 3);
+        let mut batch = Vec::new();
+        assert_eq!(mb.drain_timeout(Duration::from_millis(10), &mut batch), 3);
+        assert_eq!(batch, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn close_refuses_pushes_but_drains_the_backlog() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        assert!(mb.push(1));
+        mb.close();
+        assert!(!mb.push(2));
+        let mut stale = vec![3];
+        assert!(!mb.push_batch(&mut stale));
+        assert!(stale.is_empty(), "a refused batch is dropped, not leaked");
+        let mut batch = Vec::new();
+        assert!(mb.drain_blocking(&mut batch), "backlog first");
+        assert_eq!(batch, vec![1]);
+        batch.clear();
+        assert!(!mb.drain_blocking(&mut batch), "then closure");
+    }
+
+    #[test]
+    fn drain_timeout_times_out_empty() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        let mut batch = Vec::new();
+        let started = Instant::now();
+        assert_eq!(mb.drain_timeout(Duration::from_millis(20), &mut batch), 0);
+        assert!(started.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn blocked_consumer_is_woken_by_a_producer() {
+        let mb: Arc<Mailbox<u32>> = Arc::new(Mailbox::new());
+        let producer = {
+            let mb = Arc::clone(&mb);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                assert!(mb.push(42));
+            })
+        };
+        let mut batch = Vec::new();
+        assert!(mb.drain_blocking(&mut batch));
+        assert_eq!(batch, vec![42]);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn reply_mailbox_is_a_sink() {
+        let mb = Arc::new(ReplyMailbox::new());
+        let handle: ReplyHandle = Arc::clone(&mb) as ReplyHandle;
+        handle.complete(Reply {
+            server: 3,
+            request_id: 9,
+            entry: None,
+        });
+        let mut batch = Vec::new();
+        assert!(mb.drain_blocking(&mut batch));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].request_id, 9);
+        // Completing into a closed mailbox is a silent no-op.
+        mb.close();
+        handle.complete(Reply {
+            server: 0,
+            request_id: 1,
+            entry: None,
+        });
+        batch.clear();
+        assert!(!mb.drain_blocking(&mut batch));
+    }
+}

@@ -73,6 +73,38 @@ impl LatencyHistogram {
         None
     }
 
+    /// A point estimate of the `q`-quantile latency in nanoseconds, or `None`
+    /// when the histogram is empty. `q` is clamped to `[0, 1]`.
+    ///
+    /// The estimate is the **midpoint** of the bucket holding the quantile
+    /// rank: bucket `i` covers `[2^(i-1), 2^i)`, so the estimate for `i >= 2`
+    /// is `3 * 2^(i-2)`. With the true quantile `x` somewhere in the bucket,
+    /// the bucket-resolution error bound is `estimate / x ∈ (0.75, 1.5]` —
+    /// i.e. the reported p50/p99/p999 is within −25 % / +50 % of the exact
+    /// sample quantile, a factor bounded by the power-of-two bucket width
+    /// (compare [`LatencyHistogram::quantile_upper_ns`], whose one-sided
+    /// ceiling can overshoot by 2×).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(match i {
+                    0 => 0,
+                    1 => 1,
+                    _ => 3u64 << (i - 2),
+                });
+            }
+        }
+        None
+    }
+
     /// A snapshot of the raw bucket counts.
     #[must_use]
     pub fn snapshot(&self) -> Vec<u64> {
@@ -196,6 +228,33 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.quantile_upper_ns(1.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(0));
+    }
+
+    #[test]
+    fn quantile_midpoints_on_a_known_sample_set() {
+        // Samples 1..=1000 ns: exact p50 = 500, p99 = 990, p999 = 1000.
+        let h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(ns);
+        }
+        // Rank 500 lands in bucket 9 ([256, 512), cumulative 511): midpoint
+        // 3 * 2^7 = 384. Rank 990 and rank 1000 land in bucket 10
+        // ([512, 1024)): midpoint 3 * 2^8 = 768.
+        assert_eq!(h.quantile(0.50), Some(384));
+        assert_eq!(h.quantile(0.99), Some(768));
+        assert_eq!(h.quantile(0.999), Some(768));
+        // The documented bucket-resolution bound: estimate within
+        // (0.75, 1.5] of the exact sample quantile.
+        for (est, exact) in [(384u64, 500u64), (768, 990), (768, 1000)] {
+            let ratio = est as f64 / exact as f64;
+            assert!(ratio > 0.75 && ratio <= 1.5, "ratio {ratio}");
+        }
+        // Empty histogram: no estimate.
+        assert_eq!(LatencyHistogram::new().quantile(0.5), None);
+        // Degenerate q values clamp instead of panicking.
+        assert_eq!(h.quantile(-1.0), Some(1));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

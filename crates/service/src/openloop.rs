@@ -23,10 +23,13 @@
 //!   virtual-client id.
 //! * Operations **pipeline**: a worker fires a new arrival's quorum fan-out
 //!   without waiting for earlier operations, keeping up to
-//!   `max_in_flight_per_worker` operations outstanding. Replies are matched
-//!   back through [`Reply::request_id`] (the ids encode the owning
-//!   operation), so thousands of in-flight operations share one reply
-//!   channel per worker.
+//!   `max_in_flight_per_worker` operations outstanding. Each fan-out goes
+//!   through **one** [`Transport::send_batch`] call (one shard wake or one
+//!   coalesced wire frame per destination), and replies come back through
+//!   one swap-buffer reply mailbox per worker, drained in whole batches and
+//!   matched by [`Reply::request_id`] (the ids encode the owning operation)
+//!   — so thousands of in-flight operations share one completion path with
+//!   no per-op channel allocation.
 //! * When the in-flight cap is hit, further arrivals are **shed** (counted,
 //!   never silently dropped) — the open-loop semantics stay honest while
 //!   memory stays bounded far past the knee.
@@ -40,7 +43,7 @@
 //! (`BENCH_net.json`).
 
 use std::collections::HashMap;
-use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bqs_core::quorum::QuorumSystem;
@@ -49,6 +52,8 @@ use bqs_sim::server::Entry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::mailbox::{ReplyHandle, ReplyMailbox};
+use crate::metrics::LatencyHistogram;
 use crate::runner::authentic_value;
 use crate::shard::TimestampOracle;
 use crate::transport::{Operation, Reply, Request, Transport};
@@ -146,6 +151,16 @@ pub struct OpenLoopReport {
     pub latency_p99_ns: u64,
     /// Maximum observed latency, ns.
     pub latency_max_ns: u64,
+    /// p50 estimate from the shared lock-free 64-bucket histogram
+    /// ([`LatencyHistogram::quantile`]: bucket midpoint, within −25 %/+50 %
+    /// of the exact quantile). Zero when nothing completed. Reported
+    /// alongside the exact percentiles so sweep harnesses can use the
+    /// allocation-free path.
+    pub latency_hist_p50_ns: u64,
+    /// p99 histogram estimate, ns (same error bound as the p50).
+    pub latency_hist_p99_ns: u64,
+    /// p99.9 histogram estimate, ns (same error bound as the p50).
+    pub latency_hist_p999_ns: u64,
 }
 
 impl OpenLoopReport {
@@ -254,11 +269,13 @@ where
 
     let workers = config.workers.min(config.total_arrivals);
     let per_worker_rate = config.offered_rate / workers as f64;
+    let hist = LatencyHistogram::new();
     let started = Instant::now();
     let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for worker_id in 0..workers {
             let clock = &clock;
+            let hist = &hist;
             // Spread the remainder so exactly `total_arrivals` are scheduled.
             let quota = config.total_arrivals / workers
                 + usize::from(worker_id < config.total_arrivals % workers);
@@ -269,6 +286,7 @@ where
                     transport,
                     responsive,
                     clock,
+                    hist,
                     config,
                     worker_id,
                     quota,
@@ -356,6 +374,9 @@ where
         latency_p90_ns: quantile(0.90),
         latency_p99_ns: quantile(0.99),
         latency_max_ns: folded.latencies_ns.last().copied().unwrap_or(0),
+        latency_hist_p50_ns: hist.quantile(0.50).unwrap_or(0),
+        latency_hist_p99_ns: hist.quantile(0.99).unwrap_or(0),
+        latency_hist_p999_ns: hist.quantile(0.999).unwrap_or(0),
     }
 }
 
@@ -381,29 +402,39 @@ fn prime_register<Q, T>(
         timestamp: ts,
         value: authentic_value(ts),
     };
-    let (tx, rx) = mpsc::channel();
-    let mut sent = 0usize;
-    for server in quorum.iter() {
-        if transport.send(Request {
+    let mailbox = Arc::new(ReplyMailbox::new());
+    let mut fanout: Vec<Request> = quorum
+        .iter()
+        .map(|server| Request {
             server,
             op: Operation::Write(entry),
             request_id: u64::MAX - server as u64,
-            reply: tx.clone(),
-        }) {
-            sent += 1;
-        }
-    }
+            reply: Arc::clone(&mailbox) as ReplyHandle,
+        })
+        .collect();
+    let sent = fanout.len();
+    let _ = transport.send_batch(&mut fanout);
     let deadline = Instant::now() + Duration::from_secs(5);
-    for _ in 0..sent {
+    let mut gathered = 0usize;
+    let mut drained = Vec::new();
+    while gathered < sent {
         let now = Instant::now();
-        if now >= deadline || rx.recv_timeout(deadline - now).is_err() {
+        if now >= deadline {
             break;
         }
+        let got = mailbox.drain_timeout(deadline - now, &mut drained);
+        if got == 0 {
+            break;
+        }
+        gathered += got;
+        drained.clear();
     }
 }
 
 /// One worker's event loop: schedule Poisson arrivals, pipeline quorum
-/// fan-outs, match replies by request id, expire deadlines.
+/// fan-outs (one batched transport call each), drain whole batches of
+/// replies from the worker's mailbox, match them by request id, expire
+/// deadlines.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<Q, T>(
     system: &Q,
@@ -411,6 +442,7 @@ fn worker_loop<Q, T>(
     transport: &T,
     responsive: &bqs_core::bitset::ServerSet,
     clock: &TimestampOracle,
+    hist: &LatencyHistogram,
     config: &OpenLoopConfig,
     worker_id: usize,
     quota: usize,
@@ -422,7 +454,9 @@ where
 {
     let mut rng =
         StdRng::seed_from_u64(config.seed ^ 0x0be4_100bu64.wrapping_mul(worker_id as u64 + 1));
-    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let reply_mailbox = Arc::new(ReplyMailbox::new());
+    let mut fanout: Vec<Request> = Vec::new();
+    let mut drained: Vec<Reply> = Vec::new();
     let mut pending: HashMap<u64, PendingOp> = HashMap::new();
     let mut tally = WorkerTally::default();
     // Request ids encode (worker, operation): the low 8 bits distinguish the
@@ -475,21 +509,20 @@ where
             let op_key = worker_tag | (op_seq << 8);
             let expected = quorum.len();
             let op_started = Instant::now();
-            let mut rejected = false;
+            debug_assert!(fanout.is_empty());
             for (member, server) in quorum.iter().enumerate() {
-                if !transport.send(Request {
+                fanout.push(Request {
                     server,
                     op,
                     request_id: op_key | member as u64,
-                    reply: reply_tx.clone(),
-                }) {
-                    rejected = true;
-                    break;
-                }
+                    reply: Arc::clone(&reply_mailbox) as ReplyHandle,
+                });
             }
-            if rejected {
-                // The op is unaccounted on the wire; stragglers from the
-                // partially sent fan-out are dropped by the id match below.
+            if !transport.send_batch(&mut fanout) {
+                // The op is unaccounted on the wire; stragglers from a
+                // partially delivered fan-out are dropped by the id match
+                // below (no pending entry exists for them).
+                fanout.clear();
                 tally.rejected += 1;
                 continue;
             }
@@ -529,16 +562,9 @@ where
         } else {
             Duration::from_millis(20)
         };
-        match reply_rx.recv_timeout(wait) {
-            Ok(reply) => {
-                handle_reply(reply, &mut pending, &mut tally, b, clock);
-                while let Ok(reply) = reply_rx.try_recv() {
-                    handle_reply(reply, &mut pending, &mut tally, b, clock);
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                unreachable!("the worker holds its own reply sender")
+        if reply_mailbox.drain_timeout(wait, &mut drained) > 0 {
+            for reply in drained.drain(..) {
+                handle_reply(reply, &mut pending, &mut tally, b, clock, hist);
             }
         }
 
@@ -561,6 +587,7 @@ fn handle_reply(
     tally: &mut WorkerTally,
     b: usize,
     clock: &TimestampOracle,
+    hist: &LatencyHistogram,
 ) {
     let op_key = reply.request_id & !0xff;
     let Some(op) = pending.get_mut(&op_key) else {
@@ -588,6 +615,7 @@ fn handle_reply(
         }
     }
     tally.latencies_ns.push(latency);
+    hist.record(latency);
     tally.last_completion = Some(Instant::now());
 }
 
@@ -649,6 +677,13 @@ mod tests {
         assert!(report.latency_p50_ns > 0);
         assert!(report.latency_p50_ns <= report.latency_p99_ns);
         assert!(report.latency_p99_ns <= report.latency_max_ns);
+        // Histogram estimates track the exact percentiles within the
+        // documented bucket-resolution bound (−25 %/+50 %).
+        assert!(report.latency_hist_p50_ns > 0);
+        assert!(report.latency_hist_p50_ns <= report.latency_hist_p99_ns);
+        assert!(report.latency_hist_p99_ns <= report.latency_hist_p999_ns);
+        let ratio = report.latency_hist_p50_ns as f64 / report.latency_p50_ns as f64;
+        assert!(ratio > 0.75 && ratio <= 1.5, "hist p50 off: {ratio}");
         assert!(report.peak_in_flight >= 1);
         // Access counts accumulated on the server side for the load check
         // (every completed operation contacted a quorum, which in Grid(5, 1)

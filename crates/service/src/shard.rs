@@ -2,12 +2,20 @@
 //!
 //! The universe of `n` replicas is partitioned round-robin across `shards`
 //! worker threads. Each worker *owns* its replicas outright (no locks, no
-//! sharing) and drains a private mailbox of [`Request`]s, so replica state is
-//! only ever touched by one thread — the same single-writer discipline a
-//! networked replica server would have, which is what lets a network backend
-//! replace [`LoopbackService`] behind the [`Transport`] trait without touching
-//! client code (`bqs-net`'s `SocketServer` in fact *wraps* a
+//! sharing) and drains a private swap-buffer mailbox of [`Request`]s, so
+//! replica state is only ever touched by one thread — the same single-writer
+//! discipline a networked replica server would have, which is what lets a
+//! network backend replace [`LoopbackService`] behind the [`Transport`] trait
+//! without touching client code (`bqs-net`'s `SocketServer` in fact *wraps* a
 //! `LoopbackService`, keeping one replica-ownership implementation).
+//!
+//! The mailbox is the batching stage of the request path ([`crate::mailbox`]):
+//! a worker drains its **whole** backlog per wakeup and applies the drained
+//! operations back-to-back while the replica state is cache-hot, so under
+//! load a shard pays one lock acquisition and at most one futex wake per
+//! batch instead of per operation. [`LoopbackService::send_batch`] completes
+//! the picture on the producer side — a quorum fan-out is bucketed by owning
+//! shard and each bucket lands in its mailbox under a single lock.
 //!
 //! Fault injection reuses the simulator's [`FaultPlan`]/[`Replica`] machinery
 //! wholesale: a crashed replica ignores writes and reads as `None`, Byzantine
@@ -32,11 +40,13 @@ use bqs_sim::server::Replica;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::mailbox::Mailbox;
 use crate::metrics::ServiceMetrics;
 use crate::transport::{Operation, Reply, Request, Transport};
 
 /// A shard mailbox message: a protocol request, or the control message that
 /// re-arms the shard with fresh replicas between trials.
+#[derive(Debug)]
 enum ShardMsg {
     Op(Request),
     Reset {
@@ -47,12 +57,13 @@ enum ShardMsg {
 }
 
 /// An in-process sharded quorum service: replicas owned by worker threads,
-/// per-shard mailboxes, lock-free metrics.
+/// per-shard swap-buffer mailboxes drained in whole batches, lock-free
+/// metrics.
 ///
 /// Dropping the service closes every mailbox and joins the workers.
 #[derive(Debug)]
 pub struct LoopbackService {
-    senders: Vec<mpsc::Sender<ShardMsg>>,
+    mailboxes: Vec<Arc<Mailbox<ShardMsg>>>,
     workers: Vec<JoinHandle<()>>,
     n: usize,
     responsive: ServerSet,
@@ -105,22 +116,23 @@ impl LoopbackService {
         let responsive = responsive_view(plan);
         let metrics = Arc::new(ServiceMetrics::new(n));
 
-        let mut senders = Vec::with_capacity(shards);
+        let mut mailboxes = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for (shard_id, owned) in partition_replicas(plan, shards).into_iter().enumerate() {
-            let (tx, rx) = mpsc::channel::<ShardMsg>();
+            let mailbox = Arc::new(Mailbox::new());
+            let worker_mailbox = Arc::clone(&mailbox);
             let metrics = Arc::clone(&metrics);
             let rng = shard_rng(seed, shard_id);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("bqs-shard-{shard_id}"))
-                    .spawn(move || shard_worker(owned, rx, metrics, rng))
+                    .spawn(move || shard_worker(owned, &worker_mailbox, &metrics, rng))
                     .expect("spawning a shard worker"),
             );
-            senders.push(tx);
+            mailboxes.push(mailbox);
         }
         LoopbackService {
-            senders,
+            mailboxes,
             workers,
             n,
             responsive,
@@ -148,16 +160,17 @@ impl LoopbackService {
             self.n,
             "reset_plan must keep the universe size"
         );
-        let shards = self.senders.len();
+        let shards = self.mailboxes.len();
         let (ack_tx, ack_rx) = mpsc::channel();
         for (shard_id, replicas) in partition_replicas(plan, shards).into_iter().enumerate() {
-            self.senders[shard_id]
-                .send(ShardMsg::Reset {
+            assert!(
+                self.mailboxes[shard_id].push(ShardMsg::Reset {
                     replicas,
                     rng: shard_rng(seed, shard_id),
                     ack: ack_tx.clone(),
-                })
-                .expect("shard workers outlive the service");
+                }),
+                "shard mailboxes outlive the service"
+            );
         }
         drop(ack_tx);
         for _ in 0..shards {
@@ -185,7 +198,7 @@ impl LoopbackService {
     /// Number of worker shards.
     #[must_use]
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.mailboxes.len()
     }
 }
 
@@ -201,65 +214,93 @@ impl Transport for LoopbackService {
         if request.server >= self.n {
             return false;
         }
-        let shard = request.server % self.senders.len();
-        self.senders[shard].send(ShardMsg::Op(request)).is_ok()
+        let shard = request.server % self.mailboxes.len();
+        self.mailboxes[shard].push(ShardMsg::Op(request))
+    }
+
+    /// Buckets the fan-out by owning shard and lands each bucket in its
+    /// mailbox under one lock acquisition — one wake per destination shard
+    /// per batch, however many requests the batch carries.
+    fn send_batch(&self, requests: &mut Vec<Request>) -> bool {
+        let shards = self.mailboxes.len();
+        let mut ok = true;
+        let mut buckets: Vec<Vec<ShardMsg>> = (0..shards).map(|_| Vec::new()).collect();
+        for request in requests.drain(..) {
+            if request.server >= self.n {
+                ok = false;
+                continue;
+            }
+            buckets[request.server % shards].push(ShardMsg::Op(request));
+        }
+        for (shard, mut bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                ok &= self.mailboxes[shard].push_batch(&mut bucket);
+            }
+        }
+        ok
     }
 }
 
 impl Drop for LoopbackService {
     fn drop(&mut self) {
-        // Closing the mailboxes ends each worker's recv loop.
-        self.senders.clear();
+        // Closing the mailboxes ends each worker's drain loop.
+        for mailbox in &self.mailboxes {
+            mailbox.close();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 }
 
-/// One shard's event loop: drain the mailbox, apply each operation to the
-/// owned replica, always produce a reply frame with the request's id echoed
-/// (in-band `None` for silent servers — see [`Reply`]); swap the ownership
-/// list on a reset.
+/// One shard's event loop: drain the **whole** mailbox per wakeup, apply the
+/// drained operations back-to-back to the owned replicas (cache-hot, no
+/// per-op lock or wake), always produce a reply frame with the request's id
+/// echoed (in-band `None` for silent servers — see [`Reply`]); swap the
+/// ownership list on a reset.
 fn shard_worker(
     mut owned: Vec<(usize, Replica)>,
-    rx: mpsc::Receiver<ShardMsg>,
-    metrics: Arc<ServiceMetrics>,
+    mailbox: &Mailbox<ShardMsg>,
+    metrics: &ServiceMetrics,
     mut rng: StdRng,
 ) {
     owned.sort_by_key(|(i, _)| *i);
-    while let Ok(msg) = rx.recv() {
-        let request = match msg {
-            ShardMsg::Op(request) => request,
-            ShardMsg::Reset {
-                mut replicas,
-                rng: fresh_rng,
-                ack,
-            } => {
-                replicas.sort_by_key(|(i, _)| *i);
-                owned = replicas;
-                rng = fresh_rng;
-                let _ = ack.send(());
-                continue;
-            }
-        };
-        let slot = owned
-            .binary_search_by_key(&request.server, |(i, _)| *i)
-            .expect("request routed to the shard owning the server");
-        let replica = &mut owned[slot].1;
-        metrics.record_access(request.server);
-        let entry = match request.op {
-            Operation::Write(entry) => {
-                replica.deliver_write(entry);
-                None
-            }
-            Operation::Read => replica.deliver_read(&mut rng),
-        };
-        // A dead client (reply receiver dropped) is not the shard's problem.
-        let _ = request.reply.send(Reply {
-            server: request.server,
-            request_id: request.request_id,
-            entry,
-        });
+    let mut batch = Vec::new();
+    while mailbox.drain_blocking(&mut batch) {
+        for msg in batch.drain(..) {
+            let request = match msg {
+                ShardMsg::Op(request) => request,
+                ShardMsg::Reset {
+                    mut replicas,
+                    rng: fresh_rng,
+                    ack,
+                } => {
+                    replicas.sort_by_key(|(i, _)| *i);
+                    owned = replicas;
+                    rng = fresh_rng;
+                    let _ = ack.send(());
+                    continue;
+                }
+            };
+            let slot = owned
+                .binary_search_by_key(&request.server, |(i, _)| *i)
+                .expect("request routed to the shard owning the server");
+            let replica = &mut owned[slot].1;
+            metrics.record_access(request.server);
+            let entry = match request.op {
+                Operation::Write(entry) => {
+                    replica.deliver_write(entry);
+                    None
+                }
+                Operation::Read => replica.deliver_read(&mut rng),
+            };
+            // A dead client (reply sink closed) is not the shard's problem.
+            request.reply.complete(Reply {
+                server: request.server,
+                request_id: request.request_id,
+                entry,
+            });
+        }
     }
 }
 
@@ -280,7 +321,7 @@ impl TimestampOracle {
 
     /// Allocates the next timestamp (relaxed: the allocation itself is the
     /// only synchronisation needed; the value travels to readers through the
-    /// channel sends' release/acquire edges).
+    /// mailbox handoffs' release/acquire edges).
     pub fn allocate(&self) -> u64 {
         self.next.fetch_add(1, Ordering::Relaxed) + 1
     }
@@ -295,17 +336,21 @@ impl TimestampOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mailbox::{ReplyHandle, ReplyMailbox};
     use bqs_sim::server::{ByzantineStrategy, Entry};
 
     fn roundtrip(service: &LoopbackService, server: usize, op: Operation) -> Reply {
-        let (tx, rx) = mpsc::channel();
+        let mb = Arc::new(ReplyMailbox::new());
         assert!(service.send(Request {
             server,
             op,
             request_id: 7,
-            reply: tx,
+            reply: Arc::clone(&mb) as ReplyHandle,
         }));
-        rx.recv().expect("shard replies")
+        let mut batch = Vec::new();
+        assert!(mb.drain_blocking(&mut batch), "shard replies");
+        assert_eq!(batch.len(), 1);
+        batch.remove(0)
     }
 
     #[test]
@@ -330,6 +375,62 @@ mod tests {
     }
 
     #[test]
+    fn send_batch_fans_out_across_shards_in_one_call() {
+        let service = LoopbackService::spawn(&FaultPlan::none(5), 2, 11);
+        let mb = Arc::new(ReplyMailbox::new());
+        let mut fanout: Vec<Request> = (0..5)
+            .map(|s| Request {
+                server: s,
+                op: Operation::Read,
+                request_id: 100 + s as u64,
+                reply: Arc::clone(&mb) as ReplyHandle,
+            })
+            .collect();
+        assert!(service.send_batch(&mut fanout));
+        assert!(fanout.is_empty(), "the batch is drained");
+        let mut replies = Vec::new();
+        while replies.len() < 5 {
+            let mut batch = Vec::new();
+            assert!(mb.drain_blocking(&mut batch), "shards reply");
+            replies.append(&mut batch);
+        }
+        replies.sort_by_key(|r| r.request_id);
+        for (s, reply) in replies.iter().enumerate() {
+            assert_eq!(reply.server, s);
+            assert_eq!(reply.request_id, 100 + s as u64);
+            assert_eq!(reply.entry, None);
+        }
+    }
+
+    #[test]
+    fn send_batch_refuses_out_of_universe_but_delivers_the_rest() {
+        let service = LoopbackService::spawn(&FaultPlan::none(3), 2, 1);
+        let mb = Arc::new(ReplyMailbox::new());
+        let mut fanout: Vec<Request> = [0usize, 7, 2]
+            .iter()
+            .map(|&s| Request {
+                server: s,
+                op: Operation::Read,
+                request_id: s as u64,
+                reply: Arc::clone(&mb) as ReplyHandle,
+            })
+            .collect();
+        assert!(
+            !service.send_batch(&mut fanout),
+            "an out-of-universe member poisons the batch's return"
+        );
+        let mut replies = Vec::new();
+        while replies.len() < 2 {
+            let mut batch = Vec::new();
+            assert!(mb.drain_blocking(&mut batch));
+            replies.append(&mut batch);
+        }
+        replies.sort_by_key(|r| r.request_id);
+        assert_eq!(replies[0].server, 0);
+        assert_eq!(replies[1].server, 2);
+    }
+
+    #[test]
     fn crashed_and_silent_servers_are_unresponsive_but_replied_in_band() {
         let plan = FaultPlan::none(4)
             .with_crashed(1)
@@ -344,12 +445,12 @@ mod tests {
     #[test]
     fn out_of_universe_requests_are_refused_not_routed() {
         let service = LoopbackService::spawn(&FaultPlan::none(3), 2, 1);
-        let (tx, _rx) = mpsc::channel();
+        let mb = Arc::new(ReplyMailbox::new());
         assert!(!service.send(Request {
             server: 3,
             op: Operation::Read,
             request_id: 0,
-            reply: tx,
+            reply: mb as ReplyHandle,
         }));
         // The shards stay healthy afterwards.
         assert_eq!(roundtrip(&service, 2, Operation::Read).entry, None);

@@ -4,10 +4,10 @@
 //! [`Request`] addressed to a server index and handed to a [`Transport`],
 //! which routes it to whatever owns that server's replica — the in-process
 //! sharded loopback of [`crate::shard::LoopbackService`], or a real socket
-//! backend (`bqs-net`'s `SocketTransport`). Replies travel back over the
-//! per-client channel embedded in the request, so the transport itself is
-//! connectionless from the client's point of view and the client needs no
-//! server-side registration.
+//! backend (`bqs-net`'s `SocketTransport`). Replies travel back through the
+//! completion sink ([`crate::mailbox::ReplyHandle`]) embedded in the request,
+//! so the transport itself is connectionless from the client's point of view
+//! and the client needs no server-side registration.
 //!
 //! # Correlation
 //!
@@ -34,15 +34,27 @@
 //! (a deadline sweeper synthesises the in-band no-answer frame), but the
 //! trait cannot enforce liveness on implementations — a shard can die
 //! mid-request, a transport can be torn down with requests in flight.
-//! Clients therefore MUST bound every wait on the reply channel and surface
+//! Clients therefore MUST bound every wait on the reply sink and surface
 //! expiry as a transport-level failure rather than blocking forever;
 //! [`crate::client::ServiceClient`] does exactly that (see
 //! `ServiceClient::with_reply_deadline`), which is what keeps the masking
 //! protocol's probe-and-fallback loop from hanging on a half-dead service.
-
-use std::sync::mpsc;
+//!
+//! # Batching
+//!
+//! A quorum operation fans out to every member of the chosen quorum at once,
+//! so the natural unit of work is a *batch* of requests, not one.
+//! [`Transport::send_batch`] hands the whole fan-out over in a single call;
+//! batching-aware transports (the sharded loopback, the socket transport)
+//! exploit it to pay one lock+wake per destination shard and one syscall per
+//! destination connection instead of one per request. The default
+//! implementation degrades to a `send` loop, so the batch entry point is an
+//! optimisation surface, never a semantic one: delivery, correlation, and the
+//! no-answer contract are identical on both paths.
 
 use bqs_sim::server::Entry;
+
+pub use crate::mailbox::{ReplyHandle, ReplySink};
 
 /// A protocol operation addressed to one server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +65,8 @@ pub enum Operation {
     Read,
 }
 
-/// One protocol message: an operation for `server`, with the channel the
-/// reply must be sent on.
+/// One protocol message: an operation for `server`, with the completion sink
+/// the reply must be delivered to.
 #[derive(Debug)]
 pub struct Request {
     /// The server index the operation is addressed to.
@@ -65,8 +77,9 @@ pub struct Request {
     /// clients may pass anything (e.g. 0); multiplexing callers pass ids
     /// unique among their in-flight requests.
     pub request_id: u64,
-    /// Where the owning shard must send the [`Reply`].
-    pub reply: mpsc::Sender<Reply>,
+    /// Where the owning shard must deliver the [`Reply`]. A shared handle —
+    /// cloning it is an atomic increment, not a channel allocation.
+    pub reply: ReplyHandle,
 }
 
 /// A server's answer to a [`Request`].
@@ -94,7 +107,7 @@ pub struct Reply {
 ///
 /// Implementations must be callable from many client threads at once
 /// (`Send + Sync`) and must eventually produce exactly one [`Reply`] on the
-/// request's channel for every request accepted — with the request's id
+/// request's sink for every request accepted — with the request's id
 /// echoed — except when the implementation itself dies with requests in
 /// flight (see the module docs; clients bound their waits for this reason).
 pub trait Transport: Send + Sync {
@@ -105,4 +118,24 @@ pub trait Transport: Send + Sync {
     /// the destination is gone (service shutting down); the request is dropped
     /// and no reply will arrive.
     fn send(&self, request: Request) -> bool;
+
+    /// Hands a whole fan-out of requests over at once, draining `requests`
+    /// (its capacity is kept for reuse by the caller).
+    ///
+    /// Returns `false` if **any** request was refused. Delivery may be
+    /// partial on refusal — accepted requests still get replies, refused ones
+    /// never will — so a `false` return means "treat every outstanding id in
+    /// this batch as potentially answerless and fall back on your deadline",
+    /// exactly as for a `false` from [`Transport::send`].
+    ///
+    /// The default implementation is a plain `send` loop; batching-aware
+    /// transports override it to coalesce per-shard wakes or per-connection
+    /// writes. Semantics are identical either way (see the module docs).
+    fn send_batch(&self, requests: &mut Vec<Request>) -> bool {
+        let mut ok = true;
+        for request in requests.drain(..) {
+            ok &= self.send(request);
+        }
+        ok
+    }
 }
