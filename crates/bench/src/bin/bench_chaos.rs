@@ -1,0 +1,368 @@
+//! Machine-readable chaos sweep: emits `BENCH_chaos.json` (schema
+//! `bench_chaos/v1`) — every [`bqs_chaos`] scenario family run at `b` and
+//! `b + 1` Byzantine faults over every transport backend (in-process
+//! loopback, Unix-domain socket, TCP loopback), with the masking gate
+//! asserted and loopback replay-determinism double-checked.
+//!
+//! The gate is the paper's tightness claim in executable form, per
+//! (scenario × backend) cell of the matrix:
+//!
+//! * at `faults = b`: **zero** safety violations (value authenticity and
+//!   read-your-writes both hold) *and* graceful degradation — reads keep
+//!   completing under the scenario's chaos;
+//! * at `faults = b + 1`: at least one **detected** violation — the run
+//!   observes masking break, it does not merely fail to answer;
+//! * replays: re-running a (seed, scenario) pair reproduces the identical
+//!   chaos event trace (equal fingerprints) and the identical safety tallies.
+//!
+//! Run with: `cargo run --release -p bqs-bench --bin bench_chaos
+//! [--quick] [output.json]`
+//!
+//! `--quick` shrinks the per-run workload; the matrix and the gate are
+//! identical in both modes. Any gate failure is listed in the JSON, printed
+//! to stderr, and turns into a nonzero exit status (CI runs `--quick` on
+//! every push).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bqs_bench::{json_escape, time};
+use bqs_chaos::prelude::*;
+use bqs_constructions::prelude::*;
+use bqs_core::quorum::QuorumSystem;
+use bqs_net::prelude::*;
+
+/// The masking level every run assumes (`n = 4b + 1 = 5` threshold system).
+const B: usize = 1;
+
+/// The fixed seed matrix: each cell of the sweep runs once per seed, and the
+/// gate must hold for every seed independently.
+const SEEDS: &[u64] = &[0xC4A0_5EED, 0x00BD_CAFE];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Loopback,
+    Uds,
+    Tcp,
+}
+
+impl Backend {
+    const ALL: [Backend; 3] = [Backend::Loopback, Backend::Uds, Backend::Tcp];
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Loopback => "loopback",
+            Backend::Uds => "uds",
+            Backend::Tcp => "tcp",
+        }
+    }
+}
+
+fn uds_path(tag: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bqs-bench-chaos-{}-{tag}.sock", std::process::id()))
+}
+
+/// One measured cell of the matrix.
+struct Run {
+    backend: &'static str,
+    outcome: ScenarioOutcome,
+    seed: u64,
+    seconds: f64,
+}
+
+/// Runs one (scenario, backend, faults, seed) cell. The socket backends wrap
+/// the pooled transport in the chaos interposer with `pool = 1`, so the
+/// server-side connection id — the origin Byzantine servers key per-client
+/// equivocation on — is one-to-one with the client, exactly like loopback.
+fn run_cell(
+    backend: Backend,
+    scenario: ChaosScenario,
+    system: &ThresholdSystem,
+    faults: usize,
+    weights: Option<&[f64]>,
+    config: &ScenarioConfig,
+    tag: usize,
+) -> Run {
+    let n = system.universe_size();
+    eprintln!(
+        "bench_chaos: {} / {} at {faults} fault(s), seed {:#x}...",
+        backend.name(),
+        scenario.name(),
+        config.seed
+    );
+    let (outcome, seconds) = time(|| match backend {
+        Backend::Loopback => run_scenario_loopback(scenario, system, B, faults, weights, config),
+        Backend::Uds | Backend::Tcp => {
+            let plan = scenario.fault_plan(n, faults, weights);
+            let server = match backend {
+                Backend::Uds => SocketServer::bind_uds(uds_path(tag), &plan, 2, config.seed),
+                _ => SocketServer::bind_tcp_loopback(&plan, 2, config.seed),
+            }
+            .expect("bind socket server");
+            let transport = SocketTransport::connect(
+                server.endpoint().clone(),
+                n,
+                NetConfig {
+                    pool: 1,
+                    // Far above the client's reply deadline: chaos-induced
+                    // silence is the *client's* failure detector to catch,
+                    // never the socket sweeper's.
+                    request_deadline: Duration::from_secs(5),
+                    ..NetConfig::default()
+                },
+            )
+            .expect("connect transport pool");
+            let chaos = ChaosTransport::new(
+                Arc::new(transport),
+                config.seed,
+                scenario.id(),
+                scenario.chaos_config_for(n, faults),
+            );
+            run_scenario(
+                scenario,
+                system,
+                B,
+                faults,
+                server.responsive_set().clone(),
+                &chaos,
+                config,
+            )
+        }
+    });
+    Run {
+        backend: backend.name(),
+        outcome,
+        seed: config.seed,
+        seconds,
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut output = "BENCH_chaos.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            output = arg;
+        }
+    }
+
+    let system = ThresholdSystem::minimal_masking(B).expect("n = 4b + 1 threshold system");
+    let n = system.universe_size();
+    // The published access strategy the targeted adversary reads: per-server
+    // induced loads of the LP-optimal strategy (Definition 3.8).
+    let explicit = system.to_explicit(1 << 10).expect("explicit quorum list");
+    let (_, strategy) = bqs_core::load::optimal_load(explicit.quorums(), n).expect("optimal load");
+    let weights = strategy.induced_loads(explicit.quorums(), n);
+
+    let base = if quick {
+        ScenarioConfig {
+            writes: 8,
+            reads: 40,
+            reply_deadline: Duration::from_millis(60),
+            ..ScenarioConfig::default()
+        }
+    } else {
+        ScenarioConfig {
+            reply_deadline: Duration::from_millis(100),
+            ..ScenarioConfig::default()
+        }
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut runs: Vec<Run> = Vec::new();
+    let mut tag = 0usize;
+
+    for &seed in SEEDS {
+        for backend in Backend::ALL {
+            for scenario in ChaosScenario::ALL {
+                for faults in [B, B + 1] {
+                    tag += 1;
+                    let config = ScenarioConfig {
+                        seed: seed ^ (faults as u64) << 32,
+                        ..base.clone()
+                    };
+                    let run = run_cell(
+                        backend,
+                        scenario,
+                        &system,
+                        faults,
+                        Some(&weights),
+                        &config,
+                        tag,
+                    );
+                    let o = &run.outcome;
+                    if faults <= B {
+                        if o.safety_violations() > 0 {
+                            failures.push(format!(
+                                "{}/{} seed {seed:#x}: {} safety violations at b = {B} (must mask)",
+                                run.backend,
+                                o.scenario,
+                                o.safety_violations()
+                            ));
+                        }
+                        if o.reads_completed == 0 {
+                            failures.push(format!(
+                                "{}/{} seed {seed:#x}: no read completed at b = {B} (degradation must stay graceful)",
+                                run.backend, o.scenario
+                            ));
+                        }
+                    } else if !o.detected() {
+                        failures.push(format!(
+                            "{}/{} seed {seed:#x}: no violation detected at b + 1 = {faults} (tightness must show)",
+                            run.backend, o.scenario
+                        ));
+                    }
+                    runs.push(run);
+                }
+            }
+        }
+    }
+
+    // Replay determinism, loopback, both fault levels: the same
+    // (seed, scenario) pair must reproduce the identical chaos event trace
+    // and the identical safety outcome.
+    struct Replay {
+        scenario: &'static str,
+        faults: usize,
+        fingerprint_a: u64,
+        fingerprint_b: u64,
+        outcome_match: bool,
+    }
+    let mut replays: Vec<Replay> = Vec::new();
+    for scenario in ChaosScenario::ALL {
+        for faults in [B, B + 1] {
+            let config = ScenarioConfig {
+                seed: SEEDS[0] ^ (faults as u64) << 32,
+                ..base.clone()
+            };
+            let a = run_scenario_loopback(scenario, &system, B, faults, Some(&weights), &config);
+            let b = run_scenario_loopback(scenario, &system, B, faults, Some(&weights), &config);
+            let outcome_match = a.trace_events == b.trace_events
+                && a.safety_violations() == b.safety_violations()
+                && a.reads_completed == b.reads_completed
+                && a.writes_completed == b.writes_completed;
+            if a.trace_fingerprint != b.trace_fingerprint || !outcome_match {
+                failures.push(format!(
+                    "replay {}/{faults}: fingerprints {:#x} vs {:#x}, outcome match {outcome_match}",
+                    scenario.name(),
+                    a.trace_fingerprint,
+                    b.trace_fingerprint
+                ));
+            }
+            replays.push(Replay {
+                scenario: scenario.name(),
+                faults,
+                fingerprint_a: a.trace_fingerprint,
+                fingerprint_b: b.trace_fingerprint,
+                outcome_match,
+            });
+        }
+    }
+
+    let gate_passed = failures.is_empty();
+
+    // --- Emit JSON. --------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"schema\": \"bench_chaos/v1\",\n  \"quick\": {quick},\n  \"system\": \"{}\",\n  \"n\": {n},\n  \"b\": {B},\n  \"seeds\": [{}],\n  \"gate_passed\": {gate_passed},\n",
+        json_escape(&system.name()),
+        SEEDS
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let o = &run.outcome;
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"scenario\": \"{}\", \"faults\": {}, \"b\": {}, \"seed\": {}, \"masked\": {}, \"detected\": {}, \"safety_violations\": {}, \"authenticity_violations\": {}, \"ryw_violations\": {}, \"writes_completed\": {}, \"writes_aborted\": {}, \"reads_completed\": {}, \"reads_inconclusive\": {}, \"reads_aborted\": {}, \"no_live_quorum\": {}, \"timeouts\": {}, \"retries\": {}, \"aborts\": {}, \"chaos_drops\": {}, \"chaos_duplicates\": {}, \"chaos_delayed\": {}, \"trace_events\": {}, \"trace_fingerprint\": {}, \"seconds\": {:e}}}{}\n",
+            run.backend,
+            o.scenario,
+            o.faults,
+            o.b,
+            run.seed,
+            o.safety_violations() == 0,
+            o.detected(),
+            o.safety_violations(),
+            o.authenticity_violations,
+            o.ryw_violations,
+            o.writes_completed,
+            o.writes_aborted,
+            o.reads_completed,
+            o.reads_inconclusive,
+            o.reads_aborted,
+            o.no_live_quorum,
+            o.timeouts,
+            o.retries,
+            o.aborts,
+            o.drops,
+            o.duplicates,
+            o.delayed,
+            o.trace_events,
+            o.trace_fingerprint,
+            run.seconds,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"replays\": [\n");
+    for (i, r) in replays.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"backend\": \"loopback\", \"faults\": {}, \"fingerprint_a\": {}, \"fingerprint_b\": {}, \"fingerprint_match\": {}, \"outcome_match\": {}}}{}\n",
+            r.scenario,
+            r.faults,
+            r.fingerprint_a,
+            r.fingerprint_b,
+            r.fingerprint_a == r.fingerprint_b,
+            r.outcome_match,
+            if i + 1 == replays.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\"{}\n",
+            json_escape(f),
+            if i + 1 == failures.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&output, &json).expect("write benchmark output");
+
+    // --- Human-readable summary. -------------------------------------------
+    println!(
+        "{:<10} {:<14} {:>6} {:>18} {:>7} {:>7} {:>5} {:>5} {:>6} {:>6}",
+        "backend", "scenario", "faults", "seed", "reads", "viols", "tmo", "retry", "drops", "dup"
+    );
+    for run in &runs {
+        let o = &run.outcome;
+        println!(
+            "{:<10} {:<14} {:>6} {:>#18x} {:>7} {:>7} {:>5} {:>5} {:>6} {:>6}",
+            run.backend,
+            o.scenario,
+            o.faults,
+            run.seed,
+            o.reads_completed,
+            o.safety_violations(),
+            o.timeouts,
+            o.retries,
+            o.drops,
+            o.duplicates,
+        );
+    }
+    println!(
+        "\nreplay determinism (loopback): {} pairs checked",
+        replays.len()
+    );
+    println!("wrote {output}");
+
+    if !gate_passed {
+        for f in &failures {
+            eprintln!("ERROR: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -34,7 +34,7 @@
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -162,6 +162,10 @@ fn accept_loop(
     shutdown: &Arc<AtomicBool>,
     conns: &Mutex<Vec<JoinHandle<()>>>,
 ) {
+    // Connection counter feeding `Request::origin`: the server's notion of
+    // client identity is the connection, exactly what a real adversary can
+    // distinguish. Ids start at 1 so origin 0 stays "anonymous".
+    let next_origin = AtomicU64::new(1);
     loop {
         let stream = match listener.accept() {
             Ok(stream) => stream,
@@ -181,11 +185,14 @@ fn accept_loop(
             Err(_) => continue,
         };
         let mailbox = Arc::new(ReplyMailbox::new());
+        let origin = next_origin.fetch_add(1, Ordering::Relaxed);
         let reader = {
             let service = Arc::clone(service);
             let shutdown = Arc::clone(shutdown);
             let mailbox = Arc::clone(&mailbox);
-            std::thread::spawn(move || connection_reader(stream, &service, &mailbox, &shutdown))
+            std::thread::spawn(move || {
+                connection_reader(stream, &service, &mailbox, &shutdown, origin)
+            })
         };
         let writer = std::thread::spawn(move || connection_writer(writer_stream, &mailbox));
         let mut registry = conns.lock().expect("conn registry lock");
@@ -202,6 +209,7 @@ fn connection_reader(
     service: &LoopbackService,
     mailbox: &Arc<ReplyMailbox>,
     shutdown: &AtomicBool,
+    origin: u64,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let n = service.universe_size();
@@ -238,6 +246,10 @@ fn connection_reader(
                         server: request.server,
                         op: request.op,
                         request_id: request.request_id,
+                        // Client identity is not on the wire; the accepting
+                        // connection *is* the identity (pool one connection
+                        // per client when per-client adversaries are in play).
+                        origin,
                         reply: Arc::clone(mailbox) as ReplyHandle,
                     });
                 }

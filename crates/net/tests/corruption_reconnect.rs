@@ -1,0 +1,210 @@
+//! Corruption striking *inside* a `WireBatch` frame, spanning a reconnect
+//! boundary: the frame decoder must reject the damaged batch whole, resync to
+//! the next magic, and the server connection (old and new) must keep serving
+//! well-formed traffic as if nothing happened.
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+use bqs_constructions::prelude::*;
+use bqs_net::codec::{
+    encode_request, encode_request_batch, FrameReader, WireMessage, WireRequest, HEADER_LEN, MAGIC,
+};
+use bqs_net::prelude::*;
+use bqs_service::prelude::*;
+use bqs_sim::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn read_batch(first_id: u64, servers: &[usize]) -> Vec<WireRequest> {
+    servers
+        .iter()
+        .enumerate()
+        .map(|(i, &server)| WireRequest {
+            request_id: first_id + i as u64,
+            server,
+            op: Operation::Read,
+        })
+        .collect()
+}
+
+/// Pumps `stream` through a fresh [`FrameReader`] until `want` replies arrive
+/// (or panics at the deadline).
+fn collect_replies(stream: &mut Stream, want: usize) -> Vec<Reply> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut reader = FrameReader::new();
+    let mut replies = Vec::new();
+    let mut chunk = [0u8; 512];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replies.len() < want {
+        assert!(Instant::now() < deadline, "server stopped answering");
+        match stream.read(&mut chunk) {
+            Ok(0) => panic!("server closed the connection"),
+            Ok(n) => {
+                reader.push(&chunk[..n]);
+                while let Some(message) = reader.next_message() {
+                    match message {
+                        WireMessage::Reply(reply) => replies.push(reply),
+                        WireMessage::Request(_) => panic!("server must only send replies"),
+                    }
+                }
+            }
+            Err(ref err) if Stream::is_timeout(err) => continue,
+            Err(err) => panic!("read failed: {err}"),
+        }
+    }
+    replies
+}
+
+/// A reader fed the *tail* of a batch frame — what a peer that reconnected
+/// mid-frame replays — must scan past the orphaned item bytes and decode the
+/// next well-formed frame.
+#[test]
+fn frame_reader_resyncs_from_a_mid_batch_cut() {
+    let batch = read_batch(10, &[0, 1, 2, 3]);
+    let mut wire = Vec::new();
+    encode_request_batch(&batch, &mut wire);
+
+    // Cut inside the second item: the bytes after the cut start mid-item,
+    // with no header in sight.
+    let cut = HEADER_LEN + 2 + 14 + 7;
+    let tail = &wire[cut..];
+    let good = WireRequest {
+        request_id: 99,
+        server: 4,
+        op: Operation::Read,
+    };
+    let mut replayed = tail.to_vec();
+    encode_request(&good, &mut replayed);
+
+    let mut reader = FrameReader::new();
+    reader.push(&replayed);
+    assert_eq!(
+        reader.next_message(),
+        Some(WireMessage::Request(good)),
+        "the orphaned batch tail must be scanned past, not misparsed"
+    );
+    assert_eq!(reader.next_message(), None);
+    assert!(reader.resyncs() >= 1, "the scan must be counted");
+    assert_eq!(reader.buffered(), 0);
+}
+
+/// Corruption lands mid-`WireBatch` on a live server connection, the client
+/// tears the connection down (a truncated batch dies with it), reconnects,
+/// and sends a batch whose middle item is garbled followed by clean traffic.
+/// The server must discard the damaged batch whole, resync, and answer every
+/// well-formed request — on both sides of the reconnect boundary.
+#[test]
+fn server_survives_batch_corruption_across_a_reconnect() {
+    let server = SocketServer::bind_tcp_loopback(&FaultPlan::none(5), 1, 21).unwrap();
+
+    // Connection one: a healthy batch (proves the path works), then a batch
+    // frame truncated mid-item, then a hard teardown.
+    let mut first = server.endpoint().connect().unwrap();
+    let healthy = read_batch(1, &[0, 1, 2]);
+    let mut wire = Vec::new();
+    encode_request_batch(&healthy, &mut wire);
+    first.write_all(&wire).unwrap();
+    let replies = collect_replies(&mut first, 3);
+    assert!(replies.iter().all(|r| r.entry.is_none()), "empty register");
+
+    let truncated_batch = read_batch(4, &[0, 1, 2, 3]);
+    let mut wire = Vec::new();
+    encode_request_batch(&truncated_batch, &mut wire);
+    first.write_all(&wire[..HEADER_LEN + 2 + 14 + 5]).unwrap();
+    first.flush().unwrap();
+    first.shutdown();
+    drop(first);
+
+    // Connection two: a batch with its middle item corrupted, then a good
+    // single frame. The batch is rejected whole; the single frame answers.
+    let mut second = server.endpoint().connect().unwrap();
+    let damaged = read_batch(20, &[0, 1, 2]);
+    let mut wire = Vec::new();
+    encode_request_batch(&damaged, &mut wire);
+    wire[HEADER_LEN + 2 + 14] = 0xee; // second item's kind byte
+    let good = WireRequest {
+        request_id: 42,
+        server: 4,
+        op: Operation::Write(Entry {
+            timestamp: 1,
+            value: authentic_value(1),
+        }),
+    };
+    encode_request(&good, &mut wire);
+    second.write_all(&wire).unwrap();
+    let replies = collect_replies(&mut second, 1);
+    assert_eq!(replies[0].request_id, 42, "only the clean frame answers");
+    assert_eq!(replies[0].server, 4);
+    assert_eq!(replies[0].entry, None, "write acks carry no entry");
+
+    // The write behind the corrupted batch must have been applied, and none
+    // of the damaged batch's reads may have been salvaged and answered.
+    let probe = WireRequest {
+        request_id: 43,
+        server: 4,
+        op: Operation::Read,
+    };
+    let mut wire = Vec::new();
+    encode_request(&probe, &mut wire);
+    second.write_all(&wire).unwrap();
+    let replies = collect_replies(&mut second, 1);
+    assert_eq!(replies[0].request_id, 43);
+    assert_eq!(
+        replies[0].entry,
+        Some(Entry {
+            timestamp: 1,
+            value: authentic_value(1),
+        }),
+        "the clean write after the damaged batch was applied"
+    );
+    drop(second);
+
+    // And the full pooled transport still runs the masking protocol against
+    // the same server instance: the corruption episodes left no debris.
+    let system = ThresholdSystem::minimal_masking(1).unwrap();
+    let transport = SocketTransport::connect(
+        server.endpoint().clone(),
+        5,
+        NetConfig {
+            pool: 2,
+            request_deadline: Duration::from_millis(500),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ServiceClient::new(&system, &transport, server.responsive_set().clone(), 1);
+    let mut rng = StdRng::seed_from_u64(6);
+    let entry = Entry {
+        timestamp: 2,
+        value: authentic_value(2),
+    };
+    client.write(entry, &mut rng).unwrap();
+    assert_eq!(client.read(&mut rng).unwrap().entry, entry);
+}
+
+/// Garbage with an embedded magic *inside* a corrupt batch payload must not
+/// derail recovery: the resync scan starts inside the frame and may land on
+/// that embedded header, then keeps scanning to the genuine next frame.
+#[test]
+fn embedded_magic_inside_a_corrupt_batch_does_not_derail_resync() {
+    let batch = read_batch(30, &[0, 1]);
+    let mut wire = Vec::new();
+    encode_request_batch(&batch, &mut wire);
+    // Garble the first item AND plant a magic mid-payload with a bogus length.
+    wire[HEADER_LEN + 2] = 0xee;
+    wire[HEADER_LEN + 2 + 3..HEADER_LEN + 2 + 3 + MAGIC.len()].copy_from_slice(&MAGIC);
+    let good = WireRequest {
+        request_id: 77,
+        server: 3,
+        op: Operation::Read,
+    };
+    encode_request(&good, &mut wire);
+
+    let mut reader = FrameReader::new();
+    reader.push(&wire);
+    assert_eq!(reader.next_message(), Some(WireMessage::Request(good)));
+    assert!(reader.resyncs() >= 1);
+}

@@ -29,10 +29,11 @@ use std::time::Duration;
 use bqs_core::bitset::ServerSet;
 use bqs_core::quorum::QuorumSystem;
 use bqs_sim::client::{choose_access_quorum, resolve_read, ProtocolError};
-use bqs_sim::server::Entry;
+use bqs_sim::server::{mix64, Entry};
 use rand::Rng;
 
-use crate::mailbox::{ReplyHandle, ReplyMailbox};
+use crate::mailbox::{DrainStatus, ReplyHandle, ReplyMailbox};
+use crate::metrics::ServiceMetrics;
 use crate::transport::{Operation, Reply, Request, Transport};
 
 /// Default bound on how long a client waits for a single reply before
@@ -75,6 +76,23 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Why one rendezvous attempt failed — the retry policy's input. All three
+/// collapse to [`ServiceError::TransportFailure`] at the public surface, but
+/// they are treated differently inside: refusals and quiet deadlines are
+/// retryable transients, while a *closed* reply mailbox means the reply path
+/// is gone for good (reader thread died, service torn down) and retrying the
+/// same transport would only burn the backoff budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RendezvousFailure {
+    /// The transport refused at least one request of the fan-out.
+    Refused,
+    /// The reply deadline passed with replies still missing; the transport
+    /// may merely be slow.
+    TimedOut,
+    /// The reply mailbox reported closure: no reply can ever arrive.
+    Closed,
+}
+
 /// The outcome of a completed service read.
 #[derive(Debug, Clone)]
 pub struct ServiceReadOutcome {
@@ -93,6 +111,14 @@ pub struct ServiceClient<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> {
     responsive: ServerSet,
     b: usize,
     reply_deadline: Duration,
+    /// Client identity stamped on every request (see [`Request::origin`]).
+    origin: u64,
+    /// Retry budget per operation (0 = fail on the first transport failure).
+    retry_limit: u32,
+    /// Base backoff doubled per retry attempt, jittered to `[0.5, 1.5)`.
+    retry_backoff: Duration,
+    /// Optional degradation accounting (drops/timeouts/retries/aborts).
+    metrics: Option<Arc<ServiceMetrics>>,
     next_request_id: u64,
     /// The client's one reply sink, shared by every operation it ever issues.
     /// Stragglers from aborted operations are filtered by id, so the mailbox
@@ -115,6 +141,10 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
             responsive,
             b,
             reply_deadline: DEFAULT_REPLY_DEADLINE,
+            origin: 0,
+            retry_limit: 0,
+            retry_backoff: Duration::from_millis(1),
+            metrics: None,
             next_request_id: 0,
             reply_mailbox: Arc::new(ReplyMailbox::new()),
             fanout: Vec::new(),
@@ -129,6 +159,48 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
     pub fn with_reply_deadline(mut self, deadline: Duration) -> Self {
         self.reply_deadline = deadline;
         self
+    }
+
+    /// Sets the client identity stamped on every request as
+    /// [`Request::origin`]. Defaults to 0; give each client of a shared
+    /// in-process service a distinct origin when per-client adversaries are in
+    /// play (the socket path derives origins from connections instead).
+    #[must_use]
+    pub fn with_origin(mut self, origin: u64) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Enables graceful degradation: up to `limit` retries per operation after
+    /// a refused send or an expired reply deadline, sleeping an exponentially
+    /// doubled `base_backoff` jittered to `[0.5, 1.5)` between attempts (the
+    /// same deterministic splitmix64 jitter the socket transport uses for
+    /// reconnects). A *closed* reply path is never retried — closure means no
+    /// reply can ever arrive (see [`DrainStatus::Closed`]), so the operation
+    /// aborts immediately. Protocol-level errors (no live quorum, no safe
+    /// value) are never retried either: they are answers, not failures.
+    #[must_use]
+    pub fn with_retries(mut self, limit: u32, base_backoff: Duration) -> Self {
+        self.retry_limit = limit;
+        self.retry_backoff = base_backoff;
+        self
+    }
+
+    /// Attaches degradation accounting: timeouts, retries and aborts observed
+    /// by this client are recorded into `metrics` (fault-injecting transports
+    /// record drops into the same sink).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<ServiceMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The client's reply mailbox — exposed so tests and harnesses can model
+    /// reply-path death (closing it from outside) and assert the client fails
+    /// fast instead of burning its deadline.
+    #[must_use]
+    pub fn reply_mailbox(&self) -> &Arc<ReplyMailbox> {
+        &self.reply_mailbox
     }
 
     /// The masking level the client assumes.
@@ -148,7 +220,7 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
         &mut self,
         quorum: &ServerSet,
         op: Operation,
-    ) -> Result<Vec<(usize, Option<Entry>)>, ServiceError> {
+    ) -> Result<Vec<(usize, Option<Entry>)>, RendezvousFailure> {
         let expected = quorum.len();
         let first_id = self.next_request_id + 1;
         for server in quorum.iter() {
@@ -157,6 +229,7 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
                 server,
                 op,
                 request_id: self.next_request_id,
+                origin: self.origin,
                 reply: Arc::clone(&self.reply_mailbox) as ReplyHandle,
             });
         }
@@ -164,25 +237,67 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
             // Partial delivery is possible; the id filter below absorbs any
             // replies the accepted members still produce.
             self.fanout.clear();
-            return Err(ServiceError::TransportFailure);
+            return Err(RendezvousFailure::Refused);
         }
-        let mut replies = Vec::with_capacity(expected);
+        let mut replies: Vec<(usize, Option<Entry>)> = Vec::with_capacity(expected);
         while replies.len() < expected {
             debug_assert!(self.drained.is_empty());
-            if self
+            match self
                 .reply_mailbox
                 .drain_timeout(self.reply_deadline, &mut self.drained)
-                == 0
             {
-                return Err(ServiceError::TransportFailure);
+                DrainStatus::Drained(_) => {}
+                DrainStatus::TimedOut => {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_timeout();
+                    }
+                    return Err(RendezvousFailure::TimedOut);
+                }
+                // The reply path is gone: fail fast, never wait out the
+                // deadline, and let the caller skip the retry loop entirely.
+                DrainStatus::Closed => return Err(RendezvousFailure::Closed),
             }
             for reply in self.drained.drain(..) {
-                if reply.request_id >= first_id {
+                // Two filters keep the masking math sound: stragglers from an
+                // aborted earlier rendezvous (id below this operation's range)
+                // are dropped, and so is any *duplicate* reply from a server
+                // already counted — a duplicating network must not let a
+                // single Byzantine server reach b + 1 support by echo.
+                if reply.request_id >= first_id
+                    && !replies.iter().any(|&(server, _)| server == reply.server)
+                {
                     replies.push((reply.server, reply.entry));
                 }
             }
         }
         Ok(replies)
+    }
+
+    /// Applies the retry policy after a failed rendezvous: returns `true` to
+    /// retry (after the jittered backoff sleep), `false` to abort. Closure is
+    /// terminal regardless of remaining budget.
+    fn back_off_or_abort(&self, failure: RendezvousFailure, attempt: &mut u32) -> bool {
+        if failure == RendezvousFailure::Closed || *attempt >= self.retry_limit {
+            if let Some(metrics) = &self.metrics {
+                metrics.record_abort();
+            }
+            return false;
+        }
+        *attempt += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_retry();
+        }
+        let base = self.retry_backoff.as_nanos() as u64;
+        let doubled = base.saturating_mul(1u64 << (*attempt - 1).min(16));
+        // The same deterministic [0.5, 1.5) jitter shape as the socket
+        // transport's reconnect backoff, keyed so concurrent clients desync.
+        let key = mix64(self.origin ^ self.next_request_id ^ u64::from(*attempt));
+        let factor = 0.5 + (key >> 11) as f64 / (1u64 << 53) as f64;
+        let nanos = (doubled as f64 * factor) as u64;
+        if nanos > 0 {
+            std::thread::sleep(Duration::from_nanos(nanos));
+        }
+        true
     }
 
     /// Writes `entry` to a quorum chosen by the access strategy.
@@ -193,9 +308,18 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
     /// quorum of responsive servers exists; [`ServiceError::TransportFailure`]
     /// when the service is gone.
     pub fn write<R: Rng>(&mut self, entry: Entry, rng: &mut R) -> Result<ServerSet, ServiceError> {
-        let quorum = choose_access_quorum(self.system, &self.responsive, rng)?;
-        self.rendezvous(&quorum, Operation::Write(entry))?;
-        Ok(quorum)
+        let mut attempt = 0u32;
+        loop {
+            let quorum = choose_access_quorum(self.system, &self.responsive, rng)?;
+            match self.rendezvous(&quorum, Operation::Write(entry)) {
+                Ok(_) => return Ok(quorum),
+                Err(failure) => {
+                    if !self.back_off_or_abort(failure, &mut attempt) {
+                        return Err(ServiceError::TransportFailure);
+                    }
+                }
+            }
+        }
     }
 
     /// Reads the register, masking up to `b` Byzantine replies.
@@ -206,13 +330,24 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
     /// [`ProtocolError::NoSafeValue`] as in the simulator, or
     /// [`ServiceError::TransportFailure`] when the service is gone.
     pub fn read<R: Rng>(&mut self, rng: &mut R) -> Result<ServiceReadOutcome, ServiceError> {
-        let quorum = choose_access_quorum(self.system, &self.responsive, rng)?;
-        let replies = self.rendezvous(&quorum, Operation::Read)?;
-        let (best, _safe) = resolve_read(&replies, self.b)?;
-        Ok(ServiceReadOutcome {
-            entry: best,
-            quorum,
-        })
+        let mut attempt = 0u32;
+        loop {
+            let quorum = choose_access_quorum(self.system, &self.responsive, rng)?;
+            match self.rendezvous(&quorum, Operation::Read) {
+                Ok(replies) => {
+                    let (best, _safe) = resolve_read(&replies, self.b)?;
+                    return Ok(ServiceReadOutcome {
+                        entry: best,
+                        quorum,
+                    });
+                }
+                Err(failure) => {
+                    if !self.back_off_or_abort(failure, &mut attempt) {
+                        return Err(ServiceError::TransportFailure);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -335,6 +470,221 @@ mod tests {
         // Reads bound their waits the same way.
         let err = client.read(&mut rng).unwrap_err();
         assert_eq!(err, ServiceError::TransportFailure);
+    }
+
+    /// A transport that refuses every request addressed to one server and
+    /// acknowledges the rest in-band immediately — the partial-delivery shape
+    /// `send_batch`'s contract documents.
+    #[derive(Debug)]
+    struct PartialRefusalTransport {
+        n: usize,
+        refuse_server: usize,
+    }
+
+    impl Transport for PartialRefusalTransport {
+        fn universe_size(&self) -> usize {
+            self.n
+        }
+
+        fn send(&self, request: Request) -> bool {
+            if request.server == self.refuse_server {
+                return false;
+            }
+            request.reply.complete(Reply {
+                server: request.server,
+                request_id: request.request_id,
+                entry: None,
+            });
+            true
+        }
+    }
+
+    #[test]
+    fn send_batch_partial_refusal_contract() {
+        // Satellite: pin the documented contract of `Transport::send_batch` —
+        // a `false` return may be *partial*: accepted requests still reply,
+        // refused ones never will.
+        let transport = PartialRefusalTransport {
+            n: 5,
+            refuse_server: 2,
+        };
+        let mailbox = Arc::new(ReplyMailbox::new());
+        let mut batch: Vec<Request> = (0..4)
+            .map(|server| Request {
+                server,
+                op: Operation::Read,
+                request_id: 100 + server as u64,
+                origin: 0,
+                reply: Arc::clone(&mailbox) as ReplyHandle,
+            })
+            .collect();
+        assert!(
+            !transport.send_batch(&mut batch),
+            "a batch containing a refused request must return false"
+        );
+        assert!(batch.is_empty(), "send_batch drains the batch either way");
+        let mut drained = Vec::new();
+        let status = mailbox.drain_timeout(Duration::from_millis(200), &mut drained);
+        assert_eq!(status.count(), 3, "exactly the accepted requests reply");
+        assert!(
+            drained.iter().all(|r| r.server != 2),
+            "the refused request must never produce a reply"
+        );
+        // Waiting longer buys nothing: the refused id is answerless forever,
+        // which is why the client must fall back on its deadline.
+        drained.clear();
+        assert_eq!(
+            mailbox.drain_timeout(Duration::from_millis(50), &mut drained),
+            DrainStatus::TimedOut
+        );
+
+        // Client level: a fan-out that touches the refused server surfaces
+        // TransportFailure without hanging, and the stragglers the accepted
+        // members produced are invisible to the next operation (id filter).
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let responsive = bqs_core::bitset::ServerSet::full(5);
+        let metrics = Arc::new(ServiceMetrics::new(5));
+        let mut client = ServiceClient::new(&system, &transport, responsive, 1)
+            .with_reply_deadline(Duration::from_millis(100))
+            .with_metrics(Arc::clone(&metrics));
+        let mut rng = StdRng::seed_from_u64(9);
+        let started = std::time::Instant::now();
+        // Every 4-of-5 quorum except one contains server 2; drive until a
+        // refusal has been observed (deterministic well within the bound).
+        let mut saw_refusal = false;
+        for _ in 0..32 {
+            match client.read(&mut rng) {
+                Err(ServiceError::TransportFailure) => {
+                    saw_refusal = true;
+                }
+                Err(ServiceError::Protocol(ProtocolError::NoSafeValue)) => {
+                    // The quorum avoiding server 2: all-None replies resolve
+                    // to no safe value — stragglers were filtered, or this
+                    // operation would have double-counted old acks.
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(saw_refusal);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "refusals must fail fast, not serially burn deadlines"
+        );
+        assert!(metrics.aborts() > 0, "refused fan-outs count as aborts");
+    }
+
+    #[test]
+    fn closed_reply_path_fails_fast_and_is_never_retried() {
+        // Satellite: the reader-thread-death path. A client whose reply
+        // mailbox closes mid-wait must learn it immediately — not burn its
+        // deadline — and must not retry: closure is terminal.
+        let transport = BlackHoleTransport {
+            n: 5,
+            swallowed: std::sync::atomic::AtomicU64::new(0),
+        };
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let responsive = bqs_core::bitset::ServerSet::full(5);
+        let metrics = Arc::new(ServiceMetrics::new(5));
+        let mut client = ServiceClient::new(&system, &transport, responsive, 1)
+            .with_reply_deadline(Duration::from_secs(30))
+            .with_retries(5, Duration::from_millis(1))
+            .with_metrics(Arc::clone(&metrics));
+        // The reader thread dies: its teardown closes the client's sink.
+        client.reply_mailbox().close();
+        let mut rng = StdRng::seed_from_u64(4);
+        let started = std::time::Instant::now();
+        let err = client
+            .write(
+                Entry {
+                    timestamp: 1,
+                    value: 1,
+                },
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, ServiceError::TransportFailure);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "closure must preempt the 30 s deadline"
+        );
+        assert_eq!(metrics.retries(), 0, "a closed reply path is not retried");
+        assert_eq!(metrics.aborts(), 1);
+        assert_eq!(metrics.timeouts(), 0);
+    }
+
+    /// Refuses the first `failures` batches, then delegates to an inner
+    /// loopback service — a transient outage for exercising the retry loop.
+    #[derive(Debug)]
+    struct FlakyTransport {
+        inner: LoopbackService,
+        failures: std::sync::atomic::AtomicU64,
+    }
+
+    impl Transport for FlakyTransport {
+        fn universe_size(&self) -> usize {
+            self.inner.universe_size()
+        }
+
+        fn send(&self, request: Request) -> bool {
+            self.inner.send(request)
+        }
+
+        fn send_batch(&self, requests: &mut Vec<Request>) -> bool {
+            use std::sync::atomic::Ordering;
+            if self
+                .failures
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                    (f > 0).then(|| f - 1)
+                })
+                .is_ok()
+            {
+                requests.clear();
+                return false;
+            }
+            self.inner.send_batch(requests)
+        }
+    }
+
+    #[test]
+    fn bounded_retry_recovers_from_transient_refusals() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let transport = FlakyTransport {
+            inner: LoopbackService::spawn(&FaultPlan::none(5), 2, 3),
+            failures: std::sync::atomic::AtomicU64::new(2),
+        };
+        let responsive = transport.inner.responsive_set().clone();
+        let metrics = Arc::new(ServiceMetrics::new(5));
+        let mut client = ServiceClient::new(&system, &transport, responsive, 1)
+            .with_retries(3, Duration::from_micros(100))
+            .with_metrics(Arc::clone(&metrics));
+        let mut rng = StdRng::seed_from_u64(11);
+        let entry = Entry {
+            timestamp: 1,
+            value: 42,
+        };
+        // Two refusals, then success on the third attempt — inside the budget.
+        client.write(entry, &mut rng).unwrap();
+        assert_eq!(metrics.retries(), 2);
+        assert_eq!(metrics.aborts(), 0);
+        let outcome = client.read(&mut rng).unwrap();
+        assert_eq!(outcome.entry, entry);
+
+        // A budget smaller than the outage aborts with the tally to prove it.
+        let transport = FlakyTransport {
+            inner: LoopbackService::spawn(&FaultPlan::none(5), 2, 3),
+            failures: std::sync::atomic::AtomicU64::new(10),
+        };
+        let responsive = transport.inner.responsive_set().clone();
+        let metrics = Arc::new(ServiceMetrics::new(5));
+        let mut client = ServiceClient::new(&system, &transport, responsive, 1)
+            .with_retries(2, Duration::from_micros(100))
+            .with_metrics(Arc::clone(&metrics));
+        assert_eq!(
+            client.write(entry, &mut rng).unwrap_err(),
+            ServiceError::TransportFailure
+        );
+        assert_eq!(metrics.retries(), 2);
+        assert_eq!(metrics.aborts(), 1);
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub mod shard;
 pub mod transport;
 
 pub use client::{ServiceClient, ServiceError, ServiceReadOutcome};
-pub use mailbox::{Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
+pub use mailbox::{DrainStatus, Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
 pub use runner::{authentic_value, run_service, run_service_on, ServiceConfig, ServiceReport};
@@ -93,7 +93,7 @@ pub use transport::{Operation, Reply, Request, Transport};
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::client::{ServiceClient, ServiceError, ServiceReadOutcome};
-    pub use crate::mailbox::{Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
+    pub use crate::mailbox::{DrainStatus, Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
     pub use crate::metrics::{LatencyHistogram, ServiceMetrics};
     pub use crate::openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
     pub use crate::runner::{

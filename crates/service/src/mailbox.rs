@@ -147,19 +147,28 @@ impl<T> Mailbox<T> {
     }
 
     /// Waits up to `timeout` for items, then swaps whatever is queued into
-    /// `into` (which must be empty). Returns the number of items drained —
-    /// zero on timeout or closure.
-    pub fn drain_timeout(&self, timeout: Duration, into: &mut Vec<T>) -> usize {
+    /// `into` (which must be empty).
+    ///
+    /// The three-way [`DrainStatus`] distinguishes "empty because quiet" from
+    /// "empty because the peer dropped": [`DrainStatus::TimedOut`] means the
+    /// producer may still deliver (keep waiting or retry), while
+    /// [`DrainStatus::Closed`] means no reply can ever arrive (the producer —
+    /// e.g. a connection reader thread — died or shut down), so the caller
+    /// should fail over immediately instead of burning its deadline. Backlog
+    /// always wins: a closed mailbox with queued items drains them as
+    /// [`DrainStatus::Drained`] first and reports closure only once empty,
+    /// mirroring [`Mailbox::drain_blocking`].
+    pub fn drain_timeout(&self, timeout: Duration, into: &mut Vec<T>) -> DrainStatus {
         debug_assert!(into.is_empty(), "drain buffer must be consumed");
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock().expect("mailbox lock");
         while state.queue.is_empty() {
             if state.closed {
-                return 0;
+                return DrainStatus::Closed;
             }
             let now = Instant::now();
             if now >= deadline {
-                return 0;
+                return DrainStatus::TimedOut;
             }
             let (next, timed_out) = self
                 .available
@@ -167,11 +176,45 @@ impl<T> Mailbox<T> {
                 .expect("mailbox lock");
             state = next;
             if timed_out.timed_out() && state.queue.is_empty() {
-                return 0;
+                return if state.closed {
+                    DrainStatus::Closed
+                } else {
+                    DrainStatus::TimedOut
+                };
             }
         }
         std::mem::swap(&mut state.queue, into);
-        into.len()
+        DrainStatus::Drained(into.len())
+    }
+}
+
+/// Outcome of a [`Mailbox::drain_timeout`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainStatus {
+    /// Items were drained into the caller's buffer (count is non-zero).
+    Drained(usize),
+    /// The deadline passed with nothing queued; the producer is merely quiet
+    /// and may still deliver later.
+    TimedOut,
+    /// The mailbox is closed and empty: the producer is gone and nothing will
+    /// ever arrive. Callers should fail fast rather than wait again.
+    Closed,
+}
+
+impl DrainStatus {
+    /// Number of items drained (zero for the empty outcomes).
+    #[must_use]
+    pub fn count(self) -> usize {
+        match self {
+            DrainStatus::Drained(n) => n,
+            DrainStatus::TimedOut | DrainStatus::Closed => 0,
+        }
+    }
+
+    /// True when the mailbox is known closed (no future delivery possible).
+    #[must_use]
+    pub fn is_closed(self) -> bool {
+        self == DrainStatus::Closed
     }
 }
 
@@ -224,7 +267,10 @@ mod tests {
         assert!(producer.is_empty());
         assert!(producer.capacity() > 0 || mb.len() == 3);
         let mut batch = Vec::new();
-        assert_eq!(mb.drain_timeout(Duration::from_millis(10), &mut batch), 3);
+        assert_eq!(
+            mb.drain_timeout(Duration::from_millis(10), &mut batch),
+            DrainStatus::Drained(3)
+        );
         assert_eq!(batch, vec![7, 8, 9]);
     }
 
@@ -249,8 +295,56 @@ mod tests {
         let mb: Mailbox<u32> = Mailbox::new();
         let mut batch = Vec::new();
         let started = Instant::now();
-        assert_eq!(mb.drain_timeout(Duration::from_millis(20), &mut batch), 0);
+        assert_eq!(
+            mb.drain_timeout(Duration::from_millis(20), &mut batch),
+            DrainStatus::TimedOut
+        );
         assert!(started.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn drain_timeout_distinguishes_closure_from_quiet() {
+        // Backlog on a closed mailbox drains first, then closure is reported.
+        let mb: Mailbox<u32> = Mailbox::new();
+        assert!(mb.push(5));
+        mb.close();
+        let mut batch = Vec::new();
+        assert_eq!(
+            mb.drain_timeout(Duration::from_millis(10), &mut batch),
+            DrainStatus::Drained(1)
+        );
+        assert_eq!(batch, vec![5]);
+        batch.clear();
+        let status = mb.drain_timeout(Duration::from_secs(5), &mut batch);
+        assert_eq!(status, DrainStatus::Closed);
+        assert!(status.is_closed());
+        assert_eq!(status.count(), 0);
+    }
+
+    #[test]
+    fn reader_thread_death_wakes_a_parked_drainer_with_closed() {
+        // Regression for the shutdown-ordering bug: a consumer parked in
+        // drain_timeout whose producer (e.g. a connection reader thread) dies
+        // mid-wait must learn `Closed` promptly — well before its deadline —
+        // instead of timing out ambiguously.
+        let mb: Arc<Mailbox<u32>> = Arc::new(Mailbox::new());
+        let reader = {
+            let mb = Arc::clone(&mb);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                // The reader thread dies: its teardown path closes the mailbox.
+                mb.close();
+            })
+        };
+        let mut batch = Vec::new();
+        let started = Instant::now();
+        let status = mb.drain_timeout(Duration::from_secs(10), &mut batch);
+        assert_eq!(status, DrainStatus::Closed);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "closure must preempt the deadline"
+        );
+        reader.join().unwrap();
     }
 
     #[test]

@@ -124,6 +124,15 @@ pub struct ServiceMetrics {
     operations: AtomicU64,
     /// End-to-end operation latency.
     latency: LatencyHistogram,
+    /// Requests known lost in transit (recorded by fault-injecting transports).
+    drops: AtomicU64,
+    /// Reply-deadline expiries observed by clients waiting on a rendezvous.
+    timeouts: AtomicU64,
+    /// Operation attempts retried after a refused send or an expired deadline.
+    retries: AtomicU64,
+    /// Operations abandoned after exhausting their retry budget (or failing
+    /// terminally, e.g. a closed reply path).
+    aborts: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -134,6 +143,10 @@ impl ServiceMetrics {
             accesses: (0..n).map(|_| AtomicU64::new(0)).collect(),
             operations: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            drops: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
         }
     }
 
@@ -153,6 +166,50 @@ impl ServiceMetrics {
     pub fn record_operation(&self, latency_nanos: u64) {
         self.operations.fetch_add(1, Ordering::Relaxed);
         self.latency.record(latency_nanos);
+    }
+
+    /// Records one request dropped in transit (chaos drops, partitions).
+    pub fn record_drop(&self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one reply-deadline expiry seen by a waiting client.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retried operation attempt.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one abandoned operation.
+    pub fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests known lost in transit so far.
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Reply-deadline expiries so far.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Retried attempts so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Abandoned operations so far.
+    #[must_use]
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
     }
 
     /// Snapshot of per-server access counts.
@@ -185,6 +242,10 @@ impl ServiceMetrics {
             a.store(0, Ordering::Relaxed);
         }
         self.operations.store(0, Ordering::Relaxed);
+        self.drops.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
         for b in &self.latency.buckets {
             b.store(0, Ordering::Relaxed);
         }
@@ -255,6 +316,27 @@ mod tests {
         // Degenerate q values clamp instead of panicking.
         assert_eq!(h.quantile(-1.0), Some(1));
         assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn degradation_counters_accumulate_and_reset() {
+        let m = ServiceMetrics::new(2);
+        m.record_drop();
+        m.record_drop();
+        m.record_timeout();
+        m.record_retry();
+        m.record_retry();
+        m.record_retry();
+        m.record_abort();
+        assert_eq!(
+            (m.drops(), m.timeouts(), m.retries(), m.aborts()),
+            (2, 1, 3, 1)
+        );
+        m.reset();
+        assert_eq!(
+            (m.drops(), m.timeouts(), m.retries(), m.aborts()),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

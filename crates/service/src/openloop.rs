@@ -52,7 +52,7 @@ use bqs_sim::server::Entry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::mailbox::{ReplyHandle, ReplyMailbox};
+use crate::mailbox::{DrainStatus, ReplyHandle, ReplyMailbox};
 use crate::metrics::LatencyHistogram;
 use crate::runner::authentic_value;
 use crate::shard::TimestampOracle;
@@ -409,6 +409,7 @@ fn prime_register<Q, T>(
             server,
             op: Operation::Write(entry),
             request_id: u64::MAX - server as u64,
+            origin: 0,
             reply: Arc::clone(&mailbox) as ReplyHandle,
         })
         .collect();
@@ -422,8 +423,11 @@ fn prime_register<Q, T>(
         if now >= deadline {
             break;
         }
-        let got = mailbox.drain_timeout(deadline - now, &mut drained);
+        let status = mailbox.drain_timeout(deadline - now, &mut drained);
+        let got = status.count();
         if got == 0 {
+            // TimedOut and Closed alike end the priming wait: nothing more
+            // is coming (or worth waiting for) before the real run starts.
             break;
         }
         gathered += got;
@@ -515,6 +519,7 @@ where
                     server,
                     op,
                     request_id: op_key | member as u64,
+                    origin: worker_id as u64 + 1,
                     reply: Arc::clone(&reply_mailbox) as ReplyHandle,
                 });
             }
@@ -562,9 +567,20 @@ where
         } else {
             Duration::from_millis(20)
         };
-        if reply_mailbox.drain_timeout(wait, &mut drained) > 0 {
-            for reply in drained.drain(..) {
-                handle_reply(reply, &mut pending, &mut tally, b, clock, hist);
+        match reply_mailbox.drain_timeout(wait, &mut drained) {
+            DrainStatus::Drained(_) => {
+                for reply in drained.drain(..) {
+                    handle_reply(reply, &mut pending, &mut tally, b, clock, hist);
+                }
+            }
+            DrainStatus::TimedOut => {}
+            DrainStatus::Closed => {
+                // The reply path died under us: every in-flight operation is
+                // answerless forever. Account them as timed out and stop
+                // instead of spinning on a dead mailbox until the deadline.
+                tally.timed_out += pending.len() as u64;
+                pending.clear();
+                break;
             }
         }
 
@@ -593,6 +609,9 @@ fn handle_reply(
     let Some(op) = pending.get_mut(&op_key) else {
         return; // straggler from an expired/rejected operation
     };
+    if op.replies.iter().any(|&(server, _)| server == reply.server) {
+        return; // duplicate delivery: a server's echo must not add support
+    }
     op.replies.push((reply.server, reply.entry));
     if op.replies.len() < op.expected {
         return;

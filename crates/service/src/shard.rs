@@ -292,7 +292,7 @@ fn shard_worker(
                     replica.deliver_write(entry);
                     None
                 }
-                Operation::Read => replica.deliver_read(&mut rng),
+                Operation::Read => replica.deliver_read(request.origin, &mut rng),
             };
             // A dead client (reply sink closed) is not the shard's problem.
             request.reply.complete(Reply {
@@ -345,6 +345,7 @@ mod tests {
             server,
             op,
             request_id: 7,
+            origin: 0,
             reply: Arc::clone(&mb) as ReplyHandle,
         }));
         let mut batch = Vec::new();
@@ -383,6 +384,7 @@ mod tests {
                 server: s,
                 op: Operation::Read,
                 request_id: 100 + s as u64,
+                origin: 0,
                 reply: Arc::clone(&mb) as ReplyHandle,
             })
             .collect();
@@ -412,6 +414,7 @@ mod tests {
                 server: s,
                 op: Operation::Read,
                 request_id: s as u64,
+                origin: 0,
                 reply: Arc::clone(&mb) as ReplyHandle,
             })
             .collect();
@@ -450,6 +453,7 @@ mod tests {
             server: 3,
             op: Operation::Read,
             request_id: 0,
+            origin: 0,
             reply: mb as ReplyHandle,
         }));
         // The shards stay healthy afterwards.

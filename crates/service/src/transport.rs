@@ -77,6 +77,15 @@ pub struct Request {
     /// clients may pass anything (e.g. 0); multiplexing callers pass ids
     /// unique among their in-flight requests.
     pub request_id: u64,
+    /// The identity of the requesting client as seen by the replica owner —
+    /// what a Byzantine server keys *per-client* equivocation on.
+    ///
+    /// In-process transports carry it through verbatim; the socket path does
+    /// NOT put it on the wire — a real adversary distinguishes clients by
+    /// their connections, so `bqs-net`'s server stamps each request with the
+    /// accepting connection's id instead (one pooled connection per client ⇒
+    /// origin ≡ client). Correct replicas ignore it entirely.
+    pub origin: u64,
     /// Where the owning shard must deliver the [`Reply`]. A shared handle —
     /// cloning it is an atomic increment, not a channel allocation.
     pub reply: ReplyHandle,

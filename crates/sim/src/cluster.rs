@@ -67,14 +67,27 @@ impl Cluster {
     }
 
     /// Delivers a read to every server in `quorum`, collecting the replies.
+    /// The single-threaded simulator has one implicit client, so the read
+    /// carries origin 0; use [`Cluster::deliver_read_from`] to model distinct
+    /// client identities (per-client equivocation).
     pub fn deliver_read<R: Rng + ?Sized>(
         &mut self,
         quorum: &ServerSet,
         rng: &mut R,
     ) -> Vec<(usize, Option<Entry>)> {
+        self.deliver_read_from(0, quorum, rng)
+    }
+
+    /// Delivers a read on behalf of the client identified by `origin`.
+    pub fn deliver_read_from<R: Rng + ?Sized>(
+        &mut self,
+        origin: u64,
+        quorum: &ServerSet,
+        rng: &mut R,
+    ) -> Vec<(usize, Option<Entry>)> {
         quorum
             .iter()
-            .map(|i| (i, self.replicas[i].deliver_read(rng)))
+            .map(|i| (i, self.replicas[i].deliver_read(origin, rng)))
             .collect()
     }
 

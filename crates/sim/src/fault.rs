@@ -86,6 +86,40 @@ impl FaultPlan {
         plan
     }
 
+    /// A strategy-aware *targeted* plan: concentrates `count` Byzantine servers
+    /// on the highest-weight servers of a published access strategy (the
+    /// per-server access probabilities, e.g. `AccessStrategy::weights()` from
+    /// the certified load oracle). The strategy is public information in the
+    /// paper's model, so an adversary maximising load skew and read-abort rate
+    /// naturally attacks exactly these servers. Ties break towards the lower
+    /// server index so the plan is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != n` or `count > n`.
+    #[must_use]
+    pub fn targeted_by_weight(
+        n: usize,
+        count: usize,
+        strategy: ByzantineStrategy,
+        weights: &[f64],
+    ) -> Self {
+        assert_eq!(weights.len(), n, "one weight per server required");
+        assert!(count <= n, "cannot fail more servers than exist");
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut plan = FaultPlan::none(n);
+        for &s in order.iter().take(count) {
+            plan.behaviors[s] = Behavior::Byzantine(strategy);
+        }
+        plan
+    }
+
     /// A plan where each server independently crashes with probability `p`
     /// (the failure model of Definition 3.10), with no Byzantine servers.
     #[must_use]
@@ -172,6 +206,25 @@ mod tests {
         );
         assert_eq!(p.byzantine_count(), 3);
         assert_eq!(p.crash_count(), 5);
+    }
+
+    #[test]
+    fn targeted_plan_attacks_highest_weight_servers() {
+        let weights = [0.1, 0.4, 0.2, 0.4, 0.05];
+        let p = FaultPlan::targeted_by_weight(
+            5,
+            2,
+            ByzantineStrategy::FabricateHighTimestamp { value: 7 },
+            &weights,
+        );
+        // The two 0.4-weight servers, tie broken towards the lower index.
+        assert!(matches!(p.behavior(1), Behavior::Byzantine(_)));
+        assert!(matches!(p.behavior(3), Behavior::Byzantine(_)));
+        assert_eq!(p.byzantine_count(), 2);
+        // Three targets: next is the 0.2-weight server.
+        let p3 = FaultPlan::targeted_by_weight(5, 3, ByzantineStrategy::StaleReplay, &weights);
+        assert!(matches!(p3.behavior(2), Behavior::Byzantine(_)));
+        assert_eq!(p3.behavior(0), Behavior::Correct);
     }
 
     #[test]

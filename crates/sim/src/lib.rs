@@ -51,7 +51,7 @@ pub use cluster::Cluster;
 pub use fault::FaultPlan;
 pub use multi_writer::{run_multi_writer_workload, MultiWriterClient, MultiWriterReport};
 pub use runner::{run_workload, SimReport, WorkloadConfig};
-pub use server::{Behavior, ByzantineStrategy, Entry, Replica, Timestamp, Value};
+pub use server::{mix64, Behavior, ByzantineStrategy, Entry, Replica, Timestamp, Value};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
@@ -64,5 +64,5 @@ pub mod prelude {
         run_multi_writer_workload, MultiWriterClient, MultiWriterReport,
     };
     pub use crate::runner::{run_workload, SimReport, WorkloadConfig};
-    pub use crate::server::{Behavior, ByzantineStrategy, Entry, Replica, Timestamp, Value};
+    pub use crate::server::{mix64, Behavior, ByzantineStrategy, Entry, Replica, Timestamp, Value};
 }

@@ -17,6 +17,7 @@
 //! | [`sim`] | `bqs-sim` (`crates/sim`) | the masking read/write register protocol with Byzantine and crash fault injection |
 //! | [`service`] | `bqs-service` (`crates/service`) | the concurrent strategy-driven quorum service runtime: sharded replica ownership behind a pluggable transport, lock-free metrics, closed-loop and open-loop (Poisson-arrival) load generation with online safety checking |
 //! | [`net`] | `bqs-net` (`crates/net`) | the socket side of the transport seam: length-prefixed wire codec, TCP/Unix-domain server over the sharded runtime, pooled client transport with reconnect and per-request deadlines |
+//! | [`chaos`] | `bqs-chaos` (`crates/chaos`) | the deterministic adversarial scenario engine: a replayable chaos interposer at the transport seam plus named scenario families that verify masking holds at `b` faults and breaks detectably at `b + 1` |
 //! | [`combinatorics`] | `bqs-combinatorics` (`crates/combinatorics`) | binomials, finite fields, prime powers, projective planes |
 //! | [`lp`] | `bqs-lp` (`crates/lp`) | the simplex solver behind the explicit load LP, plus the incremental packing master behind certified column-generation load |
 //! | [`graph`] | `bqs-graph` (`crates/graph`) | triangulated grids, max-flow, percolation (the M-Path substrate) |
@@ -59,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub use bqs_analysis as analysis;
+pub use bqs_chaos as chaos;
 pub use bqs_combinatorics as combinatorics;
 pub use bqs_constructions as constructions;
 pub use bqs_core as core;
@@ -70,6 +72,7 @@ pub use bqs_sim as sim;
 
 /// One-stop import of the most frequently used items from every layer.
 pub mod prelude {
+    pub use bqs_chaos::prelude::*;
     pub use bqs_constructions::prelude::*;
     pub use bqs_core::prelude::*;
     pub use bqs_net::prelude::*;

@@ -1,0 +1,132 @@
+//! The chaos scenario engine through real sockets: the masking invariants
+//! hold at `b` faults and break detectably at `b + 1` on the Unix-domain and
+//! TCP backends too, and a socket run replays deterministically from its
+//! `(seed, scenario)` pair. (The full matrix — every family × every backend
+//! × the fixed seed set — is `bench_chaos`; these tests pin the cross-backend
+//! claim in the ordinary test suite with a fast subset.)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use byzantine_quorums::chaos::prelude::*;
+use byzantine_quorums::constructions::prelude::*;
+use byzantine_quorums::core::quorum::QuorumSystem;
+use byzantine_quorums::net::prelude::*;
+use byzantine_quorums::service::transport::Transport;
+
+enum Backend {
+    Uds,
+    Tcp,
+}
+
+fn uds_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bqs-chaos-e2e-{}-{tag}.sock", std::process::id()))
+}
+
+/// Builds the scenario's fault plan behind a socket server, wraps the pooled
+/// transport (`pool = 1`, so connection id ≡ client at the replicas) in the
+/// chaos interposer, and runs the invariant-checking workload.
+fn run_socket(
+    backend: Backend,
+    scenario: ChaosScenario,
+    system: &ThresholdSystem,
+    faults: usize,
+    config: &ScenarioConfig,
+    tag: &str,
+) -> ScenarioOutcome {
+    let n = system.universe_size();
+    let plan = scenario.fault_plan(n, faults, None);
+    let server = match backend {
+        Backend::Uds => SocketServer::bind_uds(uds_path(tag), &plan, 2, config.seed),
+        Backend::Tcp => SocketServer::bind_tcp_loopback(&plan, 2, config.seed),
+    }
+    .expect("bind socket server");
+    let transport = SocketTransport::connect(
+        server.endpoint().clone(),
+        n,
+        NetConfig {
+            pool: 1,
+            request_deadline: Duration::from_secs(5),
+            ..NetConfig::default()
+        },
+    )
+    .expect("connect transport pool");
+    let chaos = ChaosTransport::new(
+        Arc::new(transport),
+        config.seed,
+        scenario.id(),
+        scenario.chaos_config_for(n, faults),
+    );
+    let _: &dyn Transport = &chaos; // the interposer is itself a Transport
+    run_scenario(
+        scenario,
+        system,
+        1,
+        faults,
+        server.responsive_set().clone(),
+        &chaos,
+        config,
+    )
+}
+
+fn config() -> ScenarioConfig {
+    ScenarioConfig {
+        writes: 8,
+        reads: 40,
+        reply_deadline: Duration::from_millis(100),
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn uds_masks_at_b_and_detects_at_b_plus_1() {
+    let system = ThresholdSystem::minimal_masking(1).unwrap();
+    for scenario in [ChaosScenario::DropRetry, ChaosScenario::SlowServers] {
+        let at_b = run_socket(Backend::Uds, scenario, &system, 1, &config(), "b");
+        assert_eq!(at_b.safety_violations(), 0, "{}: {at_b:?}", scenario.name());
+        assert!(at_b.reads_completed > 0, "{}: {at_b:?}", scenario.name());
+        let over = run_socket(Backend::Uds, scenario, &system, 2, &config(), "b1");
+        assert!(over.detected(), "{}: {over:?}", scenario.name());
+    }
+}
+
+#[test]
+fn tcp_masks_at_b_and_detects_at_b_plus_1() {
+    let system = ThresholdSystem::minimal_masking(1).unwrap();
+    for scenario in [ChaosScenario::DelayJitter, ChaosScenario::Duplicate] {
+        let at_b = run_socket(Backend::Tcp, scenario, &system, 1, &config(), "b");
+        assert_eq!(at_b.safety_violations(), 0, "{}: {at_b:?}", scenario.name());
+        assert!(at_b.reads_completed > 0, "{}: {at_b:?}", scenario.name());
+        let over = run_socket(Backend::Tcp, scenario, &system, 2, &config(), "b1");
+        assert!(over.detected(), "{}: {over:?}", scenario.name());
+    }
+}
+
+#[test]
+fn socket_runs_replay_deterministically() {
+    let system = ThresholdSystem::minimal_masking(1).unwrap();
+    let first = run_socket(
+        Backend::Uds,
+        ChaosScenario::DropRetry,
+        &system,
+        2,
+        &config(),
+        "replay-a",
+    );
+    let second = run_socket(
+        Backend::Uds,
+        ChaosScenario::DropRetry,
+        &system,
+        2,
+        &config(),
+        "replay-b",
+    );
+    assert_eq!(
+        first.trace_fingerprint, second.trace_fingerprint,
+        "identical (seed, scenario) must replay the identical chaos trace over sockets"
+    );
+    assert_eq!(first.trace_events, second.trace_events);
+    assert_eq!(first.safety_violations(), second.safety_violations());
+    assert_eq!(first.writes_completed, second.writes_completed);
+    assert_eq!(first.reads_completed, second.reads_completed);
+}
