@@ -9,11 +9,20 @@
 //!
 //! * at `faults = b`: **zero** safety violations (value authenticity and
 //!   read-your-writes both hold) *and* graceful degradation — reads keep
-//!   completing under the scenario's chaos;
+//!   completing under the scenario's chaos, and **zero reads abort** (every
+//!   run also reports its read-abort rate, aborts per second, so regressions
+//!   in degradation show up as a number before they show up as a failure);
 //! * at `faults = b + 1`: at least one **detected** violation — the run
 //!   observes masking break, it does not merely fail to answer;
 //! * replays: re-running a (seed, scenario) pair reproduces the identical
 //!   chaos event trace (equal fingerprints) and the identical safety tallies.
+//!
+//! A separate **latency-inflation objective** runs the `timeout_inflation`
+//! scenario (Byzantine servers answering everything just under the deadline,
+//! so timeout/retry counters never move) and feeds the per-server evidence
+//! to `bqs-epoch`'s suspicion engine: the gate is that the engine flags
+//! exactly the inflating coalition on p99 evidence alone — no healthy server
+//! smeared, no attacker missed.
 //!
 //! Run with: `cargo run --release -p bqs-bench --bin bench_chaos
 //! [--quick] [output.json]`
@@ -30,7 +39,9 @@ use bqs_bench::{json_escape, time};
 use bqs_chaos::prelude::*;
 use bqs_constructions::prelude::*;
 use bqs_core::quorum::QuorumSystem;
+use bqs_epoch::{SuspicionConfig, SuspicionEngine};
 use bqs_net::prelude::*;
+use bqs_service::metrics::ServiceMetrics;
 
 /// The masking level every run assumes (`n = 4b + 1 = 5` threshold system).
 const B: usize = 1;
@@ -208,6 +219,12 @@ fn main() {
                                 run.backend, o.scenario
                             ));
                         }
+                        if o.reads_aborted > 0 {
+                            failures.push(format!(
+                                "{}/{} seed {seed:#x}: {} read(s) aborted at b = {B} (retries must absorb chaos inside the masking envelope)",
+                                run.backend, o.scenario, o.reads_aborted
+                            ));
+                        }
                     } else if !o.detected() {
                         failures.push(format!(
                             "{}/{} seed {seed:#x}: no violation detected at b + 1 = {faults} (tightness must show)",
@@ -261,6 +278,67 @@ fn main() {
         }
     }
 
+    // Latency-inflation objective: the timeout-inflation coalition never
+    // trips a counter (its replies always arrive, just barely in time), so
+    // the only evidence against it is the per-server latency tail. Feed the
+    // run's per-server evidence to the suspicion engine and require its p99
+    // channel to flag exactly the coalition — nobody healthy smeared, no
+    // attacker missed — while timeouts and retries stayed at zero (the
+    // stealth that makes this adversary invisible to the ratio channel).
+    let suspicion_scenario = ChaosScenario::TimeoutInflation;
+    let suspicion_run_config = ScenarioConfig {
+        seed: SEEDS[0] ^ 0x1a7e_0bed,
+        // Enough operations that every server clears the engine's
+        // latency_min_samples floor, regardless of --quick.
+        writes: 16,
+        reads: 64,
+        reply_deadline: Duration::from_millis(100),
+        ..ScenarioConfig::default()
+    };
+    let suspicion_metrics = Arc::new(ServiceMetrics::new(n));
+    let suspicion_outcome = run_scenario_loopback_with_metrics(
+        suspicion_scenario,
+        &system,
+        B,
+        B,
+        Some(&weights),
+        &suspicion_run_config,
+        &suspicion_metrics,
+    );
+    let mut engine = SuspicionEngine::new(n, SuspicionConfig::default());
+    // The latency channel reads cumulative evidence, so ticking the settled
+    // metrics drives the accrual score to the suspect threshold for exactly
+    // the servers whose p99 towers over the fleet median.
+    for _ in 0..3 {
+        engine.tick(&suspicion_metrics);
+    }
+    let flagged = engine.suspects().to_vec();
+    let coalition: Vec<usize> = (0..B).collect();
+    let server_p99_ns: Vec<u64> = (0..n)
+        .map(|s| {
+            suspicion_metrics
+                .server_latency_quantile(s, 0.99)
+                .unwrap_or(0)
+        })
+        .collect();
+    if flagged != coalition {
+        failures.push(format!(
+            "suspicion/timeout_inflation: flagged {flagged:?}, expected exactly the coalition {coalition:?} (p99s {server_p99_ns:?} ns)"
+        ));
+    }
+    if suspicion_outcome.timeouts != 0 || suspicion_outcome.retries != 0 {
+        failures.push(format!(
+            "suspicion/timeout_inflation: {} timeout(s), {} retrie(s) — the adversary must stay invisible to the counters or the objective tests nothing",
+            suspicion_outcome.timeouts, suspicion_outcome.retries
+        ));
+    }
+    if suspicion_outcome.safety_violations() > 0 {
+        failures.push(format!(
+            "suspicion/timeout_inflation: {} safety violations at b = {B}",
+            suspicion_outcome.safety_violations()
+        ));
+    }
+
     let gate_passed = failures.is_empty();
 
     // --- Emit JSON. --------------------------------------------------------
@@ -279,7 +357,7 @@ fn main() {
     for (i, run) in runs.iter().enumerate() {
         let o = &run.outcome;
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"scenario\": \"{}\", \"faults\": {}, \"b\": {}, \"seed\": {}, \"masked\": {}, \"detected\": {}, \"safety_violations\": {}, \"authenticity_violations\": {}, \"ryw_violations\": {}, \"writes_completed\": {}, \"writes_aborted\": {}, \"reads_completed\": {}, \"reads_inconclusive\": {}, \"reads_aborted\": {}, \"no_live_quorum\": {}, \"timeouts\": {}, \"retries\": {}, \"aborts\": {}, \"chaos_drops\": {}, \"chaos_duplicates\": {}, \"chaos_delayed\": {}, \"trace_events\": {}, \"trace_fingerprint\": {}, \"seconds\": {:e}}}{}\n",
+            "    {{\"backend\": \"{}\", \"scenario\": \"{}\", \"faults\": {}, \"b\": {}, \"seed\": {}, \"masked\": {}, \"detected\": {}, \"safety_violations\": {}, \"authenticity_violations\": {}, \"ryw_violations\": {}, \"writes_completed\": {}, \"writes_aborted\": {}, \"reads_completed\": {}, \"reads_inconclusive\": {}, \"reads_aborted\": {}, \"read_aborts_per_sec\": {:e}, \"no_live_quorum\": {}, \"timeouts\": {}, \"retries\": {}, \"aborts\": {}, \"chaos_drops\": {}, \"chaos_duplicates\": {}, \"chaos_delayed\": {}, \"trace_events\": {}, \"trace_fingerprint\": {}, \"seconds\": {:e}}}{}\n",
             run.backend,
             o.scenario,
             o.faults,
@@ -295,6 +373,11 @@ fn main() {
             o.reads_completed,
             o.reads_inconclusive,
             o.reads_aborted,
+            if run.seconds > 0.0 {
+                o.reads_aborted as f64 / run.seconds
+            } else {
+                0.0
+            },
             o.no_live_quorum,
             o.timeouts,
             o.retries,
@@ -321,7 +404,38 @@ fn main() {
             if i + 1 == replays.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ],\n  \"failures\": [\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"suspicion\": {{\"scenario\": \"{}\", \"backend\": \"loopback\", \"faults\": {}, \"coalition\": [{}], \"flagged\": [{}], \"coalition_flagged\": {}, \"healthy_flagged\": {}, \"timeouts\": {}, \"retries\": {}, \"server_p99_ns\": [{}], \"scores\": [{}]}},\n",
+        suspicion_scenario.name(),
+        B,
+        coalition
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        flagged
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        coalition.iter().all(|s| flagged.contains(s)),
+        flagged.iter().any(|s| !coalition.contains(s)),
+        suspicion_outcome.timeouts,
+        suspicion_outcome.retries,
+        server_p99_ns
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        engine
+            .scores()
+            .iter()
+            .map(|s| format!("{s:e}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"failures\": [\n");
     for (i, f) in failures.iter().enumerate() {
         json.push_str(&format!(
             "    \"{}\"{}\n",
@@ -356,6 +470,10 @@ fn main() {
     println!(
         "\nreplay determinism (loopback): {} pairs checked",
         replays.len()
+    );
+    println!(
+        "latency-inflation suspicion: flagged {flagged:?}, coalition {coalition:?} (timeouts {}, retries {})",
+        suspicion_outcome.timeouts, suspicion_outcome.retries
     );
     println!("wrote {output}");
 

@@ -32,18 +32,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod reconfig;
 pub mod scenario;
 pub mod transport;
 
+pub use reconfig::ReconfigScenario;
 pub use scenario::{
-    run_scenario, run_scenario_loopback, ChaosScenario, ScenarioConfig, ScenarioOutcome,
+    run_scenario, run_scenario_loopback, run_scenario_loopback_with_metrics,
+    run_scenario_with_metrics, ChaosScenario, ScenarioConfig, ScenarioOutcome,
 };
 pub use transport::{ChaosConfig, ChaosStats, ChaosTransport, Decision, TraceEvent};
 
 /// Convenient glob import for benches and tests.
 pub mod prelude {
+    pub use crate::reconfig::ReconfigScenario;
     pub use crate::scenario::{
-        run_scenario, run_scenario_loopback, ChaosScenario, ScenarioConfig, ScenarioOutcome,
+        run_scenario, run_scenario_loopback, run_scenario_loopback_with_metrics,
+        run_scenario_with_metrics, ChaosScenario, ScenarioConfig, ScenarioOutcome,
     };
     pub use crate::transport::{ChaosConfig, ChaosStats, ChaosTransport, Decision, TraceEvent};
 }

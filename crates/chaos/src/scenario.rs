@@ -62,11 +62,16 @@ pub enum ChaosScenario {
     /// highest-weight servers of the published access strategy
     /// ([`FaultPlan::targeted_by_weight`]).
     Targeted,
+    /// The timeout-inflation adversary: the Byzantine servers delay every
+    /// reply to just under the client's deadline, so the timeout/no-answer
+    /// counters never move — the only evidence against them is their
+    /// towering per-server latency tail (the suspicion engine's p99 branch).
+    TimeoutInflation,
 }
 
 impl ChaosScenario {
     /// Every family, in sweep order.
-    pub const ALL: [ChaosScenario; 7] = [
+    pub const ALL: [ChaosScenario; 8] = [
         ChaosScenario::DelayJitter,
         ChaosScenario::DropRetry,
         ChaosScenario::Duplicate,
@@ -74,6 +79,7 @@ impl ChaosScenario {
         ChaosScenario::Partition,
         ChaosScenario::SlowServers,
         ChaosScenario::Targeted,
+        ChaosScenario::TimeoutInflation,
     ];
 
     /// Stable machine name (used in benchmark JSON and logs).
@@ -87,6 +93,7 @@ impl ChaosScenario {
             ChaosScenario::Partition => "partition",
             ChaosScenario::SlowServers => "slow_servers",
             ChaosScenario::Targeted => "targeted",
+            ChaosScenario::TimeoutInflation => "timeout_inflation",
         }
     }
 
@@ -102,6 +109,7 @@ impl ChaosScenario {
             ChaosScenario::Partition => 5,
             ChaosScenario::SlowServers => 6,
             ChaosScenario::Targeted => 7,
+            ChaosScenario::TimeoutInflation => 8,
         }
     }
 
@@ -141,6 +149,16 @@ impl ChaosScenario {
                 ..ChaosConfig::default()
             },
             ChaosScenario::Targeted => ChaosConfig::default(),
+            ChaosScenario::TimeoutInflation => ChaosConfig {
+                slow_servers: Vec::new(), // filled per fault count below
+                // Far above any honest round trip, comfortably below every
+                // runner's reply deadline (the tightest is 25 ms in this
+                // crate's own tests): the inflated replies always *arrive*,
+                // so timeouts and retries stay at zero and only the latency
+                // histogram betrays the attacker.
+                slow_extra: Duration::from_millis(18),
+                ..ChaosConfig::default()
+            },
         }
     }
 
@@ -149,7 +167,10 @@ impl ChaosScenario {
     #[must_use]
     pub fn chaos_config_for(self, n: usize, faults: usize) -> ChaosConfig {
         let mut config = self.chaos_config(n);
-        if self == ChaosScenario::SlowServers {
+        if matches!(
+            self,
+            ChaosScenario::SlowServers | ChaosScenario::TimeoutInflation
+        ) {
             config.slow_servers = (0..faults).collect();
         }
         config
@@ -209,6 +230,15 @@ impl ChaosScenario {
                     ByzantineStrategy::FabricateHighTimestamp { value: 0xBEEF },
                 ),
             },
+            // The inflating servers are also the Byzantine coalition: at `b`
+            // their slowness must be absorbed without safety or liveness
+            // loss, at `b + 1` their fabrication must still break through
+            // the masking despite arriving late.
+            ChaosScenario::TimeoutInflation => byzantine_prefix(
+                n,
+                faults,
+                ByzantineStrategy::FabricateHighTimestamp { value: 0x51_0D },
+            ),
         }
     }
 }
@@ -337,8 +367,34 @@ where
     Q: QuorumSystem + ?Sized,
     T: Transport + 'static,
 {
-    let n = system.universe_size();
-    let metrics = Arc::new(ServiceMetrics::new(n));
+    let metrics = Arc::new(ServiceMetrics::new(system.universe_size()));
+    run_scenario_with_metrics(
+        scenario, system, b, faults, responsive, chaos, config, &metrics,
+    )
+}
+
+/// [`run_scenario`] recording into caller-supplied [`ServiceMetrics`] — the
+/// entry point for harnesses that inspect the per-server failure-detector
+/// evidence afterwards (notably the latency-inflation objective, which feeds
+/// the metrics to `bqs-epoch`'s suspicion engine and asserts the
+/// [`ChaosScenario::TimeoutInflation`] coalition is flagged on p99 evidence
+/// alone).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_with_metrics<Q, T>(
+    scenario: ChaosScenario,
+    system: &Q,
+    b: usize,
+    faults: usize,
+    responsive: ServerSet,
+    chaos: &ChaosTransport<T>,
+    config: &ScenarioConfig,
+    metrics: &Arc<ServiceMetrics>,
+) -> ScenarioOutcome
+where
+    Q: QuorumSystem + ?Sized,
+    T: Transport + 'static,
+{
+    let metrics = Arc::clone(metrics);
     let clock = TimestampOracle::new();
     let mut client = ServiceClient::new(system, chaos, responsive, b)
         .with_origin(1)
@@ -388,6 +444,9 @@ where
             }
             Err(ServiceError::TransportFailure) => outcome.writes_aborted += 1,
             Err(ServiceError::Protocol(_)) => outcome.no_live_quorum += 1,
+            Err(ServiceError::EpochFenced { .. }) => {
+                unreachable!("the chaos workload never reconfigures")
+            }
         }
     };
 
@@ -428,6 +487,9 @@ where
                 outcome.no_live_quorum += 1;
             }
             Err(ServiceError::TransportFailure) => outcome.reads_aborted += 1,
+            Err(ServiceError::EpochFenced { .. }) => {
+                unreachable!("the chaos workload never reconfigures")
+            }
         }
     }
 
@@ -459,6 +521,24 @@ pub fn run_scenario_loopback<Q>(
 where
     Q: QuorumSystem + ?Sized,
 {
+    let metrics = Arc::new(ServiceMetrics::new(system.universe_size()));
+    run_scenario_loopback_with_metrics(scenario, system, b, faults, weights, config, &metrics)
+}
+
+/// [`run_scenario_loopback`] recording into caller-supplied metrics (see
+/// [`run_scenario_with_metrics`]).
+pub fn run_scenario_loopback_with_metrics<Q>(
+    scenario: ChaosScenario,
+    system: &Q,
+    b: usize,
+    faults: usize,
+    weights: Option<&[f64]>,
+    config: &ScenarioConfig,
+    metrics: &Arc<ServiceMetrics>,
+) -> ScenarioOutcome
+where
+    Q: QuorumSystem + ?Sized,
+{
     let n = system.universe_size();
     let plan = scenario.fault_plan(n, faults, weights);
     let service = Arc::new(LoopbackService::spawn(&plan, 2, config.seed));
@@ -469,7 +549,9 @@ where
         scenario.id(),
         scenario.chaos_config_for(n, faults),
     );
-    run_scenario(scenario, system, b, faults, responsive, &chaos, config)
+    run_scenario_with_metrics(
+        scenario, system, b, faults, responsive, &chaos, config, metrics,
+    )
 }
 
 #[cfg(test)]

@@ -415,6 +415,8 @@ impl<T: Transport + 'static> ChaosTransport<T> {
             server: request.server,
             request_id: request.request_id,
             entry: None,
+            epoch: request.epoch,
+            stale: false,
         });
     }
 
@@ -493,6 +495,7 @@ impl<T: Transport + 'static> ChaosTransport<T> {
             op: request.op,
             request_id: request.request_id,
             origin: request.origin,
+            epoch: request.epoch,
             reply: Arc::clone(&request.reply),
         });
         if delay.is_zero() {
@@ -575,6 +578,8 @@ mod tests {
                 server: request.server,
                 request_id: request.request_id,
                 entry: None,
+                epoch: request.epoch,
+                stale: false,
             });
             true
         }
@@ -586,6 +591,7 @@ mod tests {
             op: Operation::Read,
             request_id: id,
             origin: 1,
+            epoch: 0,
             reply: Arc::clone(mailbox) as ReplyHandle,
         }
     }
@@ -696,6 +702,7 @@ mod tests {
             }),
             request_id: 9,
             origin: 1,
+            epoch: 0,
             reply: Arc::clone(&mailbox) as ReplyHandle,
         }));
         assert_eq!(inner.deliveries.load(Ordering::Relaxed), 0);

@@ -202,6 +202,36 @@ pub fn optimal_load_oracle_for_quorums(
     optimal_load_oracle(&sys)
 }
 
+/// Re-certifies a quorum list against a **survivor mask** — the
+/// reconfiguration entry point. Quorums touching any suspected server are
+/// discarded; the remainder is certified over the *original* universe, so
+/// the returned strategy's quorum columns keep full-universe server indices
+/// and drop straight into an existing transport/metrics layout. Dead servers
+/// simply carry zero load (they appear in no surviving quorum, which the
+/// load LP already handles).
+///
+/// # Errors
+///
+/// * [`QuorumError::EmptySystem`] when no quorum survives the mask — the
+///   caller must switch constructions (or give up resilience) rather than
+///   serve from a system with no live quorum.
+/// * As [`optimal_load_oracle_for_quorums`] otherwise.
+pub fn optimal_load_oracle_for_survivors(
+    universe_size: usize,
+    quorums: &[ServerSet],
+    survivors: &ServerSet,
+) -> Result<CertifiedLoad, QuorumError> {
+    let surviving: Vec<ServerSet> = quorums
+        .iter()
+        .filter(|q| q.is_subset_of(survivors))
+        .cloned()
+        .collect();
+    if surviving.is_empty() {
+        return Err(QuorumError::EmptySystem);
+    }
+    optimal_load_oracle_for_quorums(universe_size, surviving)
+}
+
 /// [`optimal_load_oracle`] with an explicit gap tolerance and round cap.
 ///
 /// # Errors
@@ -584,6 +614,38 @@ mod tests {
         }
         // Invalid lists surface the constructor's errors.
         assert!(optimal_load_oracle_for_quorums(4, vec![]).is_err());
+    }
+
+    #[test]
+    fn survivor_mask_recertification_drops_dead_quorums_and_their_load() {
+        // 3-of-5 majority quorums; then server 4 dies. Only the C(4,3) = 4
+        // quorums inside {0..3} survive, and the re-certified load is the
+        // 3-of-4 fair load 3/4 — *over the original 5-server universe*, with
+        // the dead server carrying zero load.
+        let quorums = k_of_n(5, 3);
+        let healthy = optimal_load_oracle_for_survivors(5, &quorums, &ServerSet::full(5)).unwrap();
+        assert!((healthy.load - 3.0 / 5.0).abs() <= 1e-9, "{}", healthy.load);
+
+        let survivors = ServerSet::from_indices(5, [0, 1, 2, 3]);
+        let refit = optimal_load_oracle_for_survivors(5, &quorums, &survivors).unwrap();
+        assert!(refit.gap <= CERTIFIED_GAP_TOLERANCE);
+        assert!((refit.load - 3.0 / 4.0).abs() <= 1e-9, "{}", refit.load);
+        for q in &refit.quorums {
+            assert!(
+                q.is_subset_of(&survivors),
+                "no quorum touches the dead server"
+            );
+            assert_eq!(q.capacity(), 5, "full-universe indexing is kept");
+        }
+
+        // Too many losses: every quorum touches a suspect, and the caller is
+        // told to switch constructions instead of being handed a degenerate
+        // strategy.
+        let lost = ServerSet::from_indices(5, [0, 1]);
+        assert!(matches!(
+            optimal_load_oracle_for_survivors(5, &quorums, &lost),
+            Err(QuorumError::EmptySystem)
+        ));
     }
 
     fn explicit(n: usize, quorums: Vec<ServerSet>) -> crate::quorum::ExplicitQuorumSystem {

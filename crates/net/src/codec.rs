@@ -7,13 +7,20 @@
 //! external serialisation dependency:
 //!
 //! ```text
-//! request  = 0x01 | request_id u64 LE | server u32 LE | op
+//! request  = 0x01 | request_id u64 LE | server u32 LE | epoch u64 LE | op
 //! op       = 0x00 (read)  |  0x01 ts u64 LE value u64 LE (write)
-//! reply    = 0x02 | request_id u64 LE | server u32 LE | entry
+//! reply    = 0x02 | request_id u64 LE | server u32 LE | epoch u64 LE | entry
 //! entry    = 0x00 (none)  |  0x01 ts u64 LE value u64 LE (some)
+//!          | 0x02 (stale: fenced by the epoch gate — replies only)
 //! batch    = 0x03 | count u8 (1..=64) | item{count}
-//! item     = request | reply          (self-describing 14/30-byte layouts)
+//! item     = request | reply          (self-describing 22/38-byte layouts)
 //! ```
+//!
+//! Wire-format version 2 (`BQN2`) added the epoch stamp to both directions
+//! and the `stale` entry tag, carrying the reconfiguration protocol's fencing
+//! signal: a stale reply's epoch field is the *server's* current epoch (what
+//! the lagging client should resynchronise to), while every served reply
+//! echoes the request's stamp.
 //!
 //! # Batched frames
 //!
@@ -55,16 +62,16 @@
 use bqs_service::transport::{Operation, Reply};
 use bqs_sim::server::Entry;
 
-/// Frame preamble: "BQN" + wire-format version 1.
-pub const MAGIC: [u8; 4] = *b"BQN1";
+/// Frame preamble: "BQN" + wire-format version 2 (epoch stamps).
+pub const MAGIC: [u8; 4] = *b"BQN2";
 
 /// Hard ceiling on a frame's payload length. The largest legal payload is a
-/// full batch of entry-bearing messages (`2 + 64 * 30 = 1922` bytes);
+/// full batch of entry-bearing messages (`2 + 64 * 38 = 2434` bytes);
 /// anything above this is corruption and is rejected before allocation.
-pub const MAX_PAYLOAD: usize = 2048;
+pub const MAX_PAYLOAD: usize = 2560;
 
 /// Maximum messages one `WireBatch` frame may carry (the batch `count` byte
-/// is `1..=MAX_BATCH`). Sized so a full batch of 30-byte items stays under
+/// is `1..=MAX_BATCH`). Sized so a full batch of 38-byte items stays under
 /// [`MAX_PAYLOAD`] while amortising the frame header and the per-write
 /// syscall ~64×.
 pub const MAX_BATCH: usize = 64;
@@ -79,11 +86,14 @@ const OP_READ: u8 = 0x00;
 const OP_WRITE: u8 = 0x01;
 const ENTRY_NONE: u8 = 0x00;
 const ENTRY_SOME: u8 = 0x01;
+/// Reply-only tag: the request was fenced by the server's epoch gate. The
+/// body is empty (a fenced reply never carries an entry).
+const ENTRY_STALE: u8 = 0x02;
 
-/// Wire size of one message payload/item: the kind byte, id, server, and the
-/// tagged 0- or 16-byte entry body.
-const ITEM_SHORT: usize = 14;
-const ITEM_LONG: usize = 30;
+/// Wire size of one message payload/item: the kind byte, id, server, epoch,
+/// and the tagged 0- or 16-byte entry body.
+const ITEM_SHORT: usize = 22;
+const ITEM_LONG: usize = 38;
 
 /// A request as it travels on the wire: [`bqs_service::transport::Request`]
 /// minus the in-process reply channel (the connection itself is the reply
@@ -94,6 +104,8 @@ pub struct WireRequest {
     pub request_id: u64,
     /// The server index the operation is addressed to.
     pub server: usize,
+    /// The client's configuration epoch, checked against the server's gate.
+    pub epoch: u64,
     /// The operation to perform.
     pub op: Operation,
 }
@@ -129,6 +141,7 @@ fn encode_request_item(request: &WireRequest, buf: &mut Vec<u8>) {
     buf.push(KIND_REQUEST);
     buf.extend_from_slice(&request.request_id.to_le_bytes());
     buf.extend_from_slice(&server.to_le_bytes());
+    buf.extend_from_slice(&request.epoch.to_le_bytes());
     match request.op {
         Operation::Read => buf.push(OP_READ),
         Operation::Write(entry) => {
@@ -140,14 +153,22 @@ fn encode_request_item(request: &WireRequest, buf: &mut Vec<u8>) {
 }
 
 /// Appends one reply item (the single-message payload layout) to `buf`.
+/// A stale (fenced) reply never carries an entry, so the `stale` flag fits
+/// the entry tag: `0x02` instead of `0x00`.
 fn encode_reply_item(reply: &Reply, buf: &mut Vec<u8>) {
     let server = u32::try_from(reply.server).expect("server index fits the wire format");
+    debug_assert!(
+        !(reply.stale && reply.entry.is_some()),
+        "a fenced reply never carries an entry"
+    );
     buf.push(KIND_REPLY);
     buf.extend_from_slice(&reply.request_id.to_le_bytes());
     buf.extend_from_slice(&server.to_le_bytes());
-    match reply.entry {
-        None => buf.push(ENTRY_NONE),
-        Some(entry) => {
+    buf.extend_from_slice(&reply.epoch.to_le_bytes());
+    match (reply.stale, reply.entry) {
+        (true, _) => buf.push(ENTRY_STALE),
+        (false, None) => buf.push(ENTRY_NONE),
+        (false, Some(entry)) => {
             buf.push(ENTRY_SOME);
             buf.extend_from_slice(&entry.timestamp.to_le_bytes());
             buf.extend_from_slice(&entry.value.to_le_bytes());
@@ -239,9 +260,12 @@ fn decode_item(bytes: &[u8]) -> Option<(WireMessage, usize)> {
     let request_id = u64::from_le_bytes(*id_bytes);
     let (server_bytes, rest) = rest.split_first_chunk::<4>()?;
     let server = u32::from_le_bytes(*server_bytes) as usize;
+    let (epoch_bytes, rest) = rest.split_first_chunk::<8>()?;
+    let epoch = u64::from_le_bytes(*epoch_bytes);
     let (&tag, rest) = rest.split_first()?;
-    let (entry, consumed) = match tag {
-        ENTRY_NONE => (None, ITEM_SHORT),
+    let (entry, stale, consumed) = match tag {
+        ENTRY_NONE => (None, false, ITEM_SHORT),
+        ENTRY_STALE => (None, true, ITEM_SHORT),
         ENTRY_SOME => {
             let (ts_bytes, rest) = rest.split_first_chunk::<8>()?;
             let (value_bytes, _) = rest.split_first_chunk::<8>()?;
@@ -250,26 +274,33 @@ fn decode_item(bytes: &[u8]) -> Option<(WireMessage, usize)> {
                     timestamp: u64::from_le_bytes(*ts_bytes),
                     value: u64::from_le_bytes(*value_bytes),
                 }),
+                false,
                 ITEM_LONG,
             )
         }
         _ => return None,
     };
     let message = match (kind, entry) {
+        // The stale tag is reply-only: a "fenced request" is not a thing.
+        (KIND_REQUEST, _) if stale => return None,
         (KIND_REQUEST, None) => WireMessage::Request(WireRequest {
             request_id,
             server,
+            epoch,
             op: Operation::Read,
         }),
         (KIND_REQUEST, Some(entry)) => WireMessage::Request(WireRequest {
             request_id,
             server,
+            epoch,
             op: Operation::Write(entry),
         }),
         (KIND_REPLY, entry) => WireMessage::Reply(Reply {
             server,
             request_id,
             entry,
+            epoch,
+            stale,
         }),
         _ => return None,
     };
@@ -437,11 +468,13 @@ mod tests {
             WireRequest {
                 request_id: 0,
                 server: 0,
+                epoch: 0,
                 op: Operation::Read,
             },
             WireRequest {
                 request_id: u64::MAX,
                 server: u32::MAX as usize,
+                epoch: u64::MAX,
                 op: Operation::Write(Entry {
                     timestamp: u64::MAX,
                     value: 0x0123_4567_89ab_cdef,
@@ -471,6 +504,8 @@ mod tests {
                 server: 7,
                 request_id: 42,
                 entry: None,
+                epoch: 3,
+                stale: false,
             },
             Reply {
                 server: 1023,
@@ -479,6 +514,17 @@ mod tests {
                     timestamp: 9,
                     value: 81,
                 }),
+                epoch: u64::MAX,
+                stale: false,
+            },
+            // A fenced reply: the epoch field carries the server's current
+            // epoch, the entry tag is the stale marker.
+            Reply {
+                server: 5,
+                request_id: 77,
+                entry: None,
+                epoch: 12,
+                stale: true,
             },
         ];
         let mut wire = Vec::new();
@@ -502,6 +548,8 @@ mod tests {
                 timestamp: 5,
                 value: 55,
             }),
+            epoch: 1,
+            stale: false,
         };
         let mut wire = Vec::new();
         encode_reply(&reply, &mut wire);
@@ -520,6 +568,8 @@ mod tests {
             server: 0,
             request_id: 1,
             entry: None,
+            epoch: 0,
+            stale: false,
         };
         let mut wire = b"noise noise".to_vec();
         encode_reply(&reply, &mut wire);
@@ -538,6 +588,8 @@ mod tests {
             server: 2,
             request_id: 7,
             entry: None,
+            epoch: 0,
+            stale: false,
         };
         encode_reply(&good, &mut wire);
         let mut reader = FrameReader::new();
@@ -553,6 +605,7 @@ mod tests {
             .map(|i| WireRequest {
                 request_id: i,
                 server: i as usize,
+                epoch: i / 2,
                 op: if i % 2 == 0 {
                     Operation::Read
                 } else {
@@ -566,7 +619,7 @@ mod tests {
         let mut wire = Vec::new();
         encode_request_batch(&requests, &mut wire);
         // One batch frame: a single header for all five messages.
-        assert_eq!(wire.len(), HEADER_LEN + 2 + 3 * 14 + 2 * 30);
+        assert_eq!(wire.len(), HEADER_LEN + 2 + 3 * 22 + 2 * 38);
         let mut reader = FrameReader::new();
         reader.push(&wire);
         let decoded = read_all(&mut reader);
@@ -593,6 +646,8 @@ mod tests {
                     timestamp: i,
                     value: i + 1,
                 }),
+                epoch: i % 5,
+                stale: i % 3 == 1,
             })
             .collect();
         let mut wire = Vec::new();
@@ -627,6 +682,7 @@ mod tests {
             .map(|i| WireRequest {
                 request_id: 100 + i,
                 server: i as usize,
+                epoch: 2,
                 op: Operation::Read,
             })
             .collect();
@@ -649,6 +705,7 @@ mod tests {
             .map(|i| WireRequest {
                 request_id: i,
                 server: 0,
+                epoch: 0,
                 op: Operation::Read,
             })
             .collect();
@@ -656,11 +713,13 @@ mod tests {
         encode_request_batch(&requests, &mut wire);
         // Corrupt the *second* item's kind byte: items 1 and 3 are intact,
         // but the frame must be discarded whole — no partial salvage.
-        wire[HEADER_LEN + 2 + 14] = 0xee;
+        wire[HEADER_LEN + 2 + 22] = 0xee;
         let good = Reply {
             server: 1,
             request_id: 50,
             entry: None,
+            epoch: 0,
+            stale: false,
         };
         encode_reply(&good, &mut wire);
         let mut reader = FrameReader::new();
@@ -678,10 +737,11 @@ mod tests {
                 .map(|i| WireRequest {
                     request_id: i,
                     server: 0,
+                    epoch: 0,
                     op: Operation::Read,
                 })
                 .collect();
-            frame_header(2 + 2 * 14, &mut wire);
+            frame_header(2 + 2 * 22, &mut wire);
             wire.push(KIND_BATCH);
             wire.push(bad_count);
             for item in &items {
@@ -691,6 +751,8 @@ mod tests {
                 server: 2,
                 request_id: 9,
                 entry: None,
+                epoch: 0,
+                stale: false,
             };
             encode_reply(&good, &mut wire);
             let mut reader = FrameReader::new();
@@ -705,15 +767,64 @@ mod tests {
     }
 
     #[test]
+    fn stale_replies_round_trip_with_the_servers_epoch() {
+        let fenced = Reply {
+            server: 9,
+            request_id: 4096,
+            entry: None,
+            epoch: 7, // the server's current epoch, not the request's
+            stale: true,
+        };
+        let mut wire = Vec::new();
+        encode_reply(&fenced, &mut wire);
+        assert_eq!(
+            wire.len(),
+            HEADER_LEN + ITEM_SHORT,
+            "fenced replies stay short"
+        );
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert_eq!(reader.next_message(), Some(WireMessage::Reply(fenced)));
+        assert_eq!(reader.resyncs(), 0);
+    }
+
+    #[test]
+    fn the_stale_tag_on_a_request_is_rejected() {
+        let request = WireRequest {
+            request_id: 5,
+            server: 1,
+            epoch: 0,
+            op: Operation::Read,
+        };
+        let mut wire = Vec::new();
+        encode_request(&request, &mut wire);
+        *wire.last_mut().unwrap() = ENTRY_STALE; // flip the op tag
+        let good = Reply {
+            server: 2,
+            request_id: 6,
+            entry: None,
+            epoch: 0,
+            stale: false,
+        };
+        encode_reply(&good, &mut wire);
+        let mut reader = FrameReader::new();
+        reader.push(&wire);
+        assert_eq!(read_all(&mut reader), vec![WireMessage::Reply(good)]);
+        assert!(reader.resyncs() >= 1);
+    }
+
+    #[test]
     fn corrupt_payload_is_skipped_and_the_stream_recovers() {
         let mut wire = Vec::new();
         wire.extend_from_slice(&MAGIC);
-        wire.extend_from_slice(&14u32.to_le_bytes());
-        wire.extend_from_slice(&[0xff; 14]); // bad kind byte
+        wire.extend_from_slice(&22u32.to_le_bytes());
+        wire.extend_from_slice(&[0xff; 22]); // bad kind byte
         let good = Reply {
             server: 4,
             request_id: 11,
             entry: None,
+            epoch: 0,
+            stale: false,
         };
         encode_reply(&good, &mut wire);
         let mut reader = FrameReader::new();

@@ -136,6 +136,20 @@ impl SocketServer {
     pub fn responsive_set(&self) -> &bqs_core::bitset::ServerSet {
         self.service.responsive_set()
     }
+
+    /// The epoch gate shared by every replica shard — the reconfiguration
+    /// manager's server-side handle (see [`bqs_sim::epoch::EpochGate`]).
+    #[must_use]
+    pub fn epoch_gate(&self) -> &Arc<bqs_sim::epoch::EpochGate> {
+        self.service.epoch_gate()
+    }
+
+    /// Crashes the named replicas at runtime (fault injection for
+    /// reconfiguration drills). The responsive view is deliberately left
+    /// stale — detecting the crash is the suspicion engine's job.
+    pub fn crash_servers(&self, servers: &[usize]) {
+        self.service.crash_servers(servers);
+    }
 }
 
 impl Drop for SocketServer {
@@ -239,6 +253,8 @@ fn connection_reader(
                             server: request.server,
                             request_id: request.request_id,
                             entry: None,
+                            epoch: request.epoch,
+                            stale: false,
                         });
                         continue;
                     }
@@ -250,6 +266,7 @@ fn connection_reader(
                         // connection *is* the identity (pool one connection
                         // per client when per-client adversaries are in play).
                         origin,
+                        epoch: request.epoch,
                         reply: Arc::clone(mailbox) as ReplyHandle,
                     });
                 }

@@ -129,6 +129,10 @@ pub struct NetStats {
 struct Taken {
     caller_id: u64,
     server: usize,
+    /// The request's epoch stamp, echoed on synthesized in-band replies so
+    /// they are byte-identical to what a crashed (not reconfigured!) server
+    /// would produce.
+    epoch: u64,
     reply: ReplyHandle,
 }
 
@@ -140,6 +144,7 @@ enum SlotState {
     Pending {
         caller_id: u64,
         server: usize,
+        epoch: u64,
         reply: ReplyHandle,
     },
 }
@@ -181,6 +186,7 @@ impl SlotTable {
         &mut self,
         caller_id: u64,
         server: usize,
+        epoch: u64,
         reply: ReplyHandle,
         deadline: Instant,
     ) -> u64 {
@@ -194,6 +200,7 @@ impl SlotTable {
                 slot.state = SlotState::Pending {
                     caller_id,
                     server,
+                    epoch,
                     reply,
                 };
                 index
@@ -205,6 +212,7 @@ impl SlotTable {
                     state: SlotState::Pending {
                         caller_id,
                         server,
+                        epoch,
                         reply,
                     },
                 });
@@ -270,6 +278,7 @@ impl SlotTable {
         let SlotState::Pending {
             caller_id,
             server,
+            epoch,
             reply,
         } = state
         else {
@@ -281,6 +290,7 @@ impl SlotTable {
         Some(Taken {
             caller_id,
             server,
+            epoch,
             reply,
         })
     }
@@ -392,12 +402,14 @@ impl SocketTransport {
         let wire_id = conn.table.lock().expect("slot table lock").register(
             request.request_id,
             request.server,
+            request.epoch,
             request.reply,
             Instant::now() + self.config.request_deadline,
         );
         WireRequest {
             request_id: wire_id,
             server: request.server,
+            epoch: request.epoch,
             op: request.op,
         }
     }
@@ -471,11 +483,17 @@ impl Transport for SocketTransport {
                 let mut table = conn.table.lock().expect("slot table lock");
                 let deadline = Instant::now() + self.config.request_deadline;
                 for request in batch {
-                    let wire_id =
-                        table.register(request.request_id, request.server, request.reply, deadline);
+                    let wire_id = table.register(
+                        request.request_id,
+                        request.server,
+                        request.epoch,
+                        request.reply,
+                        deadline,
+                    );
                     wires.push(WireRequest {
                         request_id: wire_id,
                         server: request.server,
+                        epoch: request.epoch,
                         op: request.op,
                     });
                 }
@@ -618,11 +636,15 @@ fn read_replies(conn: &Arc<Conn>, mut stream: Stream, my_generation: u64) {
                         .expect("slot table lock")
                         .take(reply.request_id);
                     if let Some(taken) = taken {
-                        // The caller sees its own id, not the wire id.
+                        // The caller sees its own id, not the wire id. Epoch
+                        // and staleness pass through from the wire: a fenced
+                        // reply's epoch is the *server's* current epoch.
                         taken.reply.complete(Reply {
                             server: reply.server,
                             request_id: taken.caller_id,
                             entry: reply.entry,
+                            epoch: reply.epoch,
+                            stale: reply.stale,
                         });
                     }
                 }
@@ -659,6 +681,8 @@ fn fail_all_pending(conn: &Conn) {
             server: taken.server,
             request_id: taken.caller_id,
             entry: None,
+            epoch: taken.epoch,
+            stale: false,
         });
     }
 }
@@ -683,6 +707,8 @@ fn sweep_deadlines(conns: &[Arc<Conn>], shutdown: &AtomicBool, stats: &NetStats)
                     server: taken.server,
                     request_id: taken.caller_id,
                     entry: None,
+                    epoch: taken.epoch,
+                    stale: false,
                 });
             }
         }
@@ -706,9 +732,9 @@ mod tests {
         let t0 = Instant::now();
         let (_mb, handle) = sink();
         // Registered out of deadline order on purpose.
-        let late = table.register(3, 0, Arc::clone(&handle), t0 + Duration::from_millis(30));
-        let early = table.register(1, 1, Arc::clone(&handle), t0 + Duration::from_millis(10));
-        let mid = table.register(2, 2, Arc::clone(&handle), t0 + Duration::from_millis(20));
+        let late = table.register(3, 0, 0, Arc::clone(&handle), t0 + Duration::from_millis(30));
+        let early = table.register(1, 1, 0, Arc::clone(&handle), t0 + Duration::from_millis(10));
+        let mid = table.register(2, 2, 0, Arc::clone(&handle), t0 + Duration::from_millis(20));
         assert_eq!(table.pending, 3);
 
         let mut out = Vec::new();
@@ -737,8 +763,14 @@ mod tests {
         let mut table = SlotTable::new();
         let t0 = Instant::now();
         let (_mb, handle) = sink();
-        let a = table.register(10, 0, Arc::clone(&handle), t0 + Duration::from_millis(5));
-        let _b = table.register(11, 1, Arc::clone(&handle), t0 + Duration::from_millis(50));
+        let a = table.register(10, 0, 0, Arc::clone(&handle), t0 + Duration::from_millis(5));
+        let _b = table.register(
+            11,
+            1,
+            0,
+            Arc::clone(&handle),
+            t0 + Duration::from_millis(50),
+        );
         // Complete `a` before it expires.
         assert_eq!(table.take(a).map(|t| t.caller_id), Some(10));
         let mut out = Vec::new();
@@ -755,9 +787,9 @@ mod tests {
         let mut table = SlotTable::new();
         let t0 = Instant::now();
         let (_mb, handle) = sink();
-        let first = table.register(1, 0, Arc::clone(&handle), t0 + Duration::from_secs(1));
+        let first = table.register(1, 0, 0, Arc::clone(&handle), t0 + Duration::from_secs(1));
         assert!(table.take(first).is_some());
-        let second = table.register(2, 0, Arc::clone(&handle), t0 + Duration::from_secs(1));
+        let second = table.register(2, 0, 0, Arc::clone(&handle), t0 + Duration::from_secs(1));
         // Same slot index, different generation: the stale id misses.
         assert_eq!(first & 0xffff_ffff, second & 0xffff_ffff);
         assert_ne!(first, second);
@@ -775,6 +807,7 @@ mod tests {
             table.register(
                 i,
                 i as usize,
+                0,
                 Arc::clone(&handle),
                 t0 + Duration::from_secs(1),
             );

@@ -19,30 +19,46 @@ fn random_messages(seed: u64, count: usize) -> Vec<WireMessage> {
         .map(|_| {
             let request_id: u64 = rng.gen();
             let server = rng.gen_range_u64(0, u64::from(u32::MAX)) as usize;
+            let epoch: u64 = rng.gen();
             let entry = Entry {
                 timestamp: rng.gen(),
                 value: rng.gen(),
             };
-            match rng.gen_range_u64(0, 4) {
+            match rng.gen_range_u64(0, 5) {
                 0 => WireMessage::Request(WireRequest {
                     request_id,
                     server,
+                    epoch,
                     op: Operation::Read,
                 }),
                 1 => WireMessage::Request(WireRequest {
                     request_id,
                     server,
+                    epoch,
                     op: Operation::Write(entry),
                 }),
                 2 => WireMessage::Reply(Reply {
                     server,
                     request_id,
                     entry: None,
+                    epoch,
+                    stale: false,
                 }),
-                _ => WireMessage::Reply(Reply {
+                3 => WireMessage::Reply(Reply {
                     server,
                     request_id,
                     entry: Some(entry),
+                    epoch,
+                    stale: false,
+                }),
+                // The fenced frame: stale flag set, no entry, the epoch is
+                // the server's current one.
+                _ => WireMessage::Reply(Reply {
+                    server,
+                    request_id,
+                    entry: None,
+                    epoch,
+                    stale: true,
                 }),
             }
         })
@@ -244,6 +260,7 @@ proptest! {
             .map(|_| WireRequest {
                 request_id: rng.gen(),
                 server: rng.gen_range_u64(0, u64::from(u32::MAX)) as usize,
+                epoch: rng.gen(),
                 op: if rng.gen_range_u64(0, 2) == 0 {
                     Operation::Read
                 } else {

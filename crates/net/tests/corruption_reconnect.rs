@@ -23,6 +23,7 @@ fn read_batch(first_id: u64, servers: &[usize]) -> Vec<WireRequest> {
         .map(|(i, &server)| WireRequest {
             request_id: first_id + i as u64,
             server,
+            epoch: 0,
             op: Operation::Read,
         })
         .collect()
@@ -69,11 +70,12 @@ fn frame_reader_resyncs_from_a_mid_batch_cut() {
 
     // Cut inside the second item: the bytes after the cut start mid-item,
     // with no header in sight.
-    let cut = HEADER_LEN + 2 + 14 + 7;
+    let cut = HEADER_LEN + 2 + 22 + 7;
     let tail = &wire[cut..];
     let good = WireRequest {
         request_id: 99,
         server: 4,
+        epoch: 0,
         op: Operation::Read,
     };
     let mut replayed = tail.to_vec();
@@ -113,7 +115,7 @@ fn server_survives_batch_corruption_across_a_reconnect() {
     let truncated_batch = read_batch(4, &[0, 1, 2, 3]);
     let mut wire = Vec::new();
     encode_request_batch(&truncated_batch, &mut wire);
-    first.write_all(&wire[..HEADER_LEN + 2 + 14 + 5]).unwrap();
+    first.write_all(&wire[..HEADER_LEN + 2 + 22 + 5]).unwrap();
     first.flush().unwrap();
     first.shutdown();
     drop(first);
@@ -124,10 +126,11 @@ fn server_survives_batch_corruption_across_a_reconnect() {
     let damaged = read_batch(20, &[0, 1, 2]);
     let mut wire = Vec::new();
     encode_request_batch(&damaged, &mut wire);
-    wire[HEADER_LEN + 2 + 14] = 0xee; // second item's kind byte
+    wire[HEADER_LEN + 2 + 22] = 0xee; // second item's kind byte
     let good = WireRequest {
         request_id: 42,
         server: 4,
+        epoch: 0,
         op: Operation::Write(Entry {
             timestamp: 1,
             value: authentic_value(1),
@@ -145,6 +148,7 @@ fn server_survives_batch_corruption_across_a_reconnect() {
     let probe = WireRequest {
         request_id: 43,
         server: 4,
+        epoch: 0,
         op: Operation::Read,
     };
     let mut wire = Vec::new();
@@ -199,6 +203,7 @@ fn embedded_magic_inside_a_corrupt_batch_does_not_derail_resync() {
     let good = WireRequest {
         request_id: 77,
         server: 3,
+        epoch: 0,
         op: Operation::Read,
     };
     encode_request(&good, &mut wire);

@@ -57,6 +57,16 @@ pub enum ServiceError {
     /// The transport refused a request or a reply never arrived — the service
     /// is shutting down or a shard died.
     TransportFailure,
+    /// The servers fenced the operation: the epoch this client is stamped
+    /// with has been retired by a reconfiguration. `current` is the newest
+    /// epoch a fencing server reported; the caller must fetch that epoch's
+    /// configuration (universe + strategy), update the client, and retry.
+    /// Never retried internally — retrying under the retired strategy can
+    /// only be fenced again.
+    EpochFenced {
+        /// The newest epoch reported by a fencing server.
+        current: u64,
+    },
 }
 
 impl From<ProtocolError> for ServiceError {
@@ -70,6 +80,9 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Protocol(e) => write!(f, "{e}"),
             ServiceError::TransportFailure => write!(f, "transport failed to deliver a reply"),
+            ServiceError::EpochFenced { current } => {
+                write!(f, "operation fenced: servers are at epoch {current}")
+            }
         }
     }
 }
@@ -91,6 +104,10 @@ enum RendezvousFailure {
     TimedOut,
     /// The reply mailbox reported closure: no reply can ever arrive.
     Closed,
+    /// A server fenced the request: the client's epoch is retired. Carries
+    /// the newest epoch a fencing server reported. Terminal for the retry
+    /// loop — only a configuration refresh can make progress.
+    Fenced(u64),
 }
 
 /// The outcome of a completed service read.
@@ -113,6 +130,10 @@ pub struct ServiceClient<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> {
     reply_deadline: Duration,
     /// Client identity stamped on every request (see [`Request::origin`]).
     origin: u64,
+    /// The reconfiguration epoch stamped on every request (see
+    /// [`Request::epoch`]). Advanced by the epoch layer when it installs a
+    /// re-certified strategy.
+    epoch: u64,
     /// Retry budget per operation (0 = fail on the first transport failure).
     retry_limit: u32,
     /// Base backoff doubled per retry attempt, jittered to `[0.5, 1.5)`.
@@ -142,6 +163,7 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
             b,
             reply_deadline: DEFAULT_REPLY_DEADLINE,
             origin: 0,
+            epoch: 0,
             retry_limit: 0,
             retry_backoff: Duration::from_millis(1),
             metrics: None,
@@ -169,6 +191,38 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
     pub fn with_origin(mut self, origin: u64) -> Self {
         self.origin = origin;
         self
+    }
+
+    /// Sets the epoch stamped on every request this client issues (see
+    /// [`Request::epoch`]). Defaults to 0 — correct for any service that has
+    /// never reconfigured.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Advances the epoch stamp mid-lifetime — what the epoch layer calls
+    /// after installing a re-certified strategy. Must only be called between
+    /// operations (it takes `&mut self`, so the borrow checker enforces
+    /// that); every in-flight access has already completed or failed, which
+    /// is exactly the "drain epoch e before sampling from e + 1" rule.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The epoch currently stamped on requests.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Replaces the failure-detector view — paired with [`set_epoch`] when a
+    /// reconfiguration shrinks the universe to the surviving servers.
+    ///
+    /// [`set_epoch`]: ServiceClient::set_epoch
+    pub fn set_responsive(&mut self, responsive: ServerSet) {
+        self.responsive = responsive;
     }
 
     /// Enables graceful degradation: up to `limit` retries per operation after
@@ -230,6 +284,7 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
                 op,
                 request_id: self.next_request_id,
                 origin: self.origin,
+                epoch: self.epoch,
                 reply: Arc::clone(&self.reply_mailbox) as ReplyHandle,
             });
         }
@@ -239,6 +294,7 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
             self.fanout.clear();
             return Err(RendezvousFailure::Refused);
         }
+        let started = std::time::Instant::now();
         let mut replies: Vec<(usize, Option<Entry>)> = Vec::with_capacity(expected);
         while replies.len() < expected {
             debug_assert!(self.drained.is_empty());
@@ -250,6 +306,13 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
                 DrainStatus::TimedOut => {
                     if let Some(metrics) = &self.metrics {
                         metrics.record_timeout();
+                        // Silence past the deadline is per-server failure
+                        // evidence: accuse exactly the members still missing.
+                        for server in quorum.iter() {
+                            if !replies.iter().any(|&(s, _)| s == server) {
+                                metrics.record_server_no_answer(server);
+                            }
+                        }
                     }
                     return Err(RendezvousFailure::TimedOut);
                 }
@@ -257,17 +320,54 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
                 // deadline, and let the caller skip the retry loop entirely.
                 DrainStatus::Closed => return Err(RendezvousFailure::Closed),
             }
+            let mut fenced_at: Option<u64> = None;
             for reply in self.drained.drain(..) {
-                // Two filters keep the masking math sound: stragglers from an
-                // aborted earlier rendezvous (id below this operation's range)
-                // are dropped, and so is any *duplicate* reply from a server
-                // already counted — a duplicating network must not let a
-                // single Byzantine server reach b + 1 support by echo.
-                if reply.request_id >= first_id
-                    && !replies.iter().any(|&(server, _)| server == reply.server)
-                {
-                    replies.push((reply.server, reply.entry));
+                // Straggler filter first: replies from an aborted earlier
+                // rendezvous (id below this operation's range) carry an older
+                // epoch stamp and possibly an older strategy — they must
+                // neither add support nor fence this operation.
+                if reply.request_id < first_id {
+                    continue;
                 }
+                if reply.stale {
+                    // The servers retired this client's epoch mid-operation.
+                    fenced_at = Some(fenced_at.map_or(reply.epoch, |e| e.max(reply.epoch)));
+                    continue;
+                }
+                // Epoch guard: a served reply must echo this operation's own
+                // stamp. With the id filter above this is belt-and-braces —
+                // but it is the invariant the masking argument rests on (no
+                // quorum mixes replies gathered under two strategies), so it
+                // is enforced here rather than assumed.
+                if reply.epoch != self.epoch {
+                    continue;
+                }
+                // Duplicate filter: a duplicating network must not let a
+                // single Byzantine server reach b + 1 support by echo.
+                if replies.iter().any(|&(server, _)| server == reply.server) {
+                    continue;
+                }
+                if let Some(metrics) = &self.metrics {
+                    // Failure-detector evidence. A write is acknowledged by
+                    // an in-band None, so only reads can accuse a server of
+                    // giving no protocol answer.
+                    let answered = match op {
+                        Operation::Write(_) => true,
+                        Operation::Read => reply.entry.is_some(),
+                    };
+                    if answered {
+                        metrics.record_server_answer(
+                            reply.server,
+                            started.elapsed().as_nanos() as u64,
+                        );
+                    } else {
+                        metrics.record_server_no_answer(reply.server);
+                    }
+                }
+                replies.push((reply.server, reply.entry));
+            }
+            if let Some(current) = fenced_at {
+                return Err(RendezvousFailure::Fenced(current));
             }
         }
         Ok(replies)
@@ -275,7 +375,9 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
 
     /// Applies the retry policy after a failed rendezvous: returns `true` to
     /// retry (after the jittered backoff sleep), `false` to abort. Closure is
-    /// terminal regardless of remaining budget.
+    /// terminal regardless of remaining budget. (Fencing never reaches here —
+    /// the operation loops surface it as [`ServiceError::EpochFenced`]
+    /// before consulting the retry policy.)
     fn back_off_or_abort(&self, failure: RendezvousFailure, attempt: &mut u32) -> bool {
         if failure == RendezvousFailure::Closed || *attempt >= self.retry_limit {
             if let Some(metrics) = &self.metrics {
@@ -313,6 +415,9 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
             let quorum = choose_access_quorum(self.system, &self.responsive, rng)?;
             match self.rendezvous(&quorum, Operation::Write(entry)) {
                 Ok(_) => return Ok(quorum),
+                Err(RendezvousFailure::Fenced(current)) => {
+                    return Err(ServiceError::EpochFenced { current })
+                }
                 Err(failure) => {
                     if !self.back_off_or_abort(failure, &mut attempt) {
                         return Err(ServiceError::TransportFailure);
@@ -340,6 +445,9 @@ impl<'s, Q: QuorumSystem + ?Sized, T: Transport + ?Sized> ServiceClient<'s, Q, T
                         entry: best,
                         quorum,
                     });
+                }
+                Err(RendezvousFailure::Fenced(current)) => {
+                    return Err(ServiceError::EpochFenced { current })
                 }
                 Err(failure) => {
                     if !self.back_off_or_abort(failure, &mut attempt) {
@@ -494,6 +602,8 @@ mod tests {
                 server: request.server,
                 request_id: request.request_id,
                 entry: None,
+                epoch: request.epoch,
+                stale: false,
             });
             true
         }
@@ -515,6 +625,7 @@ mod tests {
                 op: Operation::Read,
                 request_id: 100 + server as u64,
                 origin: 0,
+                epoch: 0,
                 reply: Arc::clone(&mailbox) as ReplyHandle,
             })
             .collect();
@@ -685,6 +796,87 @@ mod tests {
         );
         assert_eq!(metrics.retries(), 2);
         assert_eq!(metrics.aborts(), 1);
+    }
+
+    #[test]
+    fn fenced_operations_surface_the_servers_epoch_and_are_not_retried() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        let service = LoopbackService::spawn(&FaultPlan::none(5), 2, 13);
+        let metrics = Arc::new(ServiceMetrics::new(5));
+        let mut client = ServiceClient::new(&system, &service, service.responsive_set().clone(), 1)
+            .with_retries(5, Duration::from_micros(100))
+            .with_metrics(Arc::clone(&metrics));
+        let mut rng = StdRng::seed_from_u64(21);
+        let entry = Entry {
+            timestamp: 1,
+            value: 7,
+        };
+        client.write(entry, &mut rng).unwrap();
+
+        // The service reconfigures past this client's epoch.
+        service.epoch_gate().finalize(2);
+        assert_eq!(
+            client.write(entry, &mut rng).unwrap_err(),
+            ServiceError::EpochFenced { current: 2 }
+        );
+        assert_eq!(
+            client.read(&mut rng).unwrap_err(),
+            ServiceError::EpochFenced { current: 2 }
+        );
+        assert_eq!(metrics.retries(), 0, "fencing must bypass the retry loop");
+        assert_eq!(metrics.aborts(), 0, "fencing is a signal, not a failure");
+
+        // The epoch layer's recovery: adopt the reported epoch and retry.
+        client.set_epoch(2);
+        let outcome = client.read(&mut rng).unwrap();
+        assert_eq!(outcome.entry, entry, "state survives the fence");
+        assert_eq!(client.epoch(), 2);
+    }
+
+    #[test]
+    fn per_server_evidence_accumulates_from_reads_and_timeouts() {
+        let system = ThresholdSystem::minimal_masking(1).unwrap();
+        // Server 1 is crashed: its read replies are in-band Nones.
+        let plan = FaultPlan::none(5).with_crashed(1);
+        let service = LoopbackService::spawn(&plan, 2, 17);
+        let metrics = Arc::new(ServiceMetrics::new(5));
+        let responsive = bqs_core::bitset::ServerSet::full(5);
+        let mut client =
+            ServiceClient::new(&system, &service, responsive, 1).with_metrics(Arc::clone(&metrics));
+        let mut rng = StdRng::seed_from_u64(23);
+        // Several writes so every *healthy* server holds a value before the
+        // reads start — a healthy server with an empty register also answers
+        // a read in-band `None`, which is (correctly) accusal evidence until
+        // a write reaches it.
+        for ts in 1..=6 {
+            client
+                .write(
+                    Entry {
+                        timestamp: ts,
+                        value: 5,
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+        }
+        for _ in 0..12 {
+            let _ = client.read(&mut rng);
+        }
+        let answers = metrics.server_answer_counts();
+        let accusals = metrics.server_no_answer_counts();
+        assert!(
+            accusals[1] > 0,
+            "the crashed server must accumulate no-answer evidence: {accusals:?}"
+        );
+        assert!(
+            answers[1] <= 6,
+            "the crashed server's only possible answers are write acks: {answers:?}"
+        );
+        assert!(
+            (0..5).filter(|&s| s != 1).all(|s| accusals[s] == 0),
+            "healthy servers holding the value must not be accused: {accusals:?}"
+        );
+        assert!(answers[0] > 0 && metrics.server_latency_quantile(0, 0.99).is_some());
     }
 
     #[test]

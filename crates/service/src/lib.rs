@@ -85,7 +85,10 @@ pub mod transport;
 pub use client::{ServiceClient, ServiceError, ServiceReadOutcome};
 pub use mailbox::{DrainStatus, Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
-pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use openloop::{
+    run_open_loop, run_open_loop_at_epoch, run_open_loop_session, OpenLoopConfig, OpenLoopReport,
+    OpenLoopSession,
+};
 pub use runner::{authentic_value, run_service, run_service_on, ServiceConfig, ServiceReport};
 pub use shard::{LoopbackService, TimestampOracle};
 pub use transport::{Operation, Reply, Request, Transport};
@@ -95,7 +98,10 @@ pub mod prelude {
     pub use crate::client::{ServiceClient, ServiceError, ServiceReadOutcome};
     pub use crate::mailbox::{DrainStatus, Mailbox, ReplyHandle, ReplyMailbox, ReplySink};
     pub use crate::metrics::{LatencyHistogram, ServiceMetrics};
-    pub use crate::openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+    pub use crate::openloop::{
+        run_open_loop, run_open_loop_at_epoch, run_open_loop_session, OpenLoopConfig,
+        OpenLoopReport, OpenLoopSession,
+    };
     pub use crate::runner::{
         authentic_value, run_service, run_service_on, ServiceConfig, ServiceReport,
     };

@@ -371,6 +371,8 @@ mod tests {
             server: 3,
             request_id: 9,
             entry: None,
+            epoch: 0,
+            stale: false,
         });
         let mut batch = Vec::new();
         assert!(mb.drain_blocking(&mut batch));
@@ -382,6 +384,8 @@ mod tests {
             server: 0,
             request_id: 1,
             entry: None,
+            epoch: 0,
+            stale: false,
         });
         batch.clear();
         assert!(!mb.drain_blocking(&mut batch));

@@ -133,6 +133,20 @@ pub struct ServiceMetrics {
     /// Operations abandoned after exhausting their retry budget (or failing
     /// terminally, e.g. a closed reply path).
     aborts: AtomicU64,
+    /// Per-server count of protocol answers (a reply carrying an entry, or a
+    /// write acknowledgement) — the "this server is alive" half of the
+    /// failure-detector evidence.
+    server_answers: Vec<AtomicU64>,
+    /// Per-server count of non-answers: read replies with no entry (crashed
+    /// or silent replicas) and quorum members that never replied before the
+    /// rendezvous deadline. The accusing half of the evidence; the suspicion
+    /// engine in `bqs-epoch` reads the answer/no-answer ratio.
+    server_no_answers: Vec<AtomicU64>,
+    /// Per-server round-trip latency histograms, fed by replies that did
+    /// arrive. A timeout-inflation adversary — delaying answers to just
+    /// under the deadline so the no-answer counters never move — shows up
+    /// here as a per-server p99 far above the fleet's.
+    server_latency: Vec<LatencyHistogram>,
 }
 
 impl ServiceMetrics {
@@ -147,6 +161,9 @@ impl ServiceMetrics {
             timeouts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
+            server_answers: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            server_no_answers: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            server_latency: (0..n).map(|_| LatencyHistogram::new()).collect(),
         }
     }
 
@@ -186,6 +203,45 @@ impl ServiceMetrics {
     /// Records one abandoned operation.
     pub fn record_abort(&self) {
         self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one protocol answer from `server`, with the round-trip
+    /// latency observed by the waiting client.
+    pub fn record_server_answer(&self, server: usize, latency_nanos: u64) {
+        self.server_answers[server].fetch_add(1, Ordering::Relaxed);
+        self.server_latency[server].record(latency_nanos);
+    }
+
+    /// Records one non-answer from `server`: a read reply with no entry, or
+    /// a quorum member that stayed silent past the rendezvous deadline.
+    pub fn record_server_no_answer(&self, server: usize) {
+        self.server_no_answers[server].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of per-server answer counts.
+    #[must_use]
+    pub fn server_answer_counts(&self) -> Vec<u64> {
+        self.server_answers
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Snapshot of per-server non-answer counts.
+    #[must_use]
+    pub fn server_no_answer_counts(&self) -> Vec<u64> {
+        self.server_no_answers
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Point estimate of `server`'s `q`-quantile round-trip latency
+    /// (nanoseconds; see [`LatencyHistogram::quantile`] for the bucket
+    /// error bound), or `None` when no reply from it was ever timed.
+    #[must_use]
+    pub fn server_latency_quantile(&self, server: usize, q: f64) -> Option<u64> {
+        self.server_latency[server].quantile(q)
     }
 
     /// Requests known lost in transit so far.
@@ -248,6 +304,17 @@ impl ServiceMetrics {
         self.aborts.store(0, Ordering::Relaxed);
         for b in &self.latency.buckets {
             b.store(0, Ordering::Relaxed);
+        }
+        for a in &self.server_answers {
+            a.store(0, Ordering::Relaxed);
+        }
+        for a in &self.server_no_answers {
+            a.store(0, Ordering::Relaxed);
+        }
+        for h in &self.server_latency {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
         }
     }
 
@@ -351,6 +418,24 @@ mod tests {
         // And it keeps recording normally afterwards.
         m.record_access(0);
         assert_eq!(m.access_counts(), vec![1, 0]);
+    }
+
+    #[test]
+    fn server_evidence_counters_accumulate_and_reset() {
+        let m = ServiceMetrics::new(3);
+        m.record_server_answer(0, 1_000);
+        m.record_server_answer(0, 2_000);
+        m.record_server_no_answer(1);
+        m.record_server_no_answer(1);
+        m.record_server_no_answer(1);
+        assert_eq!(m.server_answer_counts(), vec![2, 0, 0]);
+        assert_eq!(m.server_no_answer_counts(), vec![0, 3, 0]);
+        assert!(m.server_latency_quantile(0, 0.5).unwrap() > 0);
+        assert_eq!(m.server_latency_quantile(2, 0.5), None);
+        m.reset();
+        assert_eq!(m.server_answer_counts(), vec![0, 0, 0]);
+        assert_eq!(m.server_no_answer_counts(), vec![0, 0, 0]);
+        assert_eq!(m.server_latency_quantile(0, 0.5), None);
     }
 
     #[test]

@@ -53,7 +53,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::mailbox::{DrainStatus, ReplyHandle, ReplyMailbox};
-use crate::metrics::LatencyHistogram;
+use crate::metrics::{LatencyHistogram, ServiceMetrics};
 use crate::runner::authentic_value;
 use crate::shard::TimestampOracle;
 use crate::transport::{Operation, Reply, Request, Transport};
@@ -122,6 +122,10 @@ pub struct OpenLoopReport {
     pub no_live_quorum: u64,
     /// Requests the transport refused outright (service shutting down).
     pub rejected_sends: u64,
+    /// Operations fenced by the servers' epoch gate (the generator's epoch
+    /// stamp fell outside the acceptance window). Nonzero only when a
+    /// reconfiguration finalises past the epoch this run was started with.
+    pub fenced: u64,
     /// Reads that returned a fabricated (timestamp, value) pair.
     pub safety_violations: u64,
     /// Wall-clock seconds from first arrival to last completion.
@@ -192,7 +196,7 @@ struct PendingOp {
     started: Instant,
     deadline: Instant,
     is_write: bool,
-    expected: usize,
+    quorum: bqs_core::bitset::ServerSet,
     replies: Vec<(usize, Option<Entry>)>,
 }
 
@@ -206,6 +210,7 @@ struct WorkerTally {
     timed_out: u64,
     no_live_quorum: u64,
     rejected: u64,
+    fenced: u64,
     violations: u64,
     peak_in_flight: u64,
     latencies_ns: Vec<u64>,
@@ -240,6 +245,97 @@ where
     Q: QuorumSystem + ?Sized,
     T: Transport + ?Sized,
 {
+    run_open_loop_at_epoch(system, b, transport, responsive, config, 0, None)
+}
+
+/// Ambient state an open-loop run shares with the longer-lived session it is
+/// part of. Reconfiguration harnesses run several measurement phases against
+/// one persistent service; each phase is one open-loop run, but the phases
+/// must share a single [`TimestampOracle`] — the freshness half of the safety
+/// check compares read timestamps against the *writer's* clock, and a clock
+/// restarted per phase would misread every earlier phase's (perfectly
+/// authentic) entries as fabrications.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpenLoopSession<'a> {
+    /// The epoch stamped on every request of this run.
+    pub epoch: u64,
+    /// Client-side metrics: per-server access counts and failure-detector
+    /// evidence (`None` skips the accounting).
+    pub metrics: Option<&'a ServiceMetrics>,
+    /// The writer clock; `None` makes the run its own single-phase session
+    /// with a fresh clock.
+    pub clock: Option<&'a TimestampOracle>,
+}
+
+/// [`run_open_loop`] with an explicit epoch stamp and optional client-side
+/// metrics — the entry point reconfiguration harnesses use. `epoch` is
+/// stamped on every request (a service that has never reconfigured runs at
+/// epoch 0); when `metrics` is given, completed operations record per-server
+/// access counts (feeding [`ServiceMetrics::empirical_loads`]) and every
+/// reply feeds the per-server failure-detector evidence the `bqs-epoch`
+/// suspicion engine reads.
+///
+/// # Panics
+///
+/// As [`run_open_loop`]; additionally if `metrics` covers a different
+/// universe than the system.
+#[must_use]
+pub fn run_open_loop_at_epoch<Q, T>(
+    system: &Q,
+    b: usize,
+    transport: &T,
+    responsive: &bqs_core::bitset::ServerSet,
+    config: &OpenLoopConfig,
+    epoch: u64,
+    metrics: Option<&ServiceMetrics>,
+) -> OpenLoopReport
+where
+    Q: QuorumSystem + ?Sized,
+    T: Transport + ?Sized,
+{
+    run_open_loop_session(
+        system,
+        b,
+        transport,
+        responsive,
+        config,
+        &OpenLoopSession {
+            epoch,
+            metrics,
+            clock: None,
+        },
+    )
+}
+
+/// [`run_open_loop_at_epoch`] as one phase of a multi-run session: the
+/// session supplies the epoch stamp, the evidence metrics, and (crucially)
+/// the shared writer clock — see [`OpenLoopSession`].
+///
+/// # Panics
+///
+/// As [`run_open_loop_at_epoch`].
+#[must_use]
+pub fn run_open_loop_session<Q, T>(
+    system: &Q,
+    b: usize,
+    transport: &T,
+    responsive: &bqs_core::bitset::ServerSet,
+    config: &OpenLoopConfig,
+    session: &OpenLoopSession<'_>,
+) -> OpenLoopReport
+where
+    Q: QuorumSystem + ?Sized,
+    T: Transport + ?Sized,
+{
+    let epoch = session.epoch;
+    let metrics = session.metrics;
+    if let Some(metrics) = metrics {
+        assert_eq!(
+            metrics.universe_size(),
+            system.universe_size(),
+            "metrics and quorum system must cover the same universe"
+        );
+    }
     assert_eq!(
         transport.universe_size(),
         system.universe_size(),
@@ -264,8 +360,23 @@ where
         "write fraction is a probability"
     );
 
-    let clock = TimestampOracle::new();
-    prime_register(system, transport, responsive, &clock, config.seed);
+    let owned_clock;
+    let clock: &TimestampOracle = match session.clock {
+        Some(shared) => shared,
+        None => {
+            owned_clock = TimestampOracle::new();
+            &owned_clock
+        }
+    };
+    prime_register(
+        system,
+        transport,
+        responsive,
+        clock,
+        config.seed,
+        epoch,
+        config.op_deadline,
+    );
 
     let workers = config.workers.min(config.total_arrivals);
     let per_worker_rate = config.offered_rate / workers as f64;
@@ -274,7 +385,6 @@ where
     let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for worker_id in 0..workers {
-            let clock = &clock;
             let hist = &hist;
             // Spread the remainder so exactly `total_arrivals` are scheduled.
             let quota = config.total_arrivals / workers
@@ -291,6 +401,8 @@ where
                     worker_id,
                     quota,
                     per_worker_rate,
+                    epoch,
+                    metrics,
                 )
             }));
         }
@@ -311,6 +423,7 @@ where
         folded.timed_out += t.timed_out;
         folded.no_live_quorum += t.no_live_quorum;
         folded.rejected += t.rejected;
+        folded.fenced += t.fenced;
         folded.violations += t.violations;
         folded.peak_in_flight += t.peak_in_flight;
         folded.latencies_ns.extend(t.latencies_ns);
@@ -352,6 +465,7 @@ where
         timed_out: folded.timed_out,
         no_live_quorum: folded.no_live_quorum,
         rejected_sends: folded.rejected,
+        fenced: folded.fenced,
         safety_violations: folded.violations,
         elapsed_seconds: elapsed,
         realized_offered_ops_per_sec: {
@@ -382,13 +496,18 @@ where
 
 /// Writes one authentic entry synchronously so steady-state reads find a
 /// safe value. Best-effort: skipped when no live quorum exists or replies
-/// do not arrive within a bounded wait.
+/// do not arrive within the run's per-operation deadline (a lossy transport
+/// can swallow a priming reply; waiting longer than any real operation
+/// would only stall the measurement).
+#[allow(clippy::too_many_arguments)]
 fn prime_register<Q, T>(
     system: &Q,
     transport: &T,
     responsive: &bqs_core::bitset::ServerSet,
     clock: &TimestampOracle,
     seed: u64,
+    epoch: u64,
+    deadline: Duration,
 ) where
     Q: QuorumSystem + ?Sized,
     T: Transport + ?Sized,
@@ -410,12 +529,13 @@ fn prime_register<Q, T>(
             op: Operation::Write(entry),
             request_id: u64::MAX - server as u64,
             origin: 0,
+            epoch,
             reply: Arc::clone(&mailbox) as ReplyHandle,
         })
         .collect();
     let sent = fanout.len();
     let _ = transport.send_batch(&mut fanout);
-    let deadline = Instant::now() + Duration::from_secs(5);
+    let deadline = Instant::now() + deadline;
     let mut gathered = 0usize;
     let mut drained = Vec::new();
     while gathered < sent {
@@ -451,6 +571,8 @@ fn worker_loop<Q, T>(
     worker_id: usize,
     quota: usize,
     rate: f64,
+    epoch: u64,
+    metrics: Option<&ServiceMetrics>,
 ) -> WorkerTally
 where
     Q: QuorumSystem + ?Sized,
@@ -520,6 +642,7 @@ where
                     op,
                     request_id: op_key | member as u64,
                     origin: worker_id as u64 + 1,
+                    epoch,
                     reply: Arc::clone(&reply_mailbox) as ReplyHandle,
                 });
             }
@@ -537,7 +660,7 @@ where
                     started: op_started,
                     deadline: op_started + config.op_deadline,
                     is_write,
-                    expected,
+                    quorum,
                     replies: Vec::with_capacity(expected),
                 },
             );
@@ -570,7 +693,16 @@ where
         match reply_mailbox.drain_timeout(wait, &mut drained) {
             DrainStatus::Drained(_) => {
                 for reply in drained.drain(..) {
-                    handle_reply(reply, &mut pending, &mut tally, b, clock, hist);
+                    handle_reply(
+                        reply,
+                        &mut pending,
+                        &mut tally,
+                        b,
+                        clock,
+                        hist,
+                        epoch,
+                        metrics,
+                    );
                 }
             }
             DrainStatus::TimedOut => {}
@@ -584,11 +716,25 @@ where
             }
         }
 
-        // Expiry phase: abandon operations past their deadline.
+        // Expiry phase: abandon operations past their deadline, accusing
+        // every quorum member that never answered (per-server no-answer
+        // evidence for the failure detector).
         let now = Instant::now();
         if pending.values().any(|op| now >= op.deadline) {
             let before = pending.len();
-            pending.retain(|_, op| now < op.deadline);
+            pending.retain(|_, op| {
+                if now < op.deadline {
+                    return true;
+                }
+                if let Some(metrics) = metrics {
+                    for server in op.quorum.iter() {
+                        if !op.replies.iter().any(|&(s, _)| s == server) {
+                            metrics.record_server_no_answer(server);
+                        }
+                    }
+                }
+                false
+            });
             tally.timed_out += (before - pending.len()) as u64;
         }
     }
@@ -597,6 +743,7 @@ where
 
 /// Matches one reply to its pending operation and resolves the operation
 /// when the last quorum member has answered.
+#[allow(clippy::too_many_arguments)]
 fn handle_reply(
     reply: Reply,
     pending: &mut HashMap<u64, PendingOp>,
@@ -604,16 +751,42 @@ fn handle_reply(
     b: usize,
     clock: &TimestampOracle,
     hist: &LatencyHistogram,
+    epoch: u64,
+    metrics: Option<&ServiceMetrics>,
 ) {
     let op_key = reply.request_id & !0xff;
+    if reply.stale {
+        // A server's epoch gate fenced this operation: the whole fan-out is
+        // unusable (a fenced operation must never complete with fewer-than-
+        // quorum strategies mixed in), so the op is abandoned here. Fencing
+        // is a configuration signal, not server misbehaviour — no accusal.
+        if pending.remove(&op_key).is_some() {
+            tally.fenced += 1;
+        }
+        return;
+    }
+    if reply.epoch != epoch {
+        return; // cross-epoch stray: must never count as support
+    }
     let Some(op) = pending.get_mut(&op_key) else {
         return; // straggler from an expired/rejected operation
     };
     if op.replies.iter().any(|&(server, _)| server == reply.server) {
         return; // duplicate delivery: a server's echo must not add support
     }
+    if let Some(metrics) = metrics {
+        // Failure-detector evidence: a write is answered by any ack; a read
+        // is answered only by an entry (in-band `None` is a crashed replica
+        // owner declining to serve — see the transport's no-answer contract).
+        let answered = op.is_write || reply.entry.is_some();
+        if answered {
+            metrics.record_server_answer(reply.server, op.started.elapsed().as_nanos() as u64);
+        } else {
+            metrics.record_server_no_answer(reply.server);
+        }
+    }
     op.replies.push((reply.server, reply.entry));
-    if op.replies.len() < op.expected {
+    if op.replies.len() < op.quorum.len() {
         return;
     }
     let op = pending.remove(&op_key).expect("just observed");
@@ -632,6 +805,15 @@ fn handle_reply(
             Err(ProtocolError::NoSafeValue) => tally.inconclusive += 1,
             Err(ProtocolError::NoLiveQuorum) => unreachable!("resolution cannot lack quorums"),
         }
+    }
+    if let Some(metrics) = metrics {
+        // Client-side load accounting: the completed operation touched every
+        // member of its quorum once (matches the server-side definition, but
+        // works across any transport backend).
+        for server in op.quorum.iter() {
+            metrics.record_access(server);
+        }
+        metrics.record_operation(latency);
     }
     tally.latencies_ns.push(latency);
     hist.record(latency);
@@ -685,9 +867,11 @@ mod tests {
                 + report.shed
                 + report.timed_out
                 + report.no_live_quorum
-                + report.rejected_sends,
+                + report.rejected_sends
+                + report.fenced,
             "every arrival must be accounted for exactly once: {report:?}"
         );
+        assert_eq!(report.fenced, 0, "nothing reconfigures in this run");
         assert!(report.is_safe());
         // Far below the loopback's capacity: everything completes.
         assert_eq!(report.completed(), 400);
@@ -760,6 +944,7 @@ mod tests {
                 + report.timed_out
                 + report.no_live_quorum
                 + report.rejected_sends
+                + report.fenced
         );
         assert!(report.is_safe());
     }
@@ -783,6 +968,75 @@ mod tests {
         );
         assert_eq!(report.no_live_quorum, 100, "{report:?}");
         assert_eq!(report.completed(), 0);
+    }
+
+    #[test]
+    fn client_side_metrics_accumulate_accesses_and_evidence() {
+        let system = GridSystem::new(5, 1).unwrap();
+        let plan = FaultPlan::none(25);
+        let service = LoopbackService::spawn(&plan, 2, 48);
+        let metrics = ServiceMetrics::new(25);
+        let report = run_open_loop_at_epoch(
+            &system,
+            1,
+            &service,
+            service.responsive_set(),
+            &quick(2_000.0, 200),
+            0,
+            Some(&metrics),
+        );
+        assert_eq!(report.completed(), 200);
+        // Every completed op recorded one access per quorum member on the
+        // *client-side* metrics (Grid(5, 1) quorums are at least 9 wide).
+        let accesses: u64 = metrics.access_counts().iter().sum();
+        assert!(accesses >= report.load_operations * 9);
+        assert_eq!(metrics.operations(), report.completed());
+        // Healthy servers produce overwhelmingly answer evidence. A few
+        // accusals are expected early on: a read reaching a server before any
+        // write has landed there is served an in-band `None`, which counts
+        // against the server until its register fills.
+        let answers: u64 = metrics.server_answer_counts().iter().sum();
+        let accusals: u64 = metrics.server_no_answer_counts().iter().sum();
+        assert!(answers > 0);
+        assert!(
+            accusals * 10 < answers,
+            "healthy run: answers ({answers}) must dwarf accusals ({accusals})"
+        );
+    }
+
+    #[test]
+    fn fenced_epochs_fail_fast_and_account_as_fenced() {
+        let system = GridSystem::new(5, 1).unwrap();
+        let plan = FaultPlan::none(25);
+        let service = LoopbackService::spawn(&plan, 2, 49);
+        // The service has reconfigured past this generator's epoch: every
+        // fan-out meets the gate and comes back stale.
+        service.epoch_gate().finalize(3);
+        let metrics = ServiceMetrics::new(25);
+        let report = run_open_loop_at_epoch(
+            &system,
+            1,
+            &service,
+            service.responsive_set(),
+            &quick(2_000.0, 200),
+            0,
+            Some(&metrics),
+        );
+        assert_eq!(report.completed(), 0);
+        assert!(report.fenced > 0, "{report:?}");
+        assert_eq!(
+            report.scheduled,
+            report.completed()
+                + report.shed
+                + report.timed_out
+                + report.no_live_quorum
+                + report.rejected_sends
+                + report.fenced,
+            "fenced arrivals stay inside the accounting identity: {report:?}"
+        );
+        // Fenced operations never count as load and never accuse servers.
+        assert_eq!(metrics.access_counts().iter().sum::<u64>(), 0);
+        assert_eq!(metrics.server_answer_counts().iter().sum::<u64>(), 0);
     }
 
     #[test]

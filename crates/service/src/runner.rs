@@ -271,6 +271,9 @@ where
                                 unreachable!("writes cannot lack safe values")
                             }
                             Err(ServiceError::TransportFailure) => tally.transport += 1,
+                            Err(ServiceError::EpochFenced { .. }) => {
+                                unreachable!("the closed-loop harness never reconfigures")
+                            }
                         }
                     } else {
                         match client.read(&mut rng) {
@@ -302,6 +305,9 @@ where
                                     .record_operation(op_started.elapsed().as_nanos() as u64);
                             }
                             Err(ServiceError::TransportFailure) => tally.transport += 1,
+                            Err(ServiceError::EpochFenced { .. }) => {
+                                unreachable!("the closed-loop harness never reconfigures")
+                            }
                         }
                     }
                 }

@@ -23,11 +23,20 @@
 //! failure-detector view ([`LoopbackService::responsive_set`]) that clients
 //! use for probe-and-fallback quorum selection.
 //!
-//! Besides protocol requests, shard mailboxes accept one control message:
+//! Besides protocol requests, shard mailboxes accept two control messages:
 //! [`LoopbackService::reset_plan`] swaps every shard's replicas for a fresh
-//! set built from a new [`FaultPlan`] without respawning the worker threads.
-//! Repeated-trial harnesses (the availability validation in `bench_service`)
-//! rely on this: per-trial thread spin-up used to dominate at n ≥ 100.
+//! set built from a new [`FaultPlan`] without respawning the worker threads
+//! (repeated-trial harnesses — the availability validation in
+//! `bench_service` — rely on this: per-trial thread spin-up used to dominate
+//! at n ≥ 100), and [`LoopbackService::crash_servers`] kills a chosen set of
+//! replicas *at runtime* through `&self`, which is what reconfiguration
+//! harnesses use to fail servers under load.
+//!
+//! Every request passes the service's shared [`EpochGate`] before touching a
+//! replica: requests stamped with an epoch outside the acceptance window are
+//! fenced — answered in-band with [`Reply::stale`] — so a reconfiguration
+//! (`bqs-epoch`) can cut off a retired access strategy at the replica
+//! boundary (see `bqs_sim::epoch` for the safety argument).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -35,8 +44,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bqs_core::bitset::ServerSet;
+use bqs_sim::epoch::EpochGate;
 use bqs_sim::fault::FaultPlan;
-use bqs_sim::server::Replica;
+use bqs_sim::server::{Behavior, Replica};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,14 +54,19 @@ use crate::mailbox::Mailbox;
 use crate::metrics::ServiceMetrics;
 use crate::transport::{Operation, Reply, Request, Transport};
 
-/// A shard mailbox message: a protocol request, or the control message that
-/// re-arms the shard with fresh replicas between trials.
+/// A shard mailbox message: a protocol request, the control message that
+/// re-arms the shard with fresh replicas between trials, or the control
+/// message that crashes a set of replicas at runtime.
 #[derive(Debug)]
 enum ShardMsg {
     Op(Request),
     Reset {
         replicas: Vec<(usize, Replica)>,
         rng: StdRng,
+        ack: mpsc::Sender<()>,
+    },
+    Crash {
+        servers: Vec<usize>,
         ack: mpsc::Sender<()>,
     },
 }
@@ -68,6 +83,7 @@ pub struct LoopbackService {
     n: usize,
     responsive: ServerSet,
     metrics: Arc<ServiceMetrics>,
+    gate: Arc<EpochGate>,
 }
 
 /// Round-robin partition of a plan's replicas into per-shard ownership lists.
@@ -115,6 +131,7 @@ impl LoopbackService {
         let shards = shards.min(n);
         let responsive = responsive_view(plan);
         let metrics = Arc::new(ServiceMetrics::new(n));
+        let gate = Arc::new(EpochGate::new());
 
         let mut mailboxes = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -122,11 +139,12 @@ impl LoopbackService {
             let mailbox = Arc::new(Mailbox::new());
             let worker_mailbox = Arc::clone(&mailbox);
             let metrics = Arc::clone(&metrics);
+            let gate = Arc::clone(&gate);
             let rng = shard_rng(seed, shard_id);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("bqs-shard-{shard_id}"))
-                    .spawn(move || shard_worker(owned, &worker_mailbox, &metrics, rng))
+                    .spawn(move || shard_worker(owned, &worker_mailbox, &metrics, &gate, rng))
                     .expect("spawning a shard worker"),
             );
             mailboxes.push(mailbox);
@@ -137,6 +155,7 @@ impl LoopbackService {
             n,
             responsive,
             metrics,
+            gate,
         }
     }
 
@@ -178,6 +197,56 @@ impl LoopbackService {
         }
         self.responsive = responsive_view(plan);
         self.metrics.reset();
+        self.gate.reset();
+    }
+
+    /// Crashes the listed servers at runtime: each owning shard swaps the
+    /// replica for a crashed one (writes ignored, reads answered `None`),
+    /// synchronously — when this returns, no later request observes the old
+    /// behaviour. Unlike [`LoopbackService::reset_plan`] this takes `&self`
+    /// (the control message rides the shard mailboxes), so a harness can
+    /// fail servers while clients are actively driving load — which is
+    /// exactly what the reconfiguration benches do. The failure-detector
+    /// view is deliberately *not* updated: discovering the crash from access
+    /// evidence is the suspicion engine's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server index is out of universe or a shard worker died.
+    pub fn crash_servers(&self, servers: &[usize]) {
+        let shards = self.mailboxes.len();
+        let mut per_shard: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        for &server in servers {
+            assert!(server < self.n, "crash target outside the universe");
+            per_shard[server % shards].push(server);
+        }
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let mut expected = 0usize;
+        for (shard, targets) in per_shard.into_iter().enumerate() {
+            if targets.is_empty() {
+                continue;
+            }
+            expected += 1;
+            assert!(
+                self.mailboxes[shard].push(ShardMsg::Crash {
+                    servers: targets,
+                    ack: ack_tx.clone(),
+                }),
+                "shard mailboxes outlive the service"
+            );
+        }
+        drop(ack_tx);
+        for _ in 0..expected {
+            ack_rx.recv().expect("every shard acknowledges the crash");
+        }
+    }
+
+    /// The epoch gate shared by every shard worker. Reconfiguration managers
+    /// hold a clone to run the open-window/finalise handoff; everything else
+    /// can ignore it (a fresh service accepts exactly epoch 0).
+    #[must_use]
+    pub fn epoch_gate(&self) -> &Arc<EpochGate> {
+        &self.gate
     }
 
     /// The failure detector's view: servers that answer protocol messages
@@ -262,6 +331,7 @@ fn shard_worker(
     mut owned: Vec<(usize, Replica)>,
     mailbox: &Mailbox<ShardMsg>,
     metrics: &ServiceMetrics,
+    gate: &EpochGate,
     mut rng: StdRng,
 ) {
     owned.sort_by_key(|(i, _)| *i);
@@ -281,7 +351,30 @@ fn shard_worker(
                     let _ = ack.send(());
                     continue;
                 }
+                ShardMsg::Crash { servers, ack } => {
+                    for server in servers {
+                        let slot = owned
+                            .binary_search_by_key(&server, |(i, _)| *i)
+                            .expect("crash routed to the shard owning the server");
+                        owned[slot].1 = Replica::new(Behavior::Crashed);
+                    }
+                    let _ = ack.send(());
+                    continue;
+                }
             };
+            if !gate.accepts(request.epoch) {
+                // Fenced: the access strategy this request was sampled under
+                // is retired. Answer in-band so the client both fails fast
+                // and learns the current epoch; the replica is never touched.
+                request.reply.complete(Reply {
+                    server: request.server,
+                    request_id: request.request_id,
+                    entry: None,
+                    epoch: gate.current(),
+                    stale: true,
+                });
+                continue;
+            }
             let slot = owned
                 .binary_search_by_key(&request.server, |(i, _)| *i)
                 .expect("request routed to the shard owning the server");
@@ -299,6 +392,8 @@ fn shard_worker(
                 server: request.server,
                 request_id: request.request_id,
                 entry,
+                epoch: request.epoch,
+                stale: false,
             });
         }
     }
@@ -340,12 +435,17 @@ mod tests {
     use bqs_sim::server::{ByzantineStrategy, Entry};
 
     fn roundtrip(service: &LoopbackService, server: usize, op: Operation) -> Reply {
+        roundtrip_at(service, server, op, 0)
+    }
+
+    fn roundtrip_at(service: &LoopbackService, server: usize, op: Operation, epoch: u64) -> Reply {
         let mb = Arc::new(ReplyMailbox::new());
         assert!(service.send(Request {
             server,
             op,
             request_id: 7,
             origin: 0,
+            epoch,
             reply: Arc::clone(&mb) as ReplyHandle,
         }));
         let mut batch = Vec::new();
@@ -385,6 +485,7 @@ mod tests {
                 op: Operation::Read,
                 request_id: 100 + s as u64,
                 origin: 0,
+                epoch: 0,
                 reply: Arc::clone(&mb) as ReplyHandle,
             })
             .collect();
@@ -415,6 +516,7 @@ mod tests {
                 op: Operation::Read,
                 request_id: s as u64,
                 origin: 0,
+                epoch: 0,
                 reply: Arc::clone(&mb) as ReplyHandle,
             })
             .collect();
@@ -454,6 +556,7 @@ mod tests {
             op: Operation::Read,
             request_id: 0,
             origin: 0,
+            epoch: 0,
             reply: mb as ReplyHandle,
         }));
         // The shards stay healthy afterwards.
@@ -498,6 +601,76 @@ mod tests {
     fn reset_plan_rejects_universe_changes() {
         let mut service = LoopbackService::spawn(&FaultPlan::none(5), 2, 3);
         service.reset_plan(&FaultPlan::none(6), 0);
+    }
+
+    #[test]
+    fn epoch_gate_fences_requests_outside_the_window() {
+        let service = LoopbackService::spawn(&FaultPlan::none(4), 2, 5);
+        let entry = Entry {
+            timestamp: 3,
+            value: 30,
+        };
+        roundtrip(&service, 0, Operation::Write(entry));
+
+        // Epoch 1 is not yet accepted: fenced without touching the replica.
+        let fenced = roundtrip_at(&service, 0, Operation::Read, 1);
+        assert!(fenced.stale);
+        assert_eq!(fenced.entry, None);
+        assert_eq!(fenced.epoch, 0, "fenced replies report the current epoch");
+
+        // Open the handoff window: both epochs are served; served replies
+        // echo the request's own stamp.
+        service.epoch_gate().open_window(1);
+        let old = roundtrip_at(&service, 0, Operation::Read, 0);
+        let new = roundtrip_at(&service, 0, Operation::Read, 1);
+        assert!(!old.stale && !new.stale);
+        assert_eq!((old.epoch, new.epoch), (0, 1));
+        assert_eq!(old.entry, Some(entry));
+        assert_eq!(new.entry, Some(entry));
+
+        // Finalise: epoch-0 stragglers are fenced and told where to go.
+        service.epoch_gate().finalize(1);
+        let stale = roundtrip_at(&service, 0, Operation::Read, 0);
+        assert!(stale.stale);
+        assert_eq!(stale.epoch, 1);
+        // Fenced requests never count as served accesses.
+        let write_and_reads = 3;
+        assert_eq!(
+            service.metrics().access_counts()[0],
+            write_and_reads,
+            "gate rejections must not count toward load"
+        );
+    }
+
+    #[test]
+    fn crash_servers_kills_replicas_under_a_shared_reference() {
+        let service = LoopbackService::spawn(&FaultPlan::none(5), 2, 6);
+        let entry = Entry {
+            timestamp: 5,
+            value: 50,
+        };
+        for s in 0..5 {
+            roundtrip(&service, s, Operation::Write(entry));
+        }
+        service.crash_servers(&[1, 4]);
+        // Crashed replicas lose their protocol voice but still answer
+        // in-band; the survivors keep their state.
+        assert_eq!(roundtrip(&service, 1, Operation::Read).entry, None);
+        assert_eq!(roundtrip(&service, 4, Operation::Read).entry, None);
+        assert_eq!(roundtrip(&service, 0, Operation::Read).entry, Some(entry));
+        // The failure-detector view is deliberately left untouched: the
+        // suspicion engine discovers the crash from evidence.
+        assert_eq!(service.responsive_set().len(), 5);
+    }
+
+    #[test]
+    fn reset_plan_rearms_the_epoch_gate() {
+        let mut service = LoopbackService::spawn(&FaultPlan::none(4), 2, 7);
+        service.epoch_gate().finalize(3);
+        assert!(roundtrip_at(&service, 0, Operation::Read, 0).stale);
+        service.reset_plan(&FaultPlan::none(4), 8);
+        let reply = roundtrip_at(&service, 0, Operation::Read, 0);
+        assert!(!reply.stale, "a fresh trial starts back at epoch 0");
     }
 
     #[test]

@@ -40,6 +40,21 @@
 //! `ServiceClient::with_reply_deadline`), which is what keeps the masking
 //! protocol's probe-and-fallback loop from hanging on a half-dead service.
 //!
+//! # Epoch stamps
+//!
+//! Every request and reply carries an **epoch stamp** — the reconfiguration
+//! generation the sender believes is current. Replica owners gate requests
+//! through an epoch window (`bqs-sim`'s `EpochGate`): a request whose epoch
+//! falls inside the window is served and its reply echoes the request's
+//! epoch; a request outside it is *fenced* — answered in-band with
+//! [`Reply::stale`] set and the gate's current epoch, never served. Fencing
+//! is what makes reconfiguration safe in flight: once servers finalise epoch
+//! `e + 1`, a straggling epoch-`e` request cannot contribute a reply to any
+//! quorum, so no read ever mixes replies gathered under two different access
+//! strategies. Transports carry both fields verbatim; a service that has
+//! never reconfigured runs entirely at epoch 0 and the gate accepts
+//! everything.
+//!
 //! # Batching
 //!
 //! A quorum operation fans out to every member of the chosen quorum at once,
@@ -86,6 +101,11 @@ pub struct Request {
     /// accepting connection's id instead (one pooled connection per client ⇒
     /// origin ≡ client). Correct replicas ignore it entirely.
     pub origin: u64,
+    /// The reconfiguration epoch the client is operating in. Servers serve
+    /// requests whose epoch falls inside their acceptance window and fence
+    /// the rest (see the module docs); epoch 0 is the pre-reconfiguration
+    /// state every service starts in.
+    pub epoch: u64,
     /// Where the owning shard must deliver the [`Reply`]. A shared handle —
     /// cloning it is an atomic increment, not a channel allocation.
     pub reply: ReplyHandle,
@@ -110,6 +130,14 @@ pub struct Reply {
     /// The reported entry (reads), or `None` (write acks, crashed reads,
     /// expired deadlines).
     pub entry: Option<Entry>,
+    /// For served requests: the request's epoch, echoed. For fenced requests
+    /// (`stale == true`): the server's current epoch, which tells the lagging
+    /// client what generation to re-synchronise to.
+    pub epoch: u64,
+    /// True when the server refused to serve the request because its epoch
+    /// fell outside the acceptance window. A stale reply carries no protocol
+    /// answer (`entry == None`) and must never count toward quorum support.
+    pub stale: bool,
 }
 
 /// Routes protocol messages to replica owners.

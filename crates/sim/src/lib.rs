@@ -39,6 +39,7 @@
 
 pub mod client;
 pub mod cluster;
+pub mod epoch;
 pub mod fault;
 pub mod multi_writer;
 pub mod runner;
@@ -48,6 +49,7 @@ pub use client::{
     choose_access_quorum, resolve_read, Client, ProtocolError, ReadOutcome, WriteOutcome,
 };
 pub use cluster::Cluster;
+pub use epoch::EpochGate;
 pub use fault::FaultPlan;
 pub use multi_writer::{run_multi_writer_workload, MultiWriterClient, MultiWriterReport};
 pub use runner::{run_workload, SimReport, WorkloadConfig};
@@ -59,6 +61,7 @@ pub mod prelude {
         choose_access_quorum, resolve_read, Client, ProtocolError, ReadOutcome, WriteOutcome,
     };
     pub use crate::cluster::Cluster;
+    pub use crate::epoch::EpochGate;
     pub use crate::fault::FaultPlan;
     pub use crate::multi_writer::{
         run_multi_writer_workload, MultiWriterClient, MultiWriterReport,

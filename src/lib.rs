@@ -18,6 +18,7 @@
 //! | [`service`] | `bqs-service` (`crates/service`) | the concurrent strategy-driven quorum service runtime: sharded replica ownership behind a pluggable transport, lock-free metrics, closed-loop and open-loop (Poisson-arrival) load generation with online safety checking |
 //! | [`net`] | `bqs-net` (`crates/net`) | the socket side of the transport seam: length-prefixed wire codec, TCP/Unix-domain server over the sharded runtime, pooled client transport with reconnect and per-request deadlines |
 //! | [`chaos`] | `bqs-chaos` (`crates/chaos`) | the deterministic adversarial scenario engine: a replayable chaos interposer at the transport seam plus named scenario families that verify masking holds at `b` faults and breaks detectably at `b + 1` |
+//! | [`epoch`] | `bqs-epoch` (`crates/epoch`) | epoch-based reconfiguration: accrual failure suspicion over service evidence, survivor re-certification through the load oracle (with construction switching and a rotation fallback), and the two-phase client migration that preserves masking across the handoff |
 //! | [`combinatorics`] | `bqs-combinatorics` (`crates/combinatorics`) | binomials, finite fields, prime powers, projective planes |
 //! | [`lp`] | `bqs-lp` (`crates/lp`) | the simplex solver behind the explicit load LP, plus the incremental packing master behind certified column-generation load |
 //! | [`graph`] | `bqs-graph` (`crates/graph`) | triangulated grids, max-flow, percolation (the M-Path substrate) |
@@ -64,6 +65,7 @@ pub use bqs_chaos as chaos;
 pub use bqs_combinatorics as combinatorics;
 pub use bqs_constructions as constructions;
 pub use bqs_core as core;
+pub use bqs_epoch as epoch;
 pub use bqs_graph as graph;
 pub use bqs_lp as lp;
 pub use bqs_net as net;
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use bqs_chaos::prelude::*;
     pub use bqs_constructions::prelude::*;
     pub use bqs_core::prelude::*;
+    pub use bqs_epoch::prelude::*;
     pub use bqs_net::prelude::*;
     pub use bqs_service::prelude::*;
     pub use bqs_sim::prelude::*;
